@@ -1,0 +1,242 @@
+//! Flush+Reload (Yarom & Falkner 2014), the paper's main baseline.
+//!
+//! The receiver removes a shared line from the cache, sleeps, and
+//! later *reloads* it, timing the access: a fast reload means the
+//! sender touched the line. The paper compares two eviction flavors
+//! (§VII, Tables V/VI):
+//!
+//! * **F+R (mem)** — `clflush` pushes the line all the way to
+//!   memory. The sender's access then costs a full memory round
+//!   trip (long encode, huge LLC miss rate — easy to detect).
+//! * **F+R (L1)** — eight same-set accesses evict the line from L1
+//!   only, so the sender's access hits in L2. Cheaper, but the
+//!   sender still takes a *miss* in the target level — unlike the
+//!   LRU channel, whose sender can run entirely from cache hits.
+//!
+//! The sender is identical to the LRU sender (access the line or
+//! don't), so [`lru_channel::protocol::LruSender`] is reused.
+
+use cache_sim::addr::VirtAddr;
+use exec_sim::program::{Op, OpResult, Program};
+use lru_channel::protocol::Sample;
+
+/// How the Flush+Reload receiver removes the shared line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvictionMethod {
+    /// `clflush` to memory ("F+R (mem)").
+    Clflush,
+    /// Access an 8-line eviction set mapping to the same L1 set
+    /// ("F+R (L1)").
+    L1EvictionSet(Vec<VirtAddr>),
+}
+
+/// The Flush+Reload receiver: reload-and-time, evict, sleep, repeat.
+#[derive(Debug, Clone)]
+pub struct FlushReloadReceiver {
+    shared_line: VirtAddr,
+    eviction: EvictionMethod,
+    tr: u64,
+    phase: Phase,
+    idx: usize,
+    wake_at: u64,
+    max_samples: Option<usize>,
+    samples: Vec<Sample>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Evict,
+    Wait,
+    Reload,
+}
+
+impl FlushReloadReceiver {
+    /// A receiver timing `shared_line` every `tr` cycles after
+    /// evicting it via `eviction`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tr == 0` or an empty eviction set is supplied.
+    pub fn new(shared_line: VirtAddr, eviction: EvictionMethod, tr: u64) -> Self {
+        assert!(tr > 0, "tr must be positive");
+        if let EvictionMethod::L1EvictionSet(set) = &eviction {
+            assert!(!set.is_empty(), "eviction set must not be empty");
+        }
+        Self {
+            shared_line,
+            eviction,
+            tr,
+            phase: Phase::Evict,
+            idx: 0,
+            wake_at: 0,
+            max_samples: None,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Stops after `n` reloads.
+    #[must_use]
+    pub fn with_max_samples(mut self, n: usize) -> Self {
+        self.max_samples = Some(n);
+        self
+    }
+
+    /// Observations so far.
+    pub fn samples(&self) -> &[Sample] {
+        &self.samples
+    }
+
+    /// Consumes the receiver, returning its observations.
+    pub fn into_samples(self) -> Vec<Sample> {
+        self.samples
+    }
+}
+
+impl Program for FlushReloadReceiver {
+    fn next_op(&mut self, now: u64) -> Op {
+        loop {
+            match self.phase {
+                Phase::Evict => {
+                    if self.max_samples.is_some_and(|n| self.samples.len() >= n) {
+                        return Op::Done;
+                    }
+                    match &self.eviction {
+                        EvictionMethod::Clflush => {
+                            self.phase = Phase::Wait;
+                            return Op::Flush(self.shared_line);
+                        }
+                        EvictionMethod::L1EvictionSet(set) => {
+                            if self.idx < set.len() {
+                                self.idx += 1;
+                                return Op::Access(set[self.idx - 1]);
+                            }
+                            self.phase = Phase::Wait;
+                        }
+                    }
+                }
+                Phase::Wait => {
+                    if now < self.wake_at {
+                        return Op::SpinUntil(self.wake_at);
+                    }
+                    self.wake_at = now + self.tr;
+                    self.phase = Phase::Reload;
+                }
+                Phase::Reload => {
+                    self.phase = Phase::Evict;
+                    self.idx = 0;
+                    return Op::TimedAccess(self.shared_line);
+                }
+            }
+        }
+    }
+
+    fn on_result(&mut self, result: &OpResult) {
+        if let (Some(measured), Some(level)) = (result.measured, result.level) {
+            self.samples.push(Sample {
+                at: result.completed_at,
+                measured,
+                level,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cache_sim::hierarchy::HitLevel;
+    use cache_sim::profiles::MicroArch;
+    use cache_sim::replacement::PolicyKind;
+    use exec_sim::machine::Machine;
+    use exec_sim::measure::LatencyProbe;
+    use exec_sim::sched::{HyperThreaded, ThreadHandle};
+    use exec_sim::tsc::TscModel;
+    use lru_channel::protocol::LruSender;
+    use lru_channel::setup;
+
+    fn run_fr(
+        eviction_is_flush: bool,
+        message: Vec<bool>,
+        seed: u64,
+    ) -> (Vec<Sample>, u32) {
+        let mut m = Machine::new(
+            MicroArch::sandy_bridge_e5_2690(),
+            PolicyKind::TreePlru,
+            seed,
+        );
+        let s = m.create_process();
+        let r = m.create_process();
+        let ep = setup::alg1(&mut m, s, r, 0);
+        let eviction = if eviction_is_flush {
+            EvictionMethod::Clflush
+        } else {
+            EvictionMethod::L1EvictionSet(ep.receiver_lines[1..9].to_vec())
+        };
+        let ts = 6_000;
+        let mut sender = LruSender::new(ep.sender_line, message.clone(), ts);
+        let mut receiver = FlushReloadReceiver::new(ep.receiver_lines[0], eviction, 600);
+        let probe = LatencyProbe::new(&mut m, r, TscModel::intel(), 63);
+        m.access(s, ep.sender_line);
+        let limit = (message.len() as u64 + 1) * ts;
+        HyperThreaded::new(seed).run(
+            &mut m,
+            &mut [
+                ThreadHandle::new(s, &mut sender),
+                ThreadHandle::with_probe(r, &mut receiver, probe),
+            ],
+            limit,
+        );
+        // Hit threshold for a pointer-chase readout on this machine.
+        let platform = lru_channel::params::Platform::e5_2690();
+        (receiver.into_samples(), platform.hit_threshold())
+    }
+
+    #[test]
+    fn fr_mem_distinguishes_bits() {
+        let (samples, _thr) = run_fr(true, vec![false; 10], 1);
+        // m=0: every reload comes from memory (slow).
+        assert!(samples.iter().all(|s| s.level == HitLevel::Mem));
+        let (samples, _thr) = run_fr(true, vec![true; 10], 2);
+        // m=1: the sender keeps re-fetching the line, so most
+        // reloads hit somewhere in the hierarchy.
+        let fast = samples
+            .iter()
+            .filter(|s| s.level != HitLevel::Mem)
+            .count();
+        assert!(
+            fast as f64 / samples.len() as f64 > 0.7,
+            "sender accesses should make reloads fast: {fast}/{}",
+            samples.len()
+        );
+    }
+
+    #[test]
+    fn fr_l1_sender_misses_to_l2_only() {
+        let (samples, thr) = run_fr(false, vec![true; 10], 3);
+        // The receiver's reloads mostly hit L1 (sender refetched) —
+        // and crucially nothing goes to memory.
+        assert!(samples.iter().all(|s| s.level <= HitLevel::L2));
+        let hits = samples.iter().filter(|s| s.measured <= thr).count();
+        assert!(hits as f64 / samples.len() as f64 > 0.6);
+    }
+
+    #[test]
+    fn fr_l1_reads_slow_when_sender_silent() {
+        let (samples, thr) = run_fr(false, vec![false; 10], 4);
+        let misses = samples.iter().filter(|s| s.measured > thr).count();
+        assert!(
+            misses as f64 / samples.len() as f64 > 0.8,
+            "evicted line must read slow without the sender"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "eviction set")]
+    fn rejects_empty_eviction_set() {
+        let _ = FlushReloadReceiver::new(
+            VirtAddr::new(0),
+            EvictionMethod::L1EvictionSet(vec![]),
+            100,
+        );
+    }
+}

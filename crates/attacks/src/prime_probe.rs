@@ -1,0 +1,220 @@
+//! Prime+Probe (Osvik, Shamir & Tromer 2006) over one L1 set.
+//!
+//! The receiver *primes* a whole set with its own `N` lines, sleeps,
+//! then *probes* all `N` lines, timing the sweep: any probe miss
+//! means someone displaced a primed line. The paper contrasts this
+//! with LRU Algorithm 2 (§VII): both need no shared memory, but
+//! Prime+Probe times `N` loads per observation where the LRU channel
+//! times one.
+
+use cache_sim::addr::VirtAddr;
+use exec_sim::program::{Op, OpResult, Program};
+
+/// One probe-sweep observation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProbeSample {
+    /// Completion time of the sweep.
+    pub at: u64,
+    /// Sum of the timed readouts of all `N` probes.
+    pub total_measured: u32,
+    /// How many probes missed L1 (ground truth).
+    pub misses: u32,
+}
+
+/// The Prime+Probe receiver program.
+#[derive(Debug, Clone)]
+pub struct PrimeProbeReceiver {
+    lines: Vec<VirtAddr>,
+    tr: u64,
+    phase: Phase,
+    idx: usize,
+    wake_at: u64,
+    current_sum: u32,
+    current_misses: u32,
+    max_samples: Option<usize>,
+    samples: Vec<ProbeSample>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Prime,
+    Wait,
+    Probe,
+}
+
+impl PrimeProbeReceiver {
+    /// A receiver priming and probing `lines` every `tr` cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lines` is empty or `tr == 0`.
+    pub fn new(lines: Vec<VirtAddr>, tr: u64) -> Self {
+        assert!(!lines.is_empty(), "prime set must not be empty");
+        assert!(tr > 0, "tr must be positive");
+        Self {
+            lines,
+            tr,
+            phase: Phase::Prime,
+            idx: 0,
+            wake_at: 0,
+            current_sum: 0,
+            current_misses: 0,
+            max_samples: None,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Stops after `n` probe sweeps.
+    #[must_use]
+    pub fn with_max_samples(mut self, n: usize) -> Self {
+        self.max_samples = Some(n);
+        self
+    }
+
+    /// Sweep observations so far.
+    pub fn samples(&self) -> &[ProbeSample] {
+        &self.samples
+    }
+
+    /// Consumes the receiver, returning its observations.
+    pub fn into_samples(self) -> Vec<ProbeSample> {
+        self.samples
+    }
+}
+
+impl Program for PrimeProbeReceiver {
+    fn next_op(&mut self, now: u64) -> Op {
+        loop {
+            match self.phase {
+                Phase::Prime => {
+                    if self.max_samples.is_some_and(|n| self.samples.len() >= n) {
+                        return Op::Done;
+                    }
+                    if self.idx < self.lines.len() {
+                        self.idx += 1;
+                        return Op::Access(self.lines[self.idx - 1]);
+                    }
+                    self.phase = Phase::Wait;
+                }
+                Phase::Wait => {
+                    if now < self.wake_at {
+                        return Op::SpinUntil(self.wake_at);
+                    }
+                    self.wake_at = now + self.tr;
+                    self.phase = Phase::Probe;
+                    self.idx = 0;
+                    self.current_sum = 0;
+                    self.current_misses = 0;
+                }
+                Phase::Probe => {
+                    if self.idx < self.lines.len() {
+                        self.idx += 1;
+                        return Op::TimedAccess(self.lines[self.idx - 1]);
+                    }
+                    // Sweep complete.
+                    self.samples.push(ProbeSample {
+                        at: now,
+                        total_measured: self.current_sum,
+                        misses: self.current_misses,
+                    });
+                    self.phase = Phase::Prime;
+                    self.idx = 0;
+                }
+            }
+        }
+    }
+
+    fn on_result(&mut self, result: &OpResult) {
+        if let Some(measured) = result.measured {
+            self.current_sum += measured;
+            if result.level != Some(cache_sim::hierarchy::HitLevel::L1) {
+                self.current_misses += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cache_sim::profiles::MicroArch;
+    use cache_sim::replacement::PolicyKind;
+    use exec_sim::machine::Machine;
+    use exec_sim::measure::LatencyProbe;
+    use exec_sim::sched::{HyperThreaded, ThreadHandle};
+    use exec_sim::tsc::TscModel;
+    use lru_channel::protocol::LruSender;
+    use lru_channel::setup;
+
+    fn run_pp(message: Vec<bool>, seed: u64) -> Vec<ProbeSample> {
+        let mut m = Machine::new(
+            MicroArch::sandy_bridge_e5_2690(),
+            PolicyKind::TreePlru,
+            seed,
+        );
+        let s = m.create_process();
+        let r = m.create_process();
+        let ep = setup::alg2(&mut m, s, r, 0);
+        let ts = 6_000;
+        let mut sender = LruSender::new(ep.sender_line, message.clone(), ts);
+        let mut receiver = PrimeProbeReceiver::new(ep.receiver_lines.clone(), 600);
+        let probe = LatencyProbe::new(&mut m, r, TscModel::intel(), 63);
+        let limit = (message.len() as u64 + 1) * ts;
+        HyperThreaded::new(seed).run(
+            &mut m,
+            &mut [
+                ThreadHandle::new(s, &mut sender),
+                ThreadHandle::with_probe(r, &mut receiver, probe),
+            ],
+            limit,
+        );
+        receiver.into_samples()
+    }
+
+    #[test]
+    fn quiet_set_probes_all_hits() {
+        let samples = run_pp(vec![false; 8], 1);
+        assert!(!samples.is_empty());
+        // After the first sweep (cold), probes all hit.
+        let steady = &samples[2..];
+        let clean = steady.iter().filter(|s| s.misses == 0).count();
+        assert!(
+            clean as f64 / steady.len() as f64 > 0.9,
+            "quiet set must probe clean"
+        );
+    }
+
+    #[test]
+    fn sender_activity_causes_probe_misses() {
+        let samples = run_pp(vec![true; 8], 2);
+        let steady = &samples[2..];
+        let noisy = steady.iter().filter(|s| s.misses > 0).count();
+        assert!(
+            noisy as f64 / steady.len() as f64 > 0.7,
+            "sender accesses must displace primed lines"
+        );
+    }
+
+    #[test]
+    fn total_measured_tracks_misses() {
+        let quiet = run_pp(vec![false; 8], 3);
+        let busy = run_pp(vec![true; 8], 3);
+        let mean = |v: &[ProbeSample]| {
+            v[2..]
+                .iter()
+                .map(|s| s.total_measured as f64)
+                .sum::<f64>()
+                / (v.len() - 2) as f64
+        };
+        assert!(
+            mean(&busy) > mean(&quiet) + 4.0,
+            "probe sweep time must rise under contention"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "prime set")]
+    fn rejects_empty_prime_set() {
+        let _ = PrimeProbeReceiver::new(vec![], 100);
+    }
+}

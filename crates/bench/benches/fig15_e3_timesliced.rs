@@ -1,0 +1,20 @@
+//! Fig. 15 (Appendix B): the Fig. 6 experiment on the Intel Xeon
+//! E3-1245 v5 — demonstrating the attack generalizes across Intel
+//! parts.
+
+use bench_harness::{header, timesliced};
+use lru_channel::covert::Variant;
+use lru_channel::params::Platform;
+
+fn main() {
+    header(
+        "fig15_e3_timesliced",
+        "Paper Fig. 15 (Appendix B)",
+        "% of 1s received, E3-1245 v5 time-sliced, Alg.1 (paper: similar to E5-2690)",
+    );
+    timesliced::run_grid(
+        Platform::e3_1245v5(),
+        Variant::SharedMemory,
+        &[1, 4, 7, 8],
+    );
+}

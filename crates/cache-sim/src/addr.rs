@@ -1,0 +1,156 @@
+//! Address newtypes.
+//!
+//! The channels in the paper care about the distinction between
+//! *virtual* addresses (used by programs, and by the AMD µtag way
+//! predictor, §VI-B) and *physical* addresses (used to tag cache
+//! lines). These newtypes keep the two statically apart
+//! ([C-NEWTYPE]).
+//!
+//! Pages are 4 KiB, matching the paper's VIPT argument (§IV-B): the
+//! low 12 bits of a virtual address equal the low 12 bits of the
+//! physical address, so for a 64-set × 64-byte L1 the set index
+//! (bits 6–11) is the same in both spaces.
+
+use std::fmt;
+
+/// Page size in bytes (4 KiB), the granularity of translation.
+pub const PAGE_SIZE: u64 = 4096;
+
+/// Number of low address bits inside a page.
+pub const PAGE_SHIFT: u32 = 12;
+
+/// A virtual (linear) address in some process address space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VirtAddr(u64);
+
+/// A physical address; cache lines are tagged with these.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PhysAddr(u64);
+
+macro_rules! addr_impl {
+    ($t:ident) => {
+        impl $t {
+            /// Wraps a raw address value.
+            pub const fn new(raw: u64) -> Self {
+                Self(raw)
+            }
+
+            /// Returns the raw address value.
+            pub const fn raw(self) -> u64 {
+                self.0
+            }
+
+            /// Virtual/physical page number (address divided by the
+            /// page size).
+            pub const fn page_number(self) -> u64 {
+                self.0 >> PAGE_SHIFT
+            }
+
+            /// Offset of this address within its page.
+            pub const fn page_offset(self) -> u64 {
+                self.0 & (PAGE_SIZE - 1)
+            }
+
+            /// Returns the address advanced by `bytes`.
+            #[must_use]
+            pub const fn add(self, bytes: u64) -> Self {
+                Self(self.0 + bytes)
+            }
+        }
+
+        impl fmt::Display for $t {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{:#x}", self.0)
+            }
+        }
+
+        impl fmt::LowerHex for $t {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                fmt::LowerHex::fmt(&self.0, f)
+            }
+        }
+
+        impl From<u64> for $t {
+            fn from(raw: u64) -> Self {
+                Self(raw)
+            }
+        }
+
+        impl From<$t> for u64 {
+            fn from(addr: $t) -> u64 {
+                addr.0
+            }
+        }
+    };
+}
+
+addr_impl!(VirtAddr);
+addr_impl!(PhysAddr);
+
+impl PhysAddr {
+    /// Composes a physical address from a page frame number and an
+    /// in-page offset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset >= PAGE_SIZE`.
+    pub fn from_frame(frame: u64, offset: u64) -> Self {
+        assert!(offset < PAGE_SIZE, "offset {offset} exceeds page size");
+        Self((frame << PAGE_SHIFT) | offset)
+    }
+}
+
+impl VirtAddr {
+    /// Composes a virtual address from a virtual page number and an
+    /// in-page offset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset >= PAGE_SIZE`.
+    pub fn from_page(page: u64, offset: u64) -> Self {
+        assert!(offset < PAGE_SIZE, "offset {offset} exceeds page size");
+        Self((page << PAGE_SHIFT) | offset)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_arithmetic_round_trips() {
+        let va = VirtAddr::new(0x1234_5678);
+        assert_eq!(
+            VirtAddr::from_page(va.page_number(), va.page_offset()),
+            va
+        );
+        let pa = PhysAddr::new(0xdead_beef);
+        assert_eq!(
+            PhysAddr::from_frame(pa.page_number(), pa.page_offset()),
+            pa
+        );
+    }
+
+    #[test]
+    fn page_offset_is_low_12_bits() {
+        let va = VirtAddr::new(0xabc_def);
+        assert_eq!(va.page_offset(), 0xdef);
+        assert_eq!(va.page_number(), 0xabc);
+    }
+
+    #[test]
+    fn add_advances_raw_value() {
+        assert_eq!(VirtAddr::new(64).add(64), VirtAddr::new(128));
+    }
+
+    #[test]
+    fn display_is_hex() {
+        assert_eq!(PhysAddr::new(0x40).to_string(), "0x40");
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds page size")]
+    fn from_frame_rejects_large_offset() {
+        let _ = PhysAddr::from_frame(1, PAGE_SIZE);
+    }
+}

@@ -1,0 +1,411 @@
+//! A single-level, physically tagged, set-associative cache.
+
+use crate::addr::PhysAddr;
+use crate::geometry::CacheGeometry;
+use crate::line::LineMeta;
+use crate::replacement::{Domain, Policy, PolicyKind, WayMask};
+use crate::set::CacheSet;
+
+/// Result of one access to a [`Cache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessOutcome {
+    /// Whether the line was already present.
+    pub hit: bool,
+    /// Set index of the access.
+    pub set: usize,
+    /// Way the line now occupies.
+    pub way: usize,
+    /// Line-base physical address evicted to make room, if any.
+    pub evicted: Option<PhysAddr>,
+}
+
+/// Hit/miss counters for one cache level.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Demand accesses.
+    pub accesses: u64,
+    /// Demand misses.
+    pub misses: u64,
+    /// Lines installed (demand + prefetch).
+    pub fills: u64,
+    /// Valid lines evicted by replacement.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Miss rate (`misses / accesses`), or 0 when idle.
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+}
+
+/// A set-associative cache level.
+///
+/// Addresses are physical; the cache is oblivious to virtual
+/// addresses except for the µtag field that
+/// [`crate::way_predictor::WayPredictor`] maintains through
+/// [`Cache::line_meta_mut`].
+///
+/// ```
+/// use cache_sim::{Cache, CacheGeometry, PolicyKind, PhysAddr};
+/// let mut c = Cache::new(CacheGeometry::l1d_paper(), PolicyKind::Lru, 0);
+/// assert!(!c.access(PhysAddr::new(0)).hit);
+/// assert!(c.access(PhysAddr::new(0)).hit);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cache {
+    geom: CacheGeometry,
+    sets: Vec<CacheSet>,
+    kind: PolicyKind,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Creates an empty cache.
+    ///
+    /// `seed` parameterizes randomized policies; each set derives its
+    /// own stream from it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kind` requires a power-of-two way count and the
+    /// geometry's is not (see [`Policy::new`]).
+    pub fn new(geom: CacheGeometry, kind: PolicyKind, seed: u64) -> Self {
+        let sets = (0..geom.num_sets())
+            .map(|s| CacheSet::new(Policy::new(kind, geom.ways(), seed ^ (s * 0x9e37_79b9))))
+            .collect();
+        Self {
+            geom,
+            sets,
+            kind,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The cache's geometry.
+    pub fn geometry(&self) -> CacheGeometry {
+        self.geom
+    }
+
+    /// The replacement policy in use.
+    pub fn policy_kind(&self) -> PolicyKind {
+        self.kind
+    }
+
+    /// Demand access in the primary domain.
+    pub fn access(&mut self, pa: PhysAddr) -> AccessOutcome {
+        self.access_in_domain(pa, Domain::PRIMARY)
+    }
+
+    /// Demand access on behalf of `domain` (partitioned policies
+    /// confine the victim to the domain's ways).
+    pub fn access_in_domain(&mut self, pa: PhysAddr, domain: Domain) -> AccessOutcome {
+        let (set_idx, tag) = self.locate(pa);
+        self.stats.accesses += 1;
+        let ways = self.geom.ways();
+        let set = &mut self.sets[set_idx];
+        if let Some(way) = set.find_way(tag) {
+            set.record_access(way, domain);
+            return AccessOutcome {
+                hit: true,
+                set: set_idx,
+                way,
+                evicted: None,
+            };
+        }
+        self.stats.misses += 1;
+        self.stats.fills += 1;
+        let way = set.choose_fill_way(WayMask::all(ways), domain);
+        let evicted = set.install(way, LineMeta::new(tag));
+        if evicted.is_some() {
+            self.stats.evictions += 1;
+        }
+        set.record_fill(way, domain);
+        AccessOutcome {
+            hit: false,
+            set: set_idx,
+            way,
+            evicted: evicted.map(|m| PhysAddr::new(self.geom.line_addr(m.tag, set_idx))),
+        }
+    }
+
+    /// Installs the line for `pa` without counting a demand access
+    /// (prefetch fill). A line already present is left untouched —
+    /// in particular its replacement state is *not* refreshed.
+    ///
+    /// Returns the evicted line base, if the fill displaced one.
+    pub fn prefetch_fill(&mut self, pa: PhysAddr) -> Option<PhysAddr> {
+        let (set_idx, tag) = self.locate(pa);
+        let ways = self.geom.ways();
+        let set = &mut self.sets[set_idx];
+        if set.find_way(tag).is_some() {
+            return None;
+        }
+        self.stats.fills += 1;
+        let way = set.choose_fill_way(WayMask::all(ways), Domain::PRIMARY);
+        let evicted = set.install(way, LineMeta::new(tag));
+        if evicted.is_some() {
+            self.stats.evictions += 1;
+        }
+        set.record_fill(way, Domain::PRIMARY);
+        evicted.map(|m| PhysAddr::new(self.geom.line_addr(m.tag, set_idx)))
+    }
+
+    /// Whether the line containing `pa` is present (no state change).
+    pub fn probe(&self, pa: PhysAddr) -> bool {
+        let (set_idx, tag) = self.locate(pa);
+        self.sets[set_idx].find_way(tag).is_some()
+    }
+
+    /// The way holding `pa`'s line, if present (no state change).
+    pub fn way_of(&self, pa: PhysAddr) -> Option<usize> {
+        let (set_idx, tag) = self.locate(pa);
+        self.sets[set_idx].find_way(tag)
+    }
+
+    /// Invalidates the line containing `pa` (a `clflush` at this
+    /// level). Returns whether a line was removed.
+    pub fn flush_line(&mut self, pa: PhysAddr) -> bool {
+        let (set_idx, tag) = self.locate(pa);
+        let set = &mut self.sets[set_idx];
+        match set.find_way(tag) {
+            Some(way) => {
+                set.invalidate(way);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Metadata of `pa`'s line, if present.
+    pub fn line_meta(&self, pa: PhysAddr) -> Option<&LineMeta> {
+        let (set_idx, tag) = self.locate(pa);
+        let set = &self.sets[set_idx];
+        set.find_way(tag).and_then(|w| set.line(w))
+    }
+
+    /// Mutable metadata of `pa`'s line, if present (used by the way
+    /// predictor to maintain µtags and by the PL cache for lock
+    /// bits).
+    pub fn line_meta_mut(&mut self, pa: PhysAddr) -> Option<&mut LineMeta> {
+        let (set_idx, tag) = self.locate(pa);
+        let set = &mut self.sets[set_idx];
+        set.find_way(tag).and_then(move |w| set.line_mut(w))
+    }
+
+    /// Borrow of a set (for inspection in tests and experiments).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= num_sets`.
+    pub fn set(&self, idx: usize) -> &CacheSet {
+        &self.sets[idx]
+    }
+
+    /// Mutable borrow of a set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= num_sets`.
+    pub fn set_mut(&mut self, idx: usize) -> &mut CacheSet {
+        &mut self.sets[idx]
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Zeroes the statistics (contents untouched).
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    /// Empties the cache and resets all replacement state and stats.
+    pub fn clear(&mut self) {
+        for set in &mut self.sets {
+            set.clear();
+        }
+        self.stats = CacheStats::default();
+    }
+
+    fn locate(&self, pa: PhysAddr) -> (usize, u64) {
+        (self.geom.set_index(pa.raw()), self.geom.tag(pa.raw()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn l1(kind: PolicyKind) -> Cache {
+        Cache::new(CacheGeometry::l1d_paper(), kind, 1)
+    }
+
+    /// Addresses `line 0..=N` of the paper: same set, different tags.
+    fn line(geom: CacheGeometry, set: usize, i: u64) -> PhysAddr {
+        PhysAddr::new(i * geom.set_stride() + set as u64 * geom.line_size())
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = l1(PolicyKind::Lru);
+        let a = PhysAddr::new(0x1040);
+        assert!(!c.access(a).hit);
+        assert!(c.access(a).hit);
+        // Same line, different byte.
+        assert!(c.access(PhysAddr::new(0x1078)).hit);
+        assert_eq!(c.stats().accesses, 3);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn ninth_line_evicts_lru_victim() {
+        let mut c = l1(PolicyKind::Lru);
+        let g = c.geometry();
+        for i in 0..8 {
+            c.access(line(g, 5, i));
+        }
+        let out = c.access(line(g, 5, 8));
+        assert!(!out.hit);
+        assert_eq!(out.evicted, Some(line(g, 5, 0)));
+        assert!(!c.probe(line(g, 5, 0)));
+        assert!(c.probe(line(g, 5, 8)));
+    }
+
+    #[test]
+    fn accesses_to_other_sets_do_not_interfere() {
+        let mut c = l1(PolicyKind::TreePlru);
+        let g = c.geometry();
+        for i in 0..8 {
+            c.access(line(g, 0, i));
+        }
+        for i in 0..100 {
+            c.access(line(g, 1, i % 8));
+        }
+        for i in 0..8 {
+            assert!(c.probe(line(g, 0, i)), "set 0 line {i} was disturbed");
+        }
+    }
+
+    #[test]
+    fn flush_removes_line() {
+        let mut c = l1(PolicyKind::Lru);
+        let a = PhysAddr::new(0x40);
+        c.access(a);
+        assert!(c.flush_line(a));
+        assert!(!c.probe(a));
+        assert!(!c.flush_line(a));
+    }
+
+    #[test]
+    fn prefetch_fill_does_not_count_demand_access() {
+        let mut c = l1(PolicyKind::Lru);
+        let a = PhysAddr::new(0x40);
+        assert_eq!(c.prefetch_fill(a), None);
+        assert_eq!(c.stats().accesses, 0);
+        assert_eq!(c.stats().fills, 1);
+        assert!(c.probe(a));
+        // Prefetching an already-present line changes nothing.
+        assert_eq!(c.prefetch_fill(a), None);
+        assert_eq!(c.stats().fills, 1);
+    }
+
+    #[test]
+    fn prefetch_fill_can_evict() {
+        let mut c = l1(PolicyKind::Lru);
+        let g = c.geometry();
+        for i in 0..8 {
+            c.access(line(g, 3, i));
+        }
+        let evicted = c.prefetch_fill(line(g, 3, 8));
+        assert_eq!(evicted, Some(line(g, 3, 0)));
+    }
+
+    #[test]
+    fn fifo_hits_do_not_protect_lines() {
+        // The §IX-A defense property at cache level: under FIFO, a
+        // line that keeps hitting is still evicted in install order.
+        let mut c = l1(PolicyKind::Fifo);
+        let g = c.geometry();
+        for i in 0..8 {
+            c.access(line(g, 0, i));
+        }
+        for _ in 0..50 {
+            c.access(line(g, 0, 0)); // hammer line 0 with hits
+        }
+        let out = c.access(line(g, 0, 8));
+        assert_eq!(
+            out.evicted,
+            Some(line(g, 0, 0)),
+            "FIFO must evict the first-installed line despite hits"
+        );
+    }
+
+    #[test]
+    fn way_of_reports_location() {
+        let mut c = l1(PolicyKind::Lru);
+        let a = PhysAddr::new(0x40);
+        assert_eq!(c.way_of(a), None);
+        let out = c.access(a);
+        assert_eq!(c.way_of(a), Some(out.way));
+    }
+
+    #[test]
+    fn clear_empties_cache() {
+        let mut c = l1(PolicyKind::Lru);
+        c.access(PhysAddr::new(0));
+        c.clear();
+        assert!(!c.probe(PhysAddr::new(0)));
+        assert_eq!(c.stats(), CacheStats::default());
+    }
+
+    proptest! {
+        /// No set ever holds more valid lines than it has ways, and
+        /// every access leaves the accessed line resident.
+        #[test]
+        fn capacity_invariant(
+            addrs in proptest::collection::vec(0u64..1 << 20, 1..300),
+            kind_idx in 0usize..5,
+        ) {
+            let kind = [
+                PolicyKind::Lru,
+                PolicyKind::TreePlru,
+                PolicyKind::BitPlru,
+                PolicyKind::Fifo,
+                PolicyKind::Random,
+            ][kind_idx];
+            let mut c = l1(kind);
+            for &raw in &addrs {
+                let a = PhysAddr::new(raw);
+                c.access(a);
+                prop_assert!(c.probe(a), "accessed line must be resident");
+            }
+            for s in 0..c.geometry().num_sets() as usize {
+                prop_assert!(c.set(s).valid_count() <= c.geometry().ways());
+            }
+        }
+
+        /// Total misses equals total fills for demand-only streams,
+        /// and hits+misses = accesses.
+        #[test]
+        fn stats_consistency(addrs in proptest::collection::vec(0u64..1 << 16, 1..200)) {
+            let mut c = l1(PolicyKind::TreePlru);
+            let mut hits = 0u64;
+            for &raw in &addrs {
+                if c.access(PhysAddr::new(raw)).hit {
+                    hits += 1;
+                }
+            }
+            let st = c.stats();
+            prop_assert_eq!(st.accesses, addrs.len() as u64);
+            prop_assert_eq!(st.misses, st.fills);
+            prop_assert_eq!(st.accesses - st.misses, hits);
+        }
+    }
+}

@@ -1,0 +1,211 @@
+//! Cache geometry: line size, set count, associativity, and the
+//! address-bit slicing they imply.
+
+use std::error::Error;
+use std::fmt;
+
+/// Shape of one cache level: line size, number of sets, ways.
+///
+/// The paper's L1D caches (Table III) are all 32 KiB, 8-way, 64 sets,
+/// 64-byte lines; [`CacheGeometry::l1d_paper`] builds exactly that.
+///
+/// ```
+/// use cache_sim::geometry::CacheGeometry;
+/// let g = CacheGeometry::l1d_paper();
+/// assert_eq!(g.size_bytes(), 32 * 1024);
+/// assert_eq!(g.ways(), 8);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheGeometry {
+    line_size: u64,
+    num_sets: u64,
+    ways: usize,
+}
+
+/// Error returned when constructing an invalid [`CacheGeometry`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GeometryError {
+    /// `line_size` or `num_sets` was zero or not a power of two.
+    NotPowerOfTwo {
+        /// Name of the offending field.
+        field: &'static str,
+        /// The rejected value.
+        value: u64,
+    },
+    /// The way count was zero.
+    ZeroWays,
+}
+
+impl fmt::Display for GeometryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeometryError::NotPowerOfTwo { field, value } => {
+                write!(f, "{field} must be a nonzero power of two, got {value}")
+            }
+            GeometryError::ZeroWays => write!(f, "cache must have at least one way"),
+        }
+    }
+}
+
+impl Error for GeometryError {}
+
+impl CacheGeometry {
+    /// Creates a geometry with `line_size`-byte lines, `num_sets`
+    /// sets and `ways` ways per set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeometryError`] if `line_size` or `num_sets` is not a
+    /// nonzero power of two, or if `ways` is zero.
+    pub fn new(line_size: u64, num_sets: u64, ways: usize) -> Result<Self, GeometryError> {
+        for (field, value) in [("line_size", line_size), ("num_sets", num_sets)] {
+            if value == 0 || !value.is_power_of_two() {
+                return Err(GeometryError::NotPowerOfTwo { field, value });
+            }
+        }
+        if ways == 0 {
+            return Err(GeometryError::ZeroWays);
+        }
+        Ok(Self {
+            line_size,
+            num_sets,
+            ways,
+        })
+    }
+
+    /// The 32 KiB / 8-way / 64-set / 64 B-line L1D geometry shared by
+    /// every CPU in the paper's Table III.
+    pub fn l1d_paper() -> Self {
+        Self::new(64, 64, 8).expect("constant geometry is valid")
+    }
+
+    /// Builds a geometry from a total size in bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeometryError`] if the resulting set count is not a
+    /// power of two (i.e. `size / (line_size * ways)` is not), or any
+    /// parameter is invalid.
+    pub fn from_size(size_bytes: u64, line_size: u64, ways: usize) -> Result<Self, GeometryError> {
+        if ways == 0 {
+            return Err(GeometryError::ZeroWays);
+        }
+        let denom = line_size.saturating_mul(ways as u64);
+        let num_sets = size_bytes.checked_div(denom).unwrap_or(0);
+        Self::new(line_size, num_sets, ways)
+    }
+
+    /// Line size in bytes.
+    pub const fn line_size(&self) -> u64 {
+        self.line_size
+    }
+
+    /// Number of sets.
+    pub const fn num_sets(&self) -> u64 {
+        self.num_sets
+    }
+
+    /// Associativity (ways per set).
+    pub const fn ways(&self) -> usize {
+        self.ways
+    }
+
+    /// Total capacity in bytes.
+    pub const fn size_bytes(&self) -> u64 {
+        self.line_size * self.num_sets * self.ways as u64
+    }
+
+    /// Distance in bytes between two addresses that map to the same
+    /// set with adjacent tags (`line_size * num_sets`).
+    ///
+    /// Adding `set_stride()` to an address keeps the set index and
+    /// changes the tag — exactly how the paper constructs
+    /// `line 0..N` for one target set (§IV-A).
+    pub const fn set_stride(&self) -> u64 {
+        self.line_size * self.num_sets
+    }
+
+    /// Set index of an address (paper §IV-B: bits 6–11 for the L1
+    /// geometry).
+    pub fn set_index(&self, addr: u64) -> usize {
+        ((addr / self.line_size) % self.num_sets) as usize
+    }
+
+    /// Tag of an address: everything above the index bits.
+    pub fn tag(&self, addr: u64) -> u64 {
+        addr / (self.line_size * self.num_sets)
+    }
+
+    /// Address of the first byte of the line containing `addr`.
+    pub fn line_base(&self, addr: u64) -> u64 {
+        addr & !(self.line_size - 1)
+    }
+
+    /// Reconstructs the line base address from a `(tag, set)` pair.
+    ///
+    /// Inverse of [`CacheGeometry::tag`] + [`CacheGeometry::set_index`]
+    /// for line-aligned addresses.
+    pub fn line_addr(&self, tag: u64, set: usize) -> u64 {
+        tag * self.set_stride() + set as u64 * self.line_size
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn l1d_paper_matches_table_iii() {
+        let g = CacheGeometry::l1d_paper();
+        assert_eq!(g.line_size(), 64);
+        assert_eq!(g.num_sets(), 64);
+        assert_eq!(g.ways(), 8);
+        assert_eq!(g.size_bytes(), 32 * 1024);
+        assert_eq!(g.set_stride(), 4096);
+    }
+
+    #[test]
+    fn set_index_uses_bits_6_to_11_for_l1() {
+        let g = CacheGeometry::l1d_paper();
+        // Bits 6..12 select the set.
+        assert_eq!(g.set_index(0), 0);
+        assert_eq!(g.set_index(64), 1);
+        assert_eq!(g.set_index(63 * 64), 63);
+        assert_eq!(g.set_index(64 * 64), 0); // wraps: bit 12 is tag
+        assert_eq!(g.tag(64 * 64), 1);
+    }
+
+    #[test]
+    fn tag_and_index_round_trip() {
+        let g = CacheGeometry::new(64, 512, 16).unwrap();
+        for addr in [0u64, 64, 4096, 0x00de_adc0, 0x1234_5678 & !63] {
+            let line = g.line_base(addr);
+            assert_eq!(g.line_addr(g.tag(line), g.set_index(line)), line);
+        }
+    }
+
+    #[test]
+    fn from_size_computes_sets() {
+        // 2 MiB, 16-way, 64-byte lines => 2048 sets (the GEM5 L2 of Fig 9).
+        let g = CacheGeometry::from_size(2 * 1024 * 1024, 64, 16).unwrap();
+        assert_eq!(g.num_sets(), 2048);
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(CacheGeometry::new(0, 64, 8).is_err());
+        assert!(CacheGeometry::new(48, 64, 8).is_err());
+        assert!(CacheGeometry::new(64, 0, 8).is_err());
+        assert!(CacheGeometry::new(64, 63, 8).is_err());
+        assert!(CacheGeometry::new(64, 64, 0).is_err());
+        let err = CacheGeometry::new(64, 63, 8).unwrap_err();
+        assert!(err.to_string().contains("num_sets"));
+    }
+
+    #[test]
+    fn line_base_masks_low_bits() {
+        let g = CacheGeometry::l1d_paper();
+        assert_eq!(g.line_base(0x12f), 0x100);
+        assert_eq!(g.line_base(0x100), 0x100);
+    }
+}

@@ -1,0 +1,439 @@
+//! Multi-level cache hierarchy with cycle-latency accounting.
+
+use crate::addr::{PhysAddr, VirtAddr};
+use crate::cache::Cache;
+use crate::counters::PerfCounters;
+use crate::prefetcher::Prefetcher;
+use crate::replacement::Domain;
+use crate::way_predictor::{UtagCheck, WayPredictor};
+
+/// Access latencies in CPU cycles (paper Table II).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Latencies {
+    /// L1D hit latency.
+    pub l1: u32,
+    /// L2 hit latency (the "L1 miss" latency the receiver must
+    /// distinguish from `l1`).
+    pub l2: u32,
+    /// LLC hit latency (when an LLC is modelled).
+    pub llc: Option<u32>,
+    /// Main-memory latency.
+    pub mem: u32,
+}
+
+impl Latencies {
+    /// Intel Sandy Bridge (Xeon E5-2690): L1 4, L2 12 (Table II).
+    pub const fn sandy_bridge() -> Self {
+        Latencies {
+            l1: 4,
+            l2: 12,
+            llc: Some(40),
+            mem: 200,
+        }
+    }
+
+    /// Intel Skylake (Xeon E3-1245 v5): L1 4, L2 12 (Table II).
+    pub const fn skylake() -> Self {
+        Latencies {
+            l1: 4,
+            l2: 12,
+            llc: Some(44),
+            mem: 210,
+        }
+    }
+
+    /// AMD Zen (EPYC 7571): L1 4, L2 17 (Table II).
+    pub const fn zen() -> Self {
+        Latencies {
+            l1: 4,
+            l2: 17,
+            llc: Some(40),
+            mem: 250,
+        }
+    }
+
+    /// The GEM5 configuration of the Fig. 9 defense study: L1D
+    /// latency 4, L2 latency 8, 50 ns memory (~100 cycles at 2 GHz).
+    pub const fn gem5_fig9() -> Self {
+        Latencies {
+            l1: 4,
+            l2: 8,
+            llc: None,
+            mem: 100,
+        }
+    }
+
+    /// Latency of a hit at `level`.
+    pub fn of(&self, level: HitLevel) -> u32 {
+        match level {
+            HitLevel::L1 => self.l1,
+            HitLevel::L2 => self.l2,
+            HitLevel::Llc => self.llc.unwrap_or(self.mem),
+            HitLevel::Mem => self.mem,
+        }
+    }
+}
+
+/// The level an access was served from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum HitLevel {
+    /// Served by the L1 data cache.
+    L1,
+    /// Served by the L2 cache (an "L1 miss" in the paper's channel).
+    L2,
+    /// Served by the last-level cache.
+    Llc,
+    /// Served by main memory.
+    Mem,
+}
+
+/// Result of one hierarchy access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HierarchyOutcome {
+    /// Where the data came from.
+    pub level: HitLevel,
+    /// Cycles the load took (including way-mispredict penalty).
+    pub cycles: u32,
+    /// Line evicted from L1 by this access, if any.
+    pub l1_evicted: Option<PhysAddr>,
+    /// Whether the AMD µtag way predictor mispredicted (L1 data was
+    /// present but an L1-miss latency was observed, paper §VI-B).
+    pub utag_mispredict: bool,
+}
+
+/// An L1D / L2 / optional-LLC hierarchy.
+///
+/// Fills are inclusive (a miss installs the line at every level).
+/// An optional [`Prefetcher`] reacts to L1 demand misses and an
+/// optional [`WayPredictor`] models the AMD µtag behaviour.
+#[derive(Debug, Clone)]
+pub struct CacheHierarchy {
+    l1: Cache,
+    l2: Cache,
+    llc: Option<Cache>,
+    lat: Latencies,
+    prefetcher: Option<Prefetcher>,
+    way_predictor: Option<WayPredictor>,
+}
+
+impl CacheHierarchy {
+    /// Assembles a hierarchy from prebuilt levels.
+    pub fn new(l1: Cache, l2: Cache, llc: Option<Cache>, lat: Latencies) -> Self {
+        Self {
+            l1,
+            l2,
+            llc,
+            lat,
+            prefetcher: None,
+            way_predictor: None,
+        }
+    }
+
+    /// Attaches a prefetcher reacting to L1 demand misses.
+    #[must_use]
+    pub fn with_prefetcher(mut self, p: Prefetcher) -> Self {
+        self.prefetcher = Some(p);
+        self
+    }
+
+    /// Attaches the AMD µtag way predictor.
+    #[must_use]
+    pub fn with_way_predictor(mut self, wp: WayPredictor) -> Self {
+        self.way_predictor = Some(wp);
+        self
+    }
+
+    /// The configured latencies.
+    pub fn latencies(&self) -> Latencies {
+        self.lat
+    }
+
+    /// The L1 data cache.
+    pub fn l1(&self) -> &Cache {
+        &self.l1
+    }
+
+    /// Mutable L1 (experiments poke replacement state directly).
+    pub fn l1_mut(&mut self) -> &mut Cache {
+        &mut self.l1
+    }
+
+    /// The L2 cache.
+    pub fn l2(&self) -> &Cache {
+        &self.l2
+    }
+
+    /// The LLC, when modelled.
+    pub fn llc(&self) -> Option<&Cache> {
+        self.llc.as_ref()
+    }
+
+    /// Performs a demand load.
+    ///
+    /// `va` is the linear address issuing the load (only consulted by
+    /// the way predictor); `pa` is the translated physical address.
+    /// Counter updates land in `counters`.
+    pub fn access(
+        &mut self,
+        va: VirtAddr,
+        pa: PhysAddr,
+        counters: &mut PerfCounters,
+        domain: Domain,
+    ) -> HierarchyOutcome {
+        counters.l1d_accesses += 1;
+        let l1_out = self.l1.access_in_domain(pa, domain);
+        if l1_out.hit {
+            let mut cycles = self.lat.l1;
+            let mut mispredict = false;
+            if let Some(wp) = self.way_predictor {
+                if let Some(meta) = self.l1.line_meta_mut(pa) {
+                    match wp.check(meta.utag, va) {
+                        UtagCheck::Match => {}
+                        UtagCheck::Trained => meta.utag = Some(wp.utag(va)),
+                        UtagCheck::Mismatch => {
+                            // Data is in L1 but the µtag belongs to a
+                            // different linear address: pay an
+                            // L1-miss latency and retrain (§VI-B).
+                            meta.utag = Some(wp.utag(va));
+                            cycles = self.lat.l2;
+                            mispredict = true;
+                        }
+                    }
+                }
+            }
+            return HierarchyOutcome {
+                level: HitLevel::L1,
+                cycles,
+                l1_evicted: None,
+                utag_mispredict: mispredict,
+            };
+        }
+
+        counters.l1d_misses += 1;
+        counters.l2_accesses += 1;
+        let l2_out = self.l2.access_in_domain(pa, domain);
+        let (level, cycles) = if l2_out.hit {
+            (HitLevel::L2, self.lat.l2)
+        } else {
+            counters.l2_misses += 1;
+            match (&mut self.llc, self.lat.llc) {
+                (Some(llc), Some(llc_lat)) => {
+                    counters.llc_accesses += 1;
+                    if llc.access_in_domain(pa, domain).hit {
+                        (HitLevel::Llc, llc_lat)
+                    } else {
+                        counters.llc_misses += 1;
+                        (HitLevel::Mem, self.lat.mem)
+                    }
+                }
+                _ => (HitLevel::Mem, self.lat.mem),
+            }
+        };
+
+        if let Some(wp) = self.way_predictor {
+            if let Some(meta) = self.l1.line_meta_mut(pa) {
+                meta.utag = Some(wp.utag(va));
+            }
+        }
+
+        let mut prefetched = Vec::new();
+        if let Some(pf) = &mut self.prefetcher {
+            prefetched = pf.on_miss(pa, self.l1.geometry().line_size());
+        }
+        for addr in prefetched {
+            counters.prefetch_fills += 1;
+            self.l1.prefetch_fill(addr);
+            self.l2.prefetch_fill(addr);
+        }
+
+        HierarchyOutcome {
+            level,
+            cycles,
+            l1_evicted: l1_out.evicted,
+            utag_mispredict: false,
+        }
+    }
+
+    /// Read-only classification of where `pa` would hit right now.
+    pub fn probe_level(&self, pa: PhysAddr) -> HitLevel {
+        if self.l1.probe(pa) {
+            HitLevel::L1
+        } else if self.l2.probe(pa) {
+            HitLevel::L2
+        } else if self.llc.as_ref().is_some_and(|c| c.probe(pa)) {
+            HitLevel::Llc
+        } else {
+            HitLevel::Mem
+        }
+    }
+
+    /// A *speculation-invisible* load (InvisiSpec-style defense,
+    /// paper §IX-B): returns the latency the transient load would
+    /// observe but leaves every cache and replacement state
+    /// untouched.
+    pub fn speculative_access_invisible(&self, pa: PhysAddr) -> HierarchyOutcome {
+        let level = self.probe_level(pa);
+        HierarchyOutcome {
+            level,
+            cycles: self.lat.of(level),
+            l1_evicted: None,
+            utag_mispredict: false,
+        }
+    }
+
+    /// `clflush`: invalidates the line at every level (so the next
+    /// access goes to memory, as in Flush+Reload-from-memory).
+    pub fn flush(&mut self, pa: PhysAddr) {
+        self.l1.flush_line(pa);
+        self.l2.flush_line(pa);
+        if let Some(llc) = &mut self.llc {
+            llc.flush_line(pa);
+        }
+    }
+
+    /// Empties every level.
+    pub fn clear(&mut self) {
+        self.l1.clear();
+        self.l2.clear();
+        if let Some(llc) = &mut self.llc {
+            llc.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::CacheGeometry;
+    use crate::replacement::PolicyKind;
+
+    fn small_hierarchy() -> CacheHierarchy {
+        let l1 = Cache::new(CacheGeometry::l1d_paper(), PolicyKind::TreePlru, 1);
+        let l2 = Cache::new(CacheGeometry::new(64, 512, 8).unwrap(), PolicyKind::Lru, 2);
+        let llc = Cache::new(CacheGeometry::new(64, 4096, 16).unwrap(), PolicyKind::Lru, 3);
+        CacheHierarchy::new(l1, l2, Some(llc), Latencies::sandy_bridge())
+    }
+
+    fn a(raw: u64) -> (VirtAddr, PhysAddr) {
+        (VirtAddr::new(raw), PhysAddr::new(raw))
+    }
+
+    #[test]
+    fn first_access_misses_to_memory() {
+        let mut h = small_hierarchy();
+        let mut c = PerfCounters::new();
+        let (va, pa) = a(0x4000);
+        let out = h.access(va, pa, &mut c, Domain::PRIMARY);
+        assert_eq!(out.level, HitLevel::Mem);
+        assert_eq!(out.cycles, 200);
+        assert_eq!(c.l1d_misses, 1);
+        assert_eq!(c.l2_misses, 1);
+        assert_eq!(c.llc_misses, 1);
+    }
+
+    #[test]
+    fn second_access_hits_l1() {
+        let mut h = small_hierarchy();
+        let mut c = PerfCounters::new();
+        let (va, pa) = a(0x4000);
+        h.access(va, pa, &mut c, Domain::PRIMARY);
+        let out = h.access(va, pa, &mut c, Domain::PRIMARY);
+        assert_eq!(out.level, HitLevel::L1);
+        assert_eq!(out.cycles, 4);
+    }
+
+    #[test]
+    fn l1_eviction_leaves_l2_hit() {
+        let mut h = small_hierarchy();
+        let mut c = PerfCounters::new();
+        let stride = h.l1().geometry().set_stride();
+        // Fill one L1 set with 9 lines: line 0 falls to L2.
+        for i in 0..9u64 {
+            let (va, pa) = a(i * stride);
+            h.access(va, pa, &mut c, Domain::PRIMARY);
+        }
+        let (va, pa) = a(0);
+        let out = h.access(va, pa, &mut c, Domain::PRIMARY);
+        assert_eq!(out.level, HitLevel::L2, "evicted L1 line must hit in L2");
+        assert_eq!(out.cycles, 12);
+    }
+
+    #[test]
+    fn probe_level_is_read_only() {
+        let mut h = small_hierarchy();
+        let mut c = PerfCounters::new();
+        let (va, pa) = a(0x80);
+        h.access(va, pa, &mut c, Domain::PRIMARY);
+        let before = c;
+        assert_eq!(h.probe_level(pa), HitLevel::L1);
+        assert_eq!(c, before);
+    }
+
+    #[test]
+    fn invisible_speculation_changes_nothing() {
+        let h = small_hierarchy();
+        let out = h.speculative_access_invisible(PhysAddr::new(0x1234_0000));
+        assert_eq!(out.level, HitLevel::Mem);
+        // Still absent everywhere.
+        assert_eq!(h.probe_level(PhysAddr::new(0x1234_0000)), HitLevel::Mem);
+    }
+
+    #[test]
+    fn flush_goes_to_memory() {
+        let mut h = small_hierarchy();
+        let mut c = PerfCounters::new();
+        let (va, pa) = a(0xc0);
+        h.access(va, pa, &mut c, Domain::PRIMARY);
+        h.flush(pa);
+        let out = h.access(va, pa, &mut c, Domain::PRIMARY);
+        assert_eq!(out.level, HitLevel::Mem);
+    }
+
+    #[test]
+    fn way_predictor_penalizes_foreign_linear_address() {
+        let mut h = small_hierarchy().with_way_predictor(WayPredictor::new());
+        let mut c = PerfCounters::new();
+        let pa = PhysAddr::new(0x2040);
+        let va_sender = VirtAddr::from_page(0x7001, 0x40);
+        let va_receiver = VirtAddr::from_page(0x5009, 0x40);
+        h.access(va_sender, pa, &mut c, Domain::PRIMARY);
+        h.access(va_sender, pa, &mut c, Domain::PRIMARY); // trains sender utag
+        let out = h.access(va_receiver, pa, &mut c, Domain::PRIMARY);
+        assert_eq!(out.level, HitLevel::L1, "data is in L1");
+        assert!(out.utag_mispredict);
+        assert_eq!(out.cycles, Latencies::sandy_bridge().l2, "observes miss latency");
+        // And the receiver retrained it: sender now mispredicts.
+        let out = h.access(va_sender, pa, &mut c, Domain::PRIMARY);
+        assert!(out.utag_mispredict);
+    }
+
+    #[test]
+    fn same_linear_address_keeps_fast_hits() {
+        let mut h = small_hierarchy().with_way_predictor(WayPredictor::new());
+        let mut c = PerfCounters::new();
+        let (va, pa) = a(0x2040);
+        h.access(va, pa, &mut c, Domain::PRIMARY);
+        for _ in 0..5 {
+            let out = h.access(va, pa, &mut c, Domain::PRIMARY);
+            assert!(!out.utag_mispredict);
+            assert_eq!(out.cycles, 4);
+        }
+    }
+
+    #[test]
+    fn next_line_prefetcher_pollutes_neighbour() {
+        let mut h = small_hierarchy().with_prefetcher(Prefetcher::next_line());
+        let mut c = PerfCounters::new();
+        let (va, pa) = a(0x4000);
+        h.access(va, pa, &mut c, Domain::PRIMARY);
+        assert_eq!(c.prefetch_fills, 1);
+        assert_eq!(h.probe_level(PhysAddr::new(0x4040)), HitLevel::L1);
+    }
+
+    #[test]
+    fn gem5_profile_has_two_levels() {
+        let lat = Latencies::gem5_fig9();
+        assert_eq!(lat.llc, None);
+        assert_eq!(lat.of(HitLevel::Llc), lat.mem);
+    }
+}

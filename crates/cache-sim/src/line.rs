@@ -1,0 +1,56 @@
+//! Per-line metadata stored in a cache way.
+
+/// Metadata of one valid cache line.
+///
+/// * `tag` — the address tag (physical-address bits above the set
+///   index); caches are physically tagged.
+/// * `locked` — the PL-cache lock bit (paper §IX-B / Fig. 10). The
+///   plain [`crate::cache::Cache`] never sets it; only
+///   [`crate::plcache::PlCache`] does.
+/// * `utag` — the AMD linear-address µtag used by the way predictor
+///   (paper §VI-B), `None` when no way predictor is attached.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LineMeta {
+    /// Physical tag of the cached line.
+    pub tag: u64,
+    /// PL-cache lock bit.
+    pub locked: bool,
+    /// AMD way-predictor µtag (hash of the linear address that last
+    /// loaded this line).
+    pub utag: Option<u16>,
+}
+
+impl LineMeta {
+    /// A freshly filled, unlocked line with no µtag.
+    pub fn new(tag: u64) -> Self {
+        Self {
+            tag,
+            locked: false,
+            utag: None,
+        }
+    }
+
+    /// A freshly filled line carrying a µtag.
+    pub fn with_utag(tag: u64, utag: u16) -> Self {
+        Self {
+            tag,
+            locked: false,
+            utag: Some(utag),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        let l = LineMeta::new(7);
+        assert_eq!(l.tag, 7);
+        assert!(!l.locked);
+        assert_eq!(l.utag, None);
+        let l = LineMeta::with_utag(7, 0xab);
+        assert_eq!(l.utag, Some(0xab));
+    }
+}

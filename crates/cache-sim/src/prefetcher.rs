@@ -1,0 +1,148 @@
+//! Hardware-prefetcher models (the noise source of paper
+//! Appendix C).
+//!
+//! During the Spectre attack, the receiver scans 63 cache sets with
+//! loads; real prefetchers notice the resulting patterns and pull
+//! extra lines into L1, perturbing the very LRU states being
+//! measured. The paper's mitigation is to scan the sets in a fresh
+//! random order every round and average — the prefetched lines then
+//! differ per round and cancel out.
+
+use crate::addr::PhysAddr;
+
+/// A prefetcher attached to the L1 data cache.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Prefetcher {
+    /// Fetch the next `degree` sequential lines after every demand
+    /// miss.
+    NextLine {
+        /// How many subsequent lines to prefetch.
+        degree: usize,
+    },
+    /// Detect a constant stride over recent misses and, once
+    /// confident, fetch `degree` lines ahead along the stride.
+    Stride(StrideState),
+}
+
+/// State of the stride prefetcher.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StrideState {
+    /// Lines to fetch ahead once confident.
+    pub degree: usize,
+    last_addr: Option<u64>,
+    last_stride: i64,
+    confidence: u8,
+}
+
+impl Prefetcher {
+    /// A degree-1 next-line prefetcher (the classic L1 prefetcher).
+    pub fn next_line() -> Self {
+        Prefetcher::NextLine { degree: 1 }
+    }
+
+    /// A stride prefetcher needing two confirmations before firing.
+    pub fn stride(degree: usize) -> Self {
+        Prefetcher::Stride(StrideState {
+            degree,
+            last_addr: None,
+            last_stride: 0,
+            confidence: 0,
+        })
+    }
+
+    /// Observes a demand miss at `pa` and returns the line base
+    /// addresses to prefetch (possibly none).
+    pub fn on_miss(&mut self, pa: PhysAddr, line_size: u64) -> Vec<PhysAddr> {
+        match self {
+            Prefetcher::NextLine { degree } => (1..=*degree as u64)
+                .map(|k| PhysAddr::new((pa.raw() & !(line_size - 1)) + k * line_size))
+                .collect(),
+            Prefetcher::Stride(st) => st.on_miss(pa, line_size),
+        }
+    }
+
+    /// Clears learned state (next-line has none).
+    pub fn reset(&mut self) {
+        if let Prefetcher::Stride(st) = self {
+            st.last_addr = None;
+            st.last_stride = 0;
+            st.confidence = 0;
+        }
+    }
+}
+
+impl StrideState {
+    fn on_miss(&mut self, pa: PhysAddr, line_size: u64) -> Vec<PhysAddr> {
+        let line = (pa.raw() & !(line_size - 1)) as i64;
+        let mut out = Vec::new();
+        if let Some(prev) = self.last_addr {
+            let stride = line - prev as i64;
+            if stride != 0 && stride == self.last_stride {
+                self.confidence = self.confidence.saturating_add(1);
+            } else {
+                self.confidence = 0;
+                self.last_stride = stride;
+            }
+            if self.confidence >= 2 {
+                for k in 1..=self.degree as i64 {
+                    let target = line + stride * k;
+                    if target >= 0 {
+                        out.push(PhysAddr::new(target as u64));
+                    }
+                }
+            }
+        }
+        self.last_addr = Some(line as u64);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn next_line_prefetches_sequentially() {
+        let mut p = Prefetcher::next_line();
+        let out = p.on_miss(PhysAddr::new(0x1000), 64);
+        assert_eq!(out, vec![PhysAddr::new(0x1040)]);
+    }
+
+    #[test]
+    fn next_line_aligns_to_line_base() {
+        let mut p = Prefetcher::next_line();
+        let out = p.on_miss(PhysAddr::new(0x103f), 64);
+        assert_eq!(out, vec![PhysAddr::new(0x1040)]);
+    }
+
+    #[test]
+    fn stride_needs_confirmation() {
+        let mut p = Prefetcher::stride(2);
+        assert!(p.on_miss(PhysAddr::new(0x0), 64).is_empty());
+        assert!(p.on_miss(PhysAddr::new(0x100), 64).is_empty()); // stride learned
+        assert!(p.on_miss(PhysAddr::new(0x200), 64).is_empty()); // confidence 1
+        let out = p.on_miss(PhysAddr::new(0x300), 64); // confidence 2: fire
+        assert_eq!(out, vec![PhysAddr::new(0x400), PhysAddr::new(0x500)]);
+    }
+
+    #[test]
+    fn stride_resets_on_pattern_break() {
+        let mut p = Prefetcher::stride(1);
+        for a in [0x0u64, 0x100, 0x200, 0x300] {
+            p.on_miss(PhysAddr::new(a), 64);
+        }
+        // Break the pattern.
+        assert!(p.on_miss(PhysAddr::new(0x1000), 64).is_empty());
+        assert!(p.on_miss(PhysAddr::new(0x1040), 64).is_empty());
+    }
+
+    #[test]
+    fn reset_clears_learning() {
+        let mut p = Prefetcher::stride(1);
+        for a in [0x0u64, 0x100, 0x200, 0x300] {
+            p.on_miss(PhysAddr::new(a), 64);
+        }
+        p.reset();
+        assert!(p.on_miss(PhysAddr::new(0x400), 64).is_empty());
+    }
+}

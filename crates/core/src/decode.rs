@@ -1,0 +1,227 @@
+//! Turning receiver traces back into bits.
+
+use crate::protocol::Sample;
+
+/// How a classified hit/miss maps to a message bit.
+///
+/// Algorithm 1: the sender's access *protects* `line 0`, so a fast
+/// (hit) readout means `1`. Algorithm 2: the sender's access makes
+/// the receiver's decode *evict* `line 0`, so a slow (miss) readout
+/// means `1` (§IV-A/B — visible as the opposite polarities of the
+/// Fig. 5 top and bottom traces).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BitConvention {
+    /// Hit ⇒ bit 1 (Algorithm 1).
+    HitIsOne,
+    /// Miss ⇒ bit 1 (Algorithm 2).
+    MissIsOne,
+}
+
+/// Classifies one readout against the platform threshold.
+pub fn classify(measured: u32, hit_threshold: u32, convention: BitConvention) -> bool {
+    let hit = measured <= hit_threshold;
+    match convention {
+        BitConvention::HitIsOne => hit,
+        BitConvention::MissIsOne => !hit,
+    }
+}
+
+/// Decodes a trace into bits by majority vote over consecutive
+/// `ts`-cycle windows (the receiver samples several times per bit;
+/// §V-A notes averaging cancels the noise).
+///
+/// Windows with no samples repeat the previous bit (the decoder
+/// cannot do better); the result covers `0..=max(at)/ts`.
+pub fn bits_by_window(
+    samples: &[Sample],
+    ts: u64,
+    hit_threshold: u32,
+    convention: BitConvention,
+) -> Vec<bool> {
+    bits_by_window_ratio(samples, ts, hit_threshold, convention, 0.5)
+}
+
+/// [`bits_by_window`] with an explicit vote ratio: a window decodes
+/// to `1` when strictly more than `ratio` of its samples classify as
+/// `1`.
+///
+/// Algorithm 2's noise is *asymmetric* — PLRU residue makes the
+/// sender's access fail to evict `line 0` (a false `0`), while a
+/// quiet set almost never produces a spurious miss (§IV-B, Table I
+/// Seq 2 ≈ 62%). A receiver therefore decodes Algorithm 2 with a
+/// ratio well below one half (≈ 0.25), treating "some misses" as a
+/// `1`.
+pub fn bits_by_window_ratio(
+    samples: &[Sample],
+    ts: u64,
+    hit_threshold: u32,
+    convention: BitConvention,
+    ratio: f64,
+) -> Vec<bool> {
+    if samples.is_empty() {
+        return Vec::new();
+    }
+    let last_window = (samples.iter().map(|s| s.at).max().unwrap() / ts) as usize;
+    let mut ones = vec![0u32; last_window + 1];
+    let mut totals = vec![0u32; last_window + 1];
+    for s in samples {
+        let w = (s.at / ts) as usize;
+        totals[w] += 1;
+        if classify(s.measured, hit_threshold, convention) {
+            ones[w] += 1;
+        }
+    }
+    let mut bits = Vec::with_capacity(last_window + 1);
+    let mut prev = false;
+    for w in 0..=last_window {
+        let bit = if totals[w] == 0 {
+            prev
+        } else {
+            ones[w] as f64 > ratio * totals[w] as f64
+        };
+        bits.push(bit);
+        prev = bit;
+    }
+    bits
+}
+
+/// Fraction of samples classified as `1` (the Figs. 6/8/15
+/// time-sliced statistic).
+pub fn percent_ones(samples: &[Sample], hit_threshold: u32, convention: BitConvention) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let ones = samples
+        .iter()
+        .filter(|s| classify(s.measured, hit_threshold, convention))
+        .count();
+    ones as f64 / samples.len() as f64
+}
+
+/// Centered moving average of the readouts over a window of `w`
+/// samples — the light-blue line of Fig. 7, which makes the AMD
+/// channel readable despite the coarse counter (§VI-A: "the receiver
+/// needs to take multiple repeated measurements and take the
+/// average").
+pub fn moving_average(samples: &[Sample], w: usize) -> Vec<f64> {
+    if samples.is_empty() || w == 0 {
+        return Vec::new();
+    }
+    let vals: Vec<f64> = samples.iter().map(|s| s.measured as f64).collect();
+    let half = w / 2;
+    (0..vals.len())
+        .map(|i| {
+            let lo = i.saturating_sub(half);
+            let hi = (i + half + 1).min(vals.len());
+            vals[lo..hi].iter().sum::<f64>() / (hi - lo) as f64
+        })
+        .collect()
+}
+
+/// Decodes bits from a moving-average trace by thresholding at the
+/// trace's midrange, majority-voting each `period`-sample stretch
+/// (the "best fit period" decoding of Fig. 7).
+pub fn bits_from_moving_average(
+    avg: &[f64],
+    period: usize,
+    convention: BitConvention,
+) -> Vec<bool> {
+    if avg.is_empty() || period == 0 {
+        return Vec::new();
+    }
+    let min = avg.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = avg.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let threshold = (min + max) / 2.0;
+    avg.chunks(period)
+        .map(|chunk| {
+            let slow = chunk.iter().filter(|&&v| v > threshold).count();
+            let slow_majority = 2 * slow > chunk.len();
+            match convention {
+                BitConvention::MissIsOne => slow_majority,
+                BitConvention::HitIsOne => !slow_majority,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cache_sim::hierarchy::HitLevel;
+
+    fn sample(at: u64, measured: u32) -> Sample {
+        Sample {
+            at,
+            measured,
+            level: HitLevel::L1,
+        }
+    }
+
+    #[test]
+    fn classify_respects_convention() {
+        assert!(classify(30, 40, BitConvention::HitIsOne));
+        assert!(!classify(50, 40, BitConvention::HitIsOne));
+        assert!(!classify(30, 40, BitConvention::MissIsOne));
+        assert!(classify(50, 40, BitConvention::MissIsOne));
+    }
+
+    #[test]
+    fn windows_majority_vote() {
+        // Window 0: 2 hits + 1 miss → 1; window 1: all misses → 0.
+        let s = vec![
+            sample(10, 30),
+            sample(20, 30),
+            sample(30, 50),
+            sample(110, 50),
+            sample(120, 50),
+        ];
+        let bits = bits_by_window(&s, 100, 40, BitConvention::HitIsOne);
+        assert_eq!(bits, vec![true, false]);
+    }
+
+    #[test]
+    fn empty_windows_repeat_previous_bit() {
+        let s = vec![sample(10, 30), sample(310, 50)];
+        let bits = bits_by_window(&s, 100, 40, BitConvention::HitIsOne);
+        assert_eq!(bits, vec![true, true, true, false]);
+    }
+
+    #[test]
+    fn empty_trace_decodes_to_nothing() {
+        assert!(bits_by_window(&[], 100, 40, BitConvention::HitIsOne).is_empty());
+        assert_eq!(percent_ones(&[], 40, BitConvention::HitIsOne), 0.0);
+        assert!(moving_average(&[], 3).is_empty());
+    }
+
+    #[test]
+    fn percent_ones_counts_fraction() {
+        let s = vec![sample(0, 30), sample(1, 30), sample(2, 50), sample(3, 50)];
+        assert_eq!(percent_ones(&s, 40, BitConvention::HitIsOne), 0.5);
+        assert_eq!(percent_ones(&s, 40, BitConvention::MissIsOne), 0.5);
+    }
+
+    #[test]
+    fn moving_average_smooths() {
+        let s: Vec<Sample> = (0..6)
+            .map(|i| sample(i, if i % 2 == 0 { 100 } else { 200 }))
+            .collect();
+        let avg = moving_average(&s, 6);
+        // Interior points average out near 150.
+        assert!((avg[3] - 150.0).abs() < 20.0);
+    }
+
+    #[test]
+    fn moving_average_bits_recover_square_wave() {
+        // 40 slow then 40 fast readouts, period 40.
+        let mut s = Vec::new();
+        for i in 0..40 {
+            s.push(sample(i, 180));
+        }
+        for i in 40..80 {
+            s.push(sample(i, 100));
+        }
+        let avg = moving_average(&s, 9);
+        let bits = bits_from_moving_average(&avg, 40, BitConvention::MissIsOne);
+        assert_eq!(bits, vec![true, false]);
+    }
+}

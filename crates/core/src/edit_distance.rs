@@ -1,0 +1,126 @@
+//! Wagner–Fischer edit distance — the paper's channel-error metric.
+//!
+//! The channel has three error modes: bit flips, insertions, and
+//! losses (§V-A), so plain Hamming distance under-reports fidelity.
+//! The paper computes the edit distance between the sent and the
+//! received strings with the Wagner–Fischer algorithm and divides by
+//! the message length.
+
+/// Edit (Levenshtein) distance between two sequences, computed with
+/// the Wagner–Fischer dynamic program in `O(|a|·|b|)` time and
+/// `O(min(|a|,|b|))` space.
+///
+/// ```
+/// use lru_channel::edit_distance::edit_distance;
+/// assert_eq!(edit_distance(b"kitten", b"sitting"), 3);
+/// ```
+pub fn edit_distance<T: PartialEq>(a: &[T], b: &[T]) -> usize {
+    // Keep the shorter sequence as the DP row.
+    let (short, long) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    if short.is_empty() {
+        return long.len();
+    }
+    let mut row: Vec<usize> = (0..=short.len()).collect();
+    for (i, lc) in long.iter().enumerate() {
+        let mut prev_diag = row[0];
+        row[0] = i + 1;
+        for (j, sc) in short.iter().enumerate() {
+            let cost_subst = prev_diag + usize::from(lc != sc);
+            let cost_del = row[j] + 1;
+            let cost_ins = row[j + 1] + 1;
+            prev_diag = row[j + 1];
+            row[j + 1] = cost_subst.min(cost_del).min(cost_ins);
+        }
+    }
+    row[short.len()]
+}
+
+/// The paper's error rate: edit distance divided by the length of
+/// the *sent* string.
+///
+/// Returns 0 for an empty sent string (nothing to get wrong).
+pub fn error_rate<T: PartialEq>(sent: &[T], received: &[T]) -> f64 {
+    if sent.is_empty() {
+        return 0.0;
+    }
+    edit_distance(sent, received) as f64 / sent.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn identical_strings_have_zero_distance() {
+        assert_eq!(edit_distance(b"abc", b"abc"), 0);
+        assert_eq!(edit_distance::<u8>(&[], &[]), 0);
+    }
+
+    #[test]
+    fn known_distances() {
+        assert_eq!(edit_distance(b"kitten", b"sitting"), 3);
+        assert_eq!(edit_distance(b"flaw", b"lawn"), 2);
+        assert_eq!(edit_distance(b"", b"abc"), 3);
+        assert_eq!(edit_distance(b"abc", b""), 3);
+    }
+
+    #[test]
+    fn detects_single_errors_of_each_kind() {
+        let sent = [true, false, true, true, false];
+        // Flip.
+        assert_eq!(edit_distance(&sent, &[true, true, true, true, false]), 1);
+        // Loss.
+        assert_eq!(edit_distance(&sent, &[true, false, true, false]), 1);
+        // Insertion.
+        assert_eq!(
+            edit_distance(&sent, &[true, false, false, true, true, false]),
+            1
+        );
+    }
+
+    #[test]
+    fn error_rate_normalizes_by_sent_length() {
+        let sent = [true; 10];
+        let mut recv = sent;
+        recv[0] = false;
+        assert!((error_rate(&sent, &recv) - 0.1).abs() < 1e-12);
+        assert_eq!(error_rate::<bool>(&[], &[true]), 0.0);
+    }
+
+    proptest! {
+        /// Metric axioms over random bit strings.
+        #[test]
+        fn is_a_metric(
+            a in proptest::collection::vec(any::<bool>(), 0..40),
+            b in proptest::collection::vec(any::<bool>(), 0..40),
+            c in proptest::collection::vec(any::<bool>(), 0..40),
+        ) {
+            let dab = edit_distance(&a, &b);
+            let dba = edit_distance(&b, &a);
+            prop_assert_eq!(dab, dba, "symmetry");
+            prop_assert_eq!(edit_distance(&a, &a), 0, "identity");
+            let dac = edit_distance(&a, &c);
+            let dbc = edit_distance(&b, &c);
+            prop_assert!(dac <= dab + dbc, "triangle inequality");
+            // Bounds.
+            prop_assert!(dab <= a.len().max(b.len()));
+            prop_assert!(dab >= a.len().abs_diff(b.len()));
+        }
+
+        /// Appending the same symbol to both strings never changes
+        /// the distance.
+        #[test]
+        fn common_suffix_invariance(
+            a in proptest::collection::vec(any::<bool>(), 0..30),
+            b in proptest::collection::vec(any::<bool>(), 0..30),
+            s in any::<bool>(),
+        ) {
+            let mut a2 = a.clone();
+            let mut b2 = b.clone();
+            a2.push(s);
+            b2.push(s);
+            prop_assert_eq!(edit_distance(&a2, &b2), edit_distance(&a, &b));
+        }
+    }
+}

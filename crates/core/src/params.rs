@@ -1,0 +1,248 @@
+//! Channel parameters and platform bundles.
+
+use std::error::Error;
+use std::fmt;
+
+use cache_sim::profiles::MicroArch;
+use exec_sim::tsc::TscModel;
+
+/// The tunables of an LRU channel (paper Algorithms 1–3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChannelParams {
+    /// How many lines the receiver touches in the initialization
+    /// phase (`d` in Algorithms 1/2; `1..=ways`).
+    pub d: usize,
+    /// The L1 set carrying the channel.
+    pub target_set: usize,
+    /// Sender period: cycles spent encoding each bit (Algorithm 3).
+    pub ts: u64,
+    /// Receiver sampling period in cycles (Algorithm 3). The paper
+    /// notes the receiver's operations take ~560 cycles, so
+    /// `tr > 560`.
+    pub tr: u64,
+}
+
+/// Invalid [`ChannelParams`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParamError {
+    /// `d` outside `1..=ways`.
+    BadD {
+        /// Rejected value.
+        d: usize,
+        /// Associativity of the target cache.
+        ways: usize,
+    },
+    /// Target set outside the cache.
+    BadTargetSet {
+        /// Rejected value.
+        set: usize,
+        /// Number of sets in the target cache.
+        num_sets: usize,
+    },
+    /// `ts` or `tr` is zero, or `ts < tr` (the receiver could never
+    /// sample each bit).
+    BadTiming {
+        /// Sender period.
+        ts: u64,
+        /// Receiver period.
+        tr: u64,
+    },
+}
+
+impl fmt::Display for ParamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParamError::BadD { d, ways } => {
+                write!(f, "d must be in 1..={ways}, got {d}")
+            }
+            ParamError::BadTargetSet { set, num_sets } => {
+                write!(f, "target set {set} out of range (cache has {num_sets} sets)")
+            }
+            ParamError::BadTiming { ts, tr } => {
+                write!(f, "need ts >= tr > 0, got ts={ts}, tr={tr}")
+            }
+        }
+    }
+}
+
+impl Error for ParamError {}
+
+impl ChannelParams {
+    /// Validates the parameters against a cache shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated constraint as a [`ParamError`].
+    pub fn validate(&self, ways: usize, num_sets: usize) -> Result<(), ParamError> {
+        if self.d == 0 || self.d > ways {
+            return Err(ParamError::BadD { d: self.d, ways });
+        }
+        if self.target_set >= num_sets {
+            return Err(ParamError::BadTargetSet {
+                set: self.target_set,
+                num_sets,
+            });
+        }
+        if self.ts == 0 || self.tr == 0 || self.ts < self.tr {
+            return Err(ParamError::BadTiming {
+                ts: self.ts,
+                tr: self.tr,
+            });
+        }
+        Ok(())
+    }
+
+    /// The paper's headline Intel configuration (Fig. 5 top):
+    /// `d = 8`, `Ts = 6000`, `Tr = 600`, set 0.
+    pub fn paper_alg1_default() -> Self {
+        ChannelParams {
+            d: 8,
+            target_set: 0,
+            ts: 6_000,
+            tr: 600,
+        }
+    }
+
+    /// The paper's Algorithm 2 configuration (Fig. 5 bottom):
+    /// `d = 4`, `Ts = 6000`, `Tr = 600`, set 0.
+    pub fn paper_alg2_default() -> Self {
+        ChannelParams {
+            d: 4,
+            target_set: 0,
+            ts: 6_000,
+            tr: 600,
+        }
+    }
+}
+
+/// A platform bundle: micro-architecture profile plus timer model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Platform {
+    /// Cache/latency/frequency profile (paper Tables II/III).
+    pub arch: MicroArch,
+    /// Timestamp-counter model (fine on Intel, coarse on AMD).
+    pub tsc: TscModel,
+}
+
+impl Platform {
+    /// Intel Xeon E5-2690 (Sandy Bridge).
+    pub fn e5_2690() -> Self {
+        let arch = MicroArch::sandy_bridge_e5_2690();
+        Platform {
+            arch,
+            tsc: TscModel::from_arch(&arch),
+        }
+    }
+
+    /// Intel Xeon E3-1245 v5 (Skylake).
+    pub fn e3_1245v5() -> Self {
+        let arch = MicroArch::skylake_e3_1245v5();
+        Platform {
+            arch,
+            tsc: TscModel::from_arch(&arch),
+        }
+    }
+
+    /// AMD EPYC 7571 (Zen, EC2).
+    pub fn epyc_7571() -> Self {
+        let arch = MicroArch::zen_epyc_7571();
+        Platform {
+            arch,
+            tsc: TscModel::from_arch(&arch),
+        }
+    }
+
+    /// The three platforms of the paper's evaluation.
+    pub fn all() -> [Platform; 3] {
+        [Self::e5_2690(), Self::e3_1245v5(), Self::epyc_7571()]
+    }
+
+    /// Expected pointer-chase readout for a target that hits in L1
+    /// (the center of the left mode in Fig. 3).
+    pub fn chain_hit_center(&self) -> u32 {
+        self.tsc.overhead / 4 + 8 * self.arch.latencies.l1
+    }
+
+    /// Expected pointer-chase readout for a target that misses to L2.
+    pub fn chain_miss_center(&self) -> u32 {
+        self.tsc.overhead / 4 + 7 * self.arch.latencies.l1 + self.arch.latencies.l2
+    }
+
+    /// Threshold separating "L1 hit" from "L1 miss" pointer-chase
+    /// readouts (the red dotted line of Fig. 5). Midpoint of the two
+    /// modes; on AMD this threshold is only meaningful on *averaged*
+    /// traces (§VI-A).
+    pub fn hit_threshold(&self) -> u32 {
+        (self.chain_hit_center() + self.chain_miss_center()).div_ceil(2)
+    }
+
+    /// Transmission rate in bits/second for a sender period `ts`.
+    pub fn rate_bps(&self, ts: u64) -> f64 {
+        self.arch.freq_ghz * 1e9 / ts as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_validate() {
+        for p in [
+            ChannelParams::paper_alg1_default(),
+            ChannelParams::paper_alg2_default(),
+        ] {
+            assert_eq!(p.validate(8, 64), Ok(()));
+        }
+    }
+
+    #[test]
+    fn rejects_bad_d() {
+        let mut p = ChannelParams::paper_alg1_default();
+        p.d = 0;
+        assert!(matches!(p.validate(8, 64), Err(ParamError::BadD { .. })));
+        p.d = 9;
+        assert!(p.validate(8, 64).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_target_set() {
+        let mut p = ChannelParams::paper_alg1_default();
+        p.target_set = 64;
+        assert!(matches!(
+            p.validate(8, 64),
+            Err(ParamError::BadTargetSet { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_timing() {
+        let mut p = ChannelParams::paper_alg1_default();
+        p.tr = 10_000; // tr > ts
+        let err = p.validate(8, 64).unwrap_err();
+        assert!(err.to_string().contains("ts"));
+    }
+
+    #[test]
+    fn intel_threshold_sits_between_modes() {
+        let p = Platform::e5_2690();
+        assert!(p.chain_hit_center() < p.hit_threshold());
+        assert!(p.hit_threshold() <= p.chain_miss_center());
+    }
+
+    #[test]
+    fn rate_matches_frequency_over_ts() {
+        let p = Platform::e5_2690();
+        let bps = p.rate_bps(6_000);
+        assert!((bps - 3.8e9 / 6000.0).abs() < 1.0);
+        // ~633 Kbps nominal for the Fig. 5 parameters (the paper
+        // reports 480 Kbps wall-clock on this machine).
+        assert!(bps > 400_000.0 && bps < 700_000.0);
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        let e = ParamError::BadD { d: 0, ways: 8 };
+        assert_eq!(e.to_string(), "d must be in 1..=8, got 0");
+    }
+}

@@ -1,0 +1,341 @@
+//! The sender and receiver programs (Algorithms 1–3).
+//!
+//! Both channel variants share one receiver shape: *initialize* `d`
+//! lines, *sleep* until the next sampling instant (`Tr`), *decode*
+//! by touching the remaining lines, then *time* an access to
+//! `line 0` — and one sender shape: for each message bit, spend `Ts`
+//! cycles either repeatedly touching one line (bit 1) or idling
+//! (bit 0). The only difference between Algorithm 1 and Algorithm 2
+//! is **which** lines those are, which [`crate::setup`] decides.
+
+use cache_sim::addr::VirtAddr;
+use cache_sim::hierarchy::HitLevel;
+use exec_sim::program::{Op, OpResult, Program};
+
+/// Default cycles the sender spends computing the target address
+/// before each encode access (the "calculate the victim address"
+/// component of the paper's Table V encoding latencies).
+pub const DEFAULT_ENCODE_CALC: u32 = 27;
+
+/// One receiver observation: the timed access of `line 0`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Sample {
+    /// Thread-local completion time of the measurement.
+    pub at: u64,
+    /// The latency readout (what a real receiver sees).
+    pub measured: u32,
+    /// Ground truth level that served the load (for validation).
+    pub level: HitLevel,
+}
+
+/// The Algorithm 3 sender: repeats each message bit for `Ts` cycles.
+///
+/// For a `1` bit, it alternates address calculation with an access
+/// to its line (`line 0` of Algorithm 1 or `line N` of Algorithm 2);
+/// for a `0` bit it stays off the target set entirely. Note the
+/// sender's accesses are expected to be cache *hits* — the property
+/// that makes the LRU channel stealthier and faster to encode than
+/// Flush+Reload (§VII).
+#[derive(Debug, Clone)]
+pub struct LruSender {
+    line: VirtAddr,
+    message: Vec<bool>,
+    ts: u64,
+    encode_calc: u32,
+    repeat: bool,
+    pending_access: bool,
+}
+
+impl LruSender {
+    /// A sender transmitting `message` once, one bit per `ts` cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `message` is empty or `ts == 0`.
+    pub fn new(line: VirtAddr, message: Vec<bool>, ts: u64) -> Self {
+        assert!(!message.is_empty(), "message must contain at least one bit");
+        assert!(ts > 0, "ts must be positive");
+        Self {
+            line,
+            message,
+            ts,
+            encode_calc: DEFAULT_ENCODE_CALC,
+            repeat: false,
+            pending_access: false,
+        }
+    }
+
+    /// Keeps re-sending the message until the scheduler limit (used
+    /// by the constant-bit time-sliced experiments and long traces).
+    #[must_use]
+    pub fn repeating(mut self) -> Self {
+        self.repeat = true;
+        self
+    }
+
+    /// Overrides the per-access pacing (cycles of compute between
+    /// encode accesses). Large values thin out the sender's access
+    /// stream — used to keep the very long time-sliced runs
+    /// tractable without changing the channel semantics.
+    #[must_use]
+    pub fn with_encode_calc(mut self, cycles: u32) -> Self {
+        self.encode_calc = cycles;
+        self
+    }
+
+    /// Bit index live at time `now`.
+    fn bit_index(&self, now: u64) -> u64 {
+        now / self.ts
+    }
+}
+
+impl Program for LruSender {
+    fn next_op(&mut self, now: u64) -> Op {
+        let k = self.bit_index(now);
+        if !self.repeat && k >= self.message.len() as u64 {
+            return Op::Done;
+        }
+        let bit = self.message[(k % self.message.len() as u64) as usize];
+        if bit {
+            if self.pending_access {
+                self.pending_access = false;
+                Op::Access(self.line)
+            } else {
+                self.pending_access = true;
+                Op::Compute(self.encode_calc)
+            }
+        } else {
+            // Bit 0: no access to the target set for the rest of
+            // this bit period.
+            Op::SpinUntil((k + 1) * self.ts)
+        }
+    }
+}
+
+/// The Algorithm 3 receiver running the Algorithm 1/2 measurement
+/// loop: init `d` lines → sleep to the `Tr` grid → decode the rest
+/// → time `line 0`.
+#[derive(Debug, Clone)]
+pub struct LruReceiver {
+    lines: Vec<VirtAddr>,
+    d: usize,
+    tr: u64,
+    phase: Phase,
+    idx: usize,
+    wake_at: u64,
+    max_samples: Option<usize>,
+    samples: Vec<Sample>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Init,
+    Wait,
+    Decode,
+    Measure,
+}
+
+impl LruReceiver {
+    /// A receiver over `lines` (ordered `line 0..`, as produced by
+    /// [`crate::setup`]) with init depth `d`, sampling every `tr`
+    /// cycles, until the scheduler stops it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d == 0`, `d > lines.len()`, or `tr == 0`.
+    pub fn new(lines: Vec<VirtAddr>, d: usize, tr: u64) -> Self {
+        assert!(d >= 1 && d <= lines.len(), "d must be in 1..=lines.len()");
+        assert!(tr > 0, "tr must be positive");
+        Self {
+            lines,
+            d,
+            tr,
+            phase: Phase::Init,
+            idx: 0,
+            wake_at: 0,
+            max_samples: None,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Stops after collecting `n` samples (the time-sliced
+    /// percent-of-ones experiments take a fixed number of
+    /// measurements).
+    #[must_use]
+    pub fn with_max_samples(mut self, n: usize) -> Self {
+        self.max_samples = Some(n);
+        self
+    }
+
+    /// The observations collected so far.
+    pub fn samples(&self) -> &[Sample] {
+        &self.samples
+    }
+
+    /// Consumes the receiver, returning its observations.
+    pub fn into_samples(self) -> Vec<Sample> {
+        self.samples
+    }
+}
+
+impl Program for LruReceiver {
+    fn next_op(&mut self, now: u64) -> Op {
+        loop {
+            match self.phase {
+                Phase::Init => {
+                    if self
+                        .max_samples
+                        .is_some_and(|n| self.samples.len() >= n)
+                    {
+                        return Op::Done;
+                    }
+                    if self.idx < self.d {
+                        self.idx += 1;
+                        return Op::Access(self.lines[self.idx - 1]);
+                    }
+                    self.phase = Phase::Wait;
+                }
+                Phase::Wait => {
+                    if now < self.wake_at {
+                        return Op::SpinUntil(self.wake_at);
+                    }
+                    // Tlast = TSC (Algorithm 3): the next sample is
+                    // tr after the moment this wait released.
+                    self.wake_at = now + self.tr;
+                    self.phase = Phase::Decode;
+                    self.idx = self.d;
+                }
+                Phase::Decode => {
+                    if self.idx < self.lines.len() {
+                        self.idx += 1;
+                        return Op::Access(self.lines[self.idx - 1]);
+                    }
+                    self.phase = Phase::Measure;
+                }
+                Phase::Measure => {
+                    self.phase = Phase::Init;
+                    self.idx = 0;
+                    return Op::TimedAccess(self.lines[0]);
+                }
+            }
+        }
+    }
+
+    fn on_result(&mut self, result: &OpResult) {
+        if let (Some(measured), Some(level)) = (result.measured, result.level) {
+            self.samples.push(Sample {
+                at: result.completed_at,
+                measured,
+                level,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn va(i: u64) -> VirtAddr {
+        VirtAddr::new(i * 4096)
+    }
+
+    #[test]
+    fn sender_encodes_one_with_paced_accesses() {
+        let mut s = LruSender::new(va(0), vec![true], 1000);
+        assert_eq!(s.next_op(0), Op::Compute(DEFAULT_ENCODE_CALC));
+        assert_eq!(s.next_op(27), Op::Access(va(0)));
+        assert_eq!(s.next_op(32), Op::Compute(DEFAULT_ENCODE_CALC));
+        assert_eq!(s.next_op(1000), Op::Done);
+    }
+
+    #[test]
+    fn sender_encodes_zero_by_idling() {
+        let mut s = LruSender::new(va(0), vec![false, true], 1000);
+        assert_eq!(s.next_op(0), Op::SpinUntil(1000));
+        // At the bit boundary the 1-bit starts.
+        assert_eq!(s.next_op(1000), Op::Compute(DEFAULT_ENCODE_CALC));
+    }
+
+    #[test]
+    fn repeating_sender_wraps() {
+        let mut s = LruSender::new(va(0), vec![false], 100).repeating();
+        assert_eq!(s.next_op(1_000_000), Op::SpinUntil(1_000_100));
+    }
+
+    #[test]
+    fn sender_is_reentrant_for_spins() {
+        let mut s = LruSender::new(va(0), vec![false; 4], 100);
+        assert_eq!(s.next_op(10), Op::SpinUntil(100));
+        // Re-asked mid-spin (time-sliced interruption).
+        assert_eq!(s.next_op(50), Op::SpinUntil(100));
+        assert_eq!(s.next_op(250), Op::SpinUntil(300));
+    }
+
+    #[test]
+    fn receiver_phases_follow_algorithm_3() {
+        // d=2, 4 lines: init 0,1 → wait → decode 2,3 → measure 0.
+        let lines: Vec<VirtAddr> = (0..4).map(va).collect();
+        let mut r = LruReceiver::new(lines.clone(), 2, 500);
+        assert_eq!(r.next_op(0), Op::Access(lines[0]));
+        assert_eq!(r.next_op(6), Op::Access(lines[1]));
+        // First wait releases immediately (wake_at starts at 0).
+        assert_eq!(r.next_op(12), Op::Access(lines[2]));
+        assert_eq!(r.next_op(18), Op::Access(lines[3]));
+        assert_eq!(r.next_op(24), Op::TimedAccess(lines[0]));
+        // Next iteration: init again, then spin until 12 + 500.
+        assert_eq!(r.next_op(90), Op::Access(lines[0]));
+        assert_eq!(r.next_op(96), Op::Access(lines[1]));
+        assert_eq!(r.next_op(102), Op::SpinUntil(512));
+    }
+
+    #[test]
+    fn receiver_records_samples_and_stops_at_max() {
+        let lines: Vec<VirtAddr> = (0..2).map(va).collect();
+        let mut r = LruReceiver::new(lines, 1, 100).with_max_samples(1);
+        // Drive one full iteration manually.
+        loop {
+            match r.next_op(0) {
+                Op::TimedAccess(_) => {
+                    r.on_result(&OpResult {
+                        cycles: 70,
+                        level: Some(HitLevel::L1),
+                        measured: Some(39),
+                        completed_at: 70,
+                    });
+                    break;
+                }
+                Op::Done => panic!("finished too early"),
+                _ => {}
+            }
+        }
+        assert_eq!(r.samples().len(), 1);
+        assert_eq!(r.samples()[0].measured, 39);
+        assert_eq!(r.next_op(100), Op::Done);
+    }
+
+    #[test]
+    fn untimed_results_are_not_recorded() {
+        let lines: Vec<VirtAddr> = (0..2).map(va).collect();
+        let mut r = LruReceiver::new(lines, 1, 100);
+        r.on_result(&OpResult {
+            cycles: 5,
+            level: Some(HitLevel::L1),
+            measured: None,
+            completed_at: 5,
+        });
+        assert!(r.samples().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "d must be in")]
+    fn receiver_rejects_zero_d() {
+        let _ = LruReceiver::new(vec![va(0)], 0, 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bit")]
+    fn sender_rejects_empty_message() {
+        let _ = LruSender::new(va(0), vec![], 100);
+    }
+}

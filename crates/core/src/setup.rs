@@ -1,0 +1,183 @@
+//! Address-space wiring for the two channel variants.
+//!
+//! The paper's `line 0..N` are `N+1` cache lines with the same set
+//! index and different tags (§IV-A). For the paper's VIPT L1 (64
+//! sets × 64 B = one page), a line for set `s` is simply *any page*
+//! plus offset `s × 64`, so a process conjures lines for a target
+//! set from fresh private pages — exactly the §IV-B argument that no
+//! physical-address knowledge is needed.
+
+use cache_sim::addr::VirtAddr;
+use exec_sim::machine::{Machine, Pid};
+
+/// The wired-up endpoints of a channel instance.
+#[derive(Debug, Clone)]
+pub struct Endpoints {
+    /// Sender process.
+    pub sender_pid: Pid,
+    /// Receiver process (equal to `sender_pid` in the AMD
+    /// shared-address-space configuration, §VI-B).
+    pub receiver_pid: Pid,
+    /// The line the sender touches to send `1`: the shared `line 0`
+    /// (Algorithm 1) or the sender-private `line N` (Algorithm 2),
+    /// as a sender-space virtual address.
+    pub sender_line: VirtAddr,
+    /// The receiver's lines, in protocol order: `line 0` first (the
+    /// timed one). Algorithm 1: `N+1` entries with `lines[0]`
+    /// aliasing the sender's line. Algorithm 2: `N` entries, all
+    /// private.
+    pub receiver_lines: Vec<VirtAddr>,
+}
+
+/// Allocates `count` lines mapping to `target_set` from fresh private
+/// pages of `pid`.
+pub fn alloc_set_lines(
+    machine: &mut Machine,
+    pid: Pid,
+    target_set: usize,
+    count: usize,
+) -> Vec<VirtAddr> {
+    let geom = machine.hierarchy().l1().geometry();
+    let offset = target_set as u64 * geom.line_size();
+    (0..count)
+        .map(|_| machine.alloc_pages(pid, 1).add(offset))
+        .collect()
+}
+
+/// Wires up **Algorithm 1** (shared memory): `line 0` lives in a
+/// page shared between the two processes (the "shared library" page
+/// of §IV-A); lines `1..=N` are receiver-private.
+///
+/// When `sender_pid == receiver_pid` the shared page degenerates to
+/// one private page used by both threads — the AMD pthreads
+/// configuration of §VI-B.
+pub fn alg1(
+    machine: &mut Machine,
+    sender_pid: Pid,
+    receiver_pid: Pid,
+    target_set: usize,
+) -> Endpoints {
+    let geom = machine.hierarchy().l1().geometry();
+    let ways = geom.ways();
+    let offset = target_set as u64 * geom.line_size();
+    let (sender_line, receiver_line0) = if sender_pid == receiver_pid {
+        let page = machine.alloc_pages(sender_pid, 1);
+        (page.add(offset), page.add(offset))
+    } else {
+        let (va_s, va_r) = machine.map_shared_page(sender_pid, receiver_pid);
+        (va_s.add(offset), va_r.add(offset))
+    };
+    let mut receiver_lines = vec![receiver_line0];
+    receiver_lines.extend(alloc_set_lines(machine, receiver_pid, target_set, ways));
+    Endpoints {
+        sender_pid,
+        receiver_pid,
+        sender_line,
+        receiver_lines,
+    }
+}
+
+/// Wires up **Algorithm 2** (no shared memory): the receiver owns
+/// `N` private lines `0..N-1`; the sender owns its private `line N`
+/// in its own address space.
+pub fn alg2(
+    machine: &mut Machine,
+    sender_pid: Pid,
+    receiver_pid: Pid,
+    target_set: usize,
+) -> Endpoints {
+    let ways = machine.hierarchy().l1().geometry().ways();
+    let receiver_lines = alloc_set_lines(machine, receiver_pid, target_set, ways);
+    let sender_line = alloc_set_lines(machine, sender_pid, target_set, 1)[0];
+    Endpoints {
+        sender_pid,
+        receiver_pid,
+        sender_line,
+        receiver_lines,
+    }
+}
+
+/// Picks a probe (pointer-chase chain) set different from the target
+/// set — the paper reserves one of the 64 sets for the chain
+/// (§IV-D, §VIII).
+pub fn reserved_probe_set(machine: &Machine, target_set: usize) -> usize {
+    let num_sets = machine.hierarchy().l1().geometry().num_sets() as usize;
+    if target_set == num_sets - 1 {
+        num_sets - 2
+    } else {
+        num_sets - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cache_sim::profiles::MicroArch;
+    use cache_sim::replacement::PolicyKind;
+
+    fn machine() -> Machine {
+        Machine::new(
+            MicroArch::sandy_bridge_e5_2690(),
+            PolicyKind::TreePlru,
+            5,
+        )
+    }
+
+    #[test]
+    fn set_lines_map_to_target_set_with_distinct_tags() {
+        let mut m = machine();
+        let p = m.create_process();
+        let lines = alloc_set_lines(&mut m, p, 17, 9);
+        let geom = m.hierarchy().l1().geometry();
+        let mut tags = std::collections::HashSet::new();
+        for &va in &lines {
+            let pa = m.translate(p, va).unwrap();
+            assert_eq!(geom.set_index(pa.raw()), 17);
+            assert!(tags.insert(geom.tag(pa.raw())), "tags must be distinct");
+        }
+    }
+
+    #[test]
+    fn alg1_line0_is_shared_physically() {
+        let mut m = machine();
+        let s = m.create_process();
+        let r = m.create_process();
+        let ep = alg1(&mut m, s, r, 0);
+        assert_eq!(ep.receiver_lines.len(), 9); // N+1 for 8 ways
+        let pa_s = m.translate(s, ep.sender_line).unwrap();
+        let pa_r = m.translate(r, ep.receiver_lines[0]).unwrap();
+        assert_eq!(pa_s, pa_r, "line 0 must be one physical line");
+    }
+
+    #[test]
+    fn alg1_same_pid_uses_one_va() {
+        let mut m = machine();
+        let p = m.create_process();
+        let ep = alg1(&mut m, p, p, 3);
+        assert_eq!(ep.sender_line, ep.receiver_lines[0]);
+    }
+
+    #[test]
+    fn alg2_has_no_shared_lines() {
+        let mut m = machine();
+        let s = m.create_process();
+        let r = m.create_process();
+        let ep = alg2(&mut m, s, r, 5);
+        assert_eq!(ep.receiver_lines.len(), 8); // N for 8 ways
+        let pa_sender = m.translate(s, ep.sender_line).unwrap();
+        for &va in &ep.receiver_lines {
+            let pa = m.translate(r, va).unwrap();
+            assert_ne!(pa, pa_sender);
+        }
+        // But everything still collides in the target set.
+        let geom = m.hierarchy().l1().geometry();
+        assert_eq!(geom.set_index(pa_sender.raw()), 5);
+    }
+
+    #[test]
+    fn probe_set_avoids_target() {
+        let m = machine();
+        assert_eq!(reserved_probe_set(&m, 0), 63);
+        assert_eq!(reserved_probe_set(&m, 63), 62);
+    }
+}

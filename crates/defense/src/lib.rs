@@ -1,0 +1,34 @@
+//! # defense — mitigations of the LRU-state channels (paper §IX)
+//!
+//! One module per defense family the paper discusses and evaluates:
+//!
+//! * [`policy_eval`] — remove the LRU state altogether: FIFO and
+//!   Random replacement, with the Fig. 9 performance study showing
+//!   the cost is small (<2% CPI on the GEM5 configuration).
+//! * [`pl_cache_eval`] — the PL-cache case study (Figs. 10/11): the
+//!   original design leaks through LRU updates on locked lines; the
+//!   paper's fix freezes the replacement state for locked lines.
+//! * [`partition_eval`] — partitioning: way-partitioning alone (most
+//!   secure caches) still leaks through the *shared* Tree-PLRU bits;
+//!   DAWG-style partitioning of the replacement state itself stops
+//!   the channel.
+//! * [`delayed_update`] — InvisiSpec-style invisible speculation:
+//!   no µ-architectural update until a load is non-speculative, so
+//!   Spectre + LRU channel recovers nothing.
+//! * [`randomization`] — the two §IX-B randomization families:
+//!   random-fill caches (which the LRU channel *survives*, because
+//!   hits still update the state) and keyed address↔set mappings
+//!   (which deny the parties a common target set).
+//! * [`detection`] — why miss-rate-based detectors (CloudRadar et
+//!   al.) flag Flush+Reload but not the LRU-channel sender (§VII,
+//!   §X).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod delayed_update;
+pub mod detection;
+pub mod partition_eval;
+pub mod pl_cache_eval;
+pub mod policy_eval;
+pub mod randomization;

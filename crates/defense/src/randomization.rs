@@ -1,0 +1,257 @@
+//! Randomization defenses (§IX-B).
+//!
+//! The paper examines two randomization families and reaches
+//! opposite verdicts, both reproduced here:
+//!
+//! * **Random-fill caches** (Liu & Lee 2014) decouple *what is
+//!   fetched* from *what was accessed* — a miss fills a random
+//!   neighbour line instead of the demanded one. That kills
+//!   contention (miss-based) channels, but the paper observes:
+//!   "if the cache line is already in the cache, on a cache hit, the
+//!   replacement state will be updated, and the LRU channel could
+//!   still work." [`random_fill_leak`] demonstrates exactly that.
+//! * **Randomized address↔set mappings** (New cache / RP cache /
+//!   CEASER) keyed per domain deny the parties the ability to *find*
+//!   a common target set at all: the receiver's carefully chosen
+//!   same-index lines scatter across sets. [`index_randomization_defeats_eviction`]
+//!   shows the eviction machinery the channels rely on disappears.
+
+use cache_sim::addr::PhysAddr;
+use cache_sim::cache::Cache;
+use cache_sim::geometry::CacheGeometry;
+use cache_sim::replacement::PolicyKind;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Result of the random-fill experiment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RandomFillLeak {
+    /// How often the sender's cache **hit** changed the receiver's
+    /// victim (the LRU channel — survives random fill).
+    pub hit_channel_flip_rate: f64,
+    /// How often the sender's cache **miss** landed its own line in
+    /// the set (the contention channel — what random fill removes).
+    pub miss_channel_fill_rate: f64,
+}
+
+/// A one-set random-fill model: hits behave normally (including the
+/// replacement-state update); a demand miss fills a *random* line of
+/// a 64-line neighbourhood window instead of the requested one, and
+/// the requested data is served uncached.
+fn random_fill_access(
+    cache: &mut Cache,
+    requested: PhysAddr,
+    rng: &mut SmallRng,
+) -> bool {
+    if cache.probe(requested) {
+        // Ordinary hit: LRU state updates — the residual channel.
+        cache.access(requested);
+        true
+    } else {
+        // Random fill: a random line from the neighbourhood window
+        // goes in; the requested line does not.
+        let geom = cache.geometry();
+        let window_line = rng.gen_range(0..64u64);
+        let fill = PhysAddr::new(
+            (requested.raw() & !(geom.set_stride() * 64 - 1))
+                + window_line * geom.set_stride(),
+        );
+        cache.prefetch_fill(fill);
+        false
+    }
+}
+
+/// Measures both channels against a random-fill cache set.
+///
+/// Setup per trial: receiver's 8 lines resident in the (single-set)
+/// cache with a random access history; sender's line resident too in
+/// the hit-channel arm. The sender then hits (or misses) once, and
+/// we check whether the receiver's next eviction victim changed
+/// (hit channel) or whether the sender's line got installed (miss
+/// channel).
+pub fn random_fill_leak(trials: usize, seed: u64) -> RandomFillLeak {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let geom = CacheGeometry::new(64, 1, 8).expect("valid geometry");
+    let line = |i: u64| PhysAddr::new(i * geom.set_stride());
+    let mut hit_flips = 0usize;
+    let mut miss_fills = 0usize;
+
+    for t in 0..trials {
+        // --- Hit channel: sender's line 0 is resident (Alg. 1). ---
+        let mut cache = Cache::new(geom, PolicyKind::TreePlru, seed ^ t as u64);
+        for i in 0..8u64 {
+            cache.access(line(i)); // receiver lines 0..7 resident
+        }
+        for _ in 0..rng.gen_range(0..12) {
+            cache.access(line(rng.gen_range(0..8)));
+        }
+        let mut with_hit = cache.clone();
+        // Sender hits line 0 — allowed and state-updating even under
+        // random fill.
+        let was_hit = random_fill_access(&mut with_hit, line(0), &mut rng);
+        assert!(was_hit, "line 0 is resident by construction");
+        // Receiver's next replacement victim, with and without.
+        let v_quiet = {
+            let mut c = cache.clone();
+            c.access(line(100)).evicted
+        };
+        let v_noisy = {
+            let mut c = with_hit.clone();
+            c.access(line(100)).evicted
+        };
+        if v_quiet != v_noisy {
+            hit_flips += 1;
+        }
+
+        // --- Miss channel: sender's line 8 is NOT resident. ---
+        let mut miss_cache = cache;
+        let before = miss_cache.probe(line(8));
+        assert!(!before);
+        let _ = random_fill_access(&mut miss_cache, line(8), &mut rng);
+        if miss_cache.probe(line(8)) {
+            miss_fills += 1; // only via a lucky random fill
+        }
+    }
+    RandomFillLeak {
+        hit_channel_flip_rate: hit_flips as f64 / trials as f64,
+        miss_channel_fill_rate: miss_fills as f64 / trials as f64,
+    }
+}
+
+/// Result of the index-randomization experiment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IndexRandomizationResult {
+    /// P(receiver's N+1 "same-set" lines actually collide in one
+    /// set) under the keyed mapping.
+    pub collision_rate: f64,
+    /// P(the receiver's decode access evicts its line 0) — the
+    /// channel's working part — under the keyed mapping.
+    pub eviction_rate: f64,
+    /// Same eviction probability on the baseline (unkeyed) cache.
+    pub baseline_eviction_rate: f64,
+}
+
+/// Keyed set-index permutation: `set' = f_key(set, tag)`, modelling
+/// New cache / RP cache / CEASER-style remapping. The receiver picks
+/// addresses with identical *index bits*, but the cache scatters them
+/// by (key, tag), so they no longer contend.
+fn keyed_set(geom: CacheGeometry, pa: PhysAddr, key: u64) -> usize {
+    let tag = geom.tag(pa.raw());
+    let set = geom.set_index(pa.raw()) as u64;
+    let x = (set ^ tag).wrapping_mul(key | 1);
+    ((x ^ (x >> 17) ^ (x >> 31)) % geom.num_sets()) as usize
+}
+
+/// Runs the §IX-B mapping-randomization argument: the receiver
+/// builds its Algorithm-1 line set (same index bits, distinct tags)
+/// and tries the init+decode eviction; under a keyed mapping the
+/// lines scatter and `line 0` (mapped wherever) stops being evicted.
+pub fn index_randomization_defeats_eviction(
+    trials: usize,
+    seed: u64,
+) -> IndexRandomizationResult {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let geom = CacheGeometry::l1d_paper();
+    let mut collisions = 0usize;
+    let mut evictions = 0usize;
+    let mut baseline_evictions = 0usize;
+
+    for t in 0..trials {
+        let key = rng.gen::<u64>();
+        // Receiver's 9 lines: same index bits (set 0), tags 0..9.
+        let lines: Vec<PhysAddr> =
+            (0..9u64).map(|i| PhysAddr::new(i * geom.set_stride())).collect();
+
+        // Where do they actually land under the keyed mapping?
+        let sets: Vec<usize> = lines.iter().map(|&pa| keyed_set(geom, pa, key)).collect();
+        let line0_set = sets[0];
+        let same = sets.iter().filter(|&&s| s == line0_set).count();
+        if same == sets.len() {
+            collisions += 1;
+        }
+
+        // Emulate the keyed cache with a full-size cache accessed at
+        // remapped addresses (same tags, permuted sets).
+        let remap = |pa: PhysAddr| {
+            PhysAddr::new(
+                geom.line_addr(geom.tag(pa.raw()), keyed_set(geom, pa, key)),
+            )
+        };
+        let mut keyed = Cache::new(geom, PolicyKind::TreePlru, seed ^ t as u64);
+        let mut baseline = Cache::new(geom, PolicyKind::TreePlru, seed ^ t as u64);
+        for &pa in &lines {
+            keyed.access(remap(pa));
+            baseline.access(pa);
+        }
+        if !keyed.probe(remap(lines[0])) {
+            evictions += 1;
+        }
+        if !baseline.probe(lines[0]) {
+            baseline_evictions += 1;
+        }
+    }
+    IndexRandomizationResult {
+        collision_rate: collisions as f64 / trials as f64,
+        eviction_rate: evictions as f64 / trials as f64,
+        baseline_eviction_rate: baseline_evictions as f64 / trials as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_fill_does_not_stop_the_hit_channel() {
+        let leak = random_fill_leak(2_000, 1);
+        assert!(
+            leak.hit_channel_flip_rate > 0.2,
+            "the paper's §IX-B claim: LRU updates on hits survive random fill, got {:.3}",
+            leak.hit_channel_flip_rate
+        );
+    }
+
+    #[test]
+    fn random_fill_does_stop_the_contention_channel() {
+        let leak = random_fill_leak(2_000, 1);
+        assert!(
+            leak.miss_channel_fill_rate < 0.05,
+            "a missed line must almost never be installed, got {:.3}",
+            leak.miss_channel_fill_rate
+        );
+    }
+
+    #[test]
+    fn keyed_mapping_scatters_same_index_lines() {
+        let r = index_randomization_defeats_eviction(500, 2);
+        assert!(
+            r.collision_rate < 0.01,
+            "9 same-index lines must virtually never share a keyed set, got {:.3}",
+            r.collision_rate
+        );
+    }
+
+    #[test]
+    fn keyed_mapping_kills_the_eviction_step() {
+        let r = index_randomization_defeats_eviction(500, 3);
+        assert!(
+            r.baseline_eviction_rate > 0.8,
+            "baseline Alg.1 eviction must mostly work, got {:.3}",
+            r.baseline_eviction_rate
+        );
+        assert!(
+            r.eviction_rate < 0.1,
+            "keyed mapping must break the eviction, got {:.3}",
+            r.eviction_rate
+        );
+    }
+
+    #[test]
+    fn experiments_are_deterministic() {
+        assert_eq!(random_fill_leak(300, 7), random_fill_leak(300, 7));
+        assert_eq!(
+            index_randomization_defeats_eviction(300, 7),
+            index_randomization_defeats_eviction(300, 7)
+        );
+    }
+}

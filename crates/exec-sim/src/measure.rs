@@ -1,0 +1,253 @@
+//! The paper's pointer-chasing latency measurement (§IV-D).
+//!
+//! A single `rdtscp`-timed load cannot tell an L1 hit from an L2 hit
+//! (Appendix A). The paper's solution: a linked list of 7 elements in
+//! the receiver's own memory, with the 8th pointer aimed at the
+//! target address. The 8 loads are serialized by data dependency, so
+//! the total visible latency is `7 × L1 + target` — and the
+//! hit/miss difference of the target survives (Fig. 3).
+//!
+//! Two details from the paper are modelled:
+//!
+//! * the 7 chain elements live in **one reserved cache set** so they
+//!   never pollute the LRU state of the target set (§IV-D's "further
+//!   optimization"), and
+//! * the receiver re-warms the chain before measuring, so the first
+//!   7 loads are L1 hits.
+
+use cache_sim::addr::VirtAddr;
+use cache_sim::hierarchy::HitLevel;
+use rand::rngs::SmallRng;
+
+use crate::machine::{Machine, Pid};
+use crate::tsc::TscModel;
+
+/// Number of local linked-list elements before the target (paper:
+/// "a linked list of 7 elements ... the 7th element contains the
+/// memory address to be measured").
+pub const CHAIN_LEN: usize = 7;
+
+/// One timed observation of a target address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Measurement {
+    /// The latency the receiver reads off the timestamp counter.
+    pub measured: u32,
+    /// Ground truth: which level served the *target* load (not
+    /// observable by a real receiver; used for validation).
+    pub level: HitLevel,
+    /// Ground-truth total cycles of the 8 serialized loads.
+    pub true_cycles: u32,
+}
+
+/// A reusable pointer-chase probe owned by one process.
+#[derive(Debug, Clone)]
+pub struct LatencyProbe {
+    chain: Vec<VirtAddr>,
+    tsc: TscModel,
+    reserved_set: usize,
+}
+
+impl LatencyProbe {
+    /// Builds a probe for `pid`, placing all [`CHAIN_LEN`] chain
+    /// elements in `reserved_set` of the L1 (one line per page, same
+    /// in-page offset ⇒ same set), and warms them into L1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reserved_set` is out of range for the machine's L1.
+    pub fn new(machine: &mut Machine, pid: Pid, tsc: TscModel, reserved_set: usize) -> Self {
+        let geom = machine.hierarchy().l1().geometry();
+        assert!(
+            (reserved_set as u64) < geom.num_sets(),
+            "reserved set {reserved_set} out of range"
+        );
+        let offset = reserved_set as u64 * geom.line_size();
+        let chain: Vec<VirtAddr> = (0..CHAIN_LEN)
+            .map(|_| machine.alloc_pages(pid, 1).add(offset))
+            .collect();
+        let probe = Self {
+            chain,
+            tsc,
+            reserved_set,
+        };
+        probe.warm(machine, pid);
+        probe
+    }
+
+    /// The L1 set holding the chain (must differ from any target
+    /// set, or the chain itself perturbs the channel).
+    pub fn reserved_set(&self) -> usize {
+        self.reserved_set
+    }
+
+    /// The timer model used for readouts.
+    pub fn tsc(&self) -> TscModel {
+        self.tsc
+    }
+
+    /// Fetches the chain into L1 so the next measurement's first 7
+    /// loads hit.
+    pub fn warm(&self, machine: &mut Machine, pid: Pid) {
+        for &va in &self.chain {
+            machine.access(pid, va);
+        }
+    }
+
+    /// Runs the pointer chase ending at `target` and returns the
+    /// timed observation. The target access is architectural: it
+    /// updates cache and replacement state exactly like the
+    /// receiver's real load (that *is* the decode step of the
+    /// channels).
+    ///
+    /// Returns the measurement together with the true cost in cycles
+    /// of the whole chase (used by schedulers to charge time).
+    pub fn measure(
+        &self,
+        machine: &mut Machine,
+        pid: Pid,
+        target: VirtAddr,
+        rng: &mut SmallRng,
+    ) -> Measurement {
+        let mut total = 0u32;
+        for &va in &self.chain {
+            total += machine.access(pid, va).cycles;
+        }
+        let out = machine.access(pid, target);
+        total += out.cycles;
+        Measurement {
+            measured: self.tsc.measure_chain(total, rng),
+            level: out.level,
+            true_cycles: total,
+        }
+    }
+}
+
+/// The naive single-load measurement of Appendix A (Fig. 12): load
+/// `target` between two `rdtscp`s. Kept for the Fig. 13
+/// cannot-distinguish demonstration.
+pub fn rdtscp_single(
+    machine: &mut Machine,
+    pid: Pid,
+    target: VirtAddr,
+    tsc: &TscModel,
+    rng: &mut SmallRng,
+) -> Measurement {
+    let out = machine.access(pid, target);
+    Measurement {
+        measured: tsc.measure_single(out.cycles, rng),
+        level: out.level,
+        true_cycles: out.cycles,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cache_sim::profiles::MicroArch;
+    use cache_sim::replacement::PolicyKind;
+    use rand::SeedableRng;
+
+    fn setup() -> (Machine, Pid) {
+        let mut m = Machine::new(
+            MicroArch::sandy_bridge_e5_2690(),
+            PolicyKind::TreePlru,
+            3,
+        );
+        let p = m.create_process();
+        (m, p)
+    }
+
+    #[test]
+    fn chain_lives_in_reserved_set() {
+        let (mut m, p) = setup();
+        let probe = LatencyProbe::new(&mut m, p, TscModel::intel(), 63);
+        let geom = m.hierarchy().l1().geometry();
+        for &va in &probe.chain {
+            let pa = m.translate(p, va).unwrap();
+            assert_eq!(geom.set_index(pa.raw()), 63);
+        }
+    }
+
+    #[test]
+    fn hit_and_miss_separate_on_intel() {
+        let (mut m, p) = setup();
+        let mut rng = SmallRng::seed_from_u64(5);
+        let probe = LatencyProbe::new(&mut m, p, TscModel::intel(), 63);
+        let target = m.alloc_pages(p, 1); // maps to set 0
+        m.access(p, target); // now in L1
+
+        let hit = probe.measure(&mut m, p, target, &mut rng);
+        assert_eq!(hit.level, HitLevel::L1);
+
+        // Evict the target from L1 (fill set 0 with 8 other lines).
+        let geom = m.hierarchy().l1().geometry();
+        for _ in 0..geom.ways() {
+            let page = m.alloc_pages(p, 1);
+            m.access(p, page);
+        }
+        probe.warm(&mut m, p);
+        let miss = probe.measure(&mut m, p, target, &mut rng);
+        assert_eq!(miss.level, HitLevel::L2);
+        assert!(
+            miss.measured > hit.measured,
+            "L1 miss ({}) must read slower than hit ({})",
+            miss.measured,
+            hit.measured
+        );
+    }
+
+    #[test]
+    fn rdtscp_single_cannot_separate_hit_from_l1_miss() {
+        let (mut m, p) = setup();
+        let mut rng = SmallRng::seed_from_u64(6);
+        let tsc = TscModel::intel();
+        let geom = m.hierarchy().l1().geometry();
+
+        let mut hit_readings = Vec::new();
+        let mut miss_readings = Vec::new();
+        for _ in 0..200 {
+            let target = m.alloc_pages(p, 1);
+            m.access(p, target); // L1 resident
+            hit_readings.push(rdtscp_single(&mut m, p, target, &tsc, &mut rng).measured);
+            // Evict to L2.
+            for _ in 0..geom.ways() {
+                let page = m.alloc_pages(p, 1);
+                let pa = m.translate(p, page).unwrap();
+                let aligned =
+                    page.add(geom.set_index(m.translate(p, target).unwrap().raw()) as u64 * 64);
+                let _ = pa;
+                m.access(p, aligned);
+            }
+            let s = rdtscp_single(&mut m, p, target, &tsc, &mut rng);
+            if s.level == HitLevel::L2 {
+                miss_readings.push(s.measured);
+            }
+        }
+        assert!(!miss_readings.is_empty());
+        let mean = |v: &[u32]| v.iter().map(|&x| x as f64).sum::<f64>() / v.len() as f64;
+        let gap = (mean(&miss_readings) - mean(&hit_readings)).abs();
+        assert!(
+            gap < 3.0,
+            "rdtscp single-load means must coincide (gap {gap:.2})"
+        );
+    }
+
+    #[test]
+    fn measurement_true_cycles_account_for_chain() {
+        let (mut m, p) = setup();
+        let mut rng = SmallRng::seed_from_u64(9);
+        let probe = LatencyProbe::new(&mut m, p, TscModel::intel(), 63);
+        let target = m.alloc_pages(p, 1);
+        m.access(p, target);
+        let meas = probe.measure(&mut m, p, target, &mut rng);
+        // 7 chain hits (4 each) + target hit (4) = 32.
+        assert_eq!(meas.true_cycles, 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_reserved_set() {
+        let (mut m, p) = setup();
+        let _ = LatencyProbe::new(&mut m, p, TscModel::intel(), 64);
+    }
+}

@@ -1,0 +1,140 @@
+//! The vocabulary sender/receiver programs are written in.
+//!
+//! A [`Program`] is a resumable state machine: the scheduler asks it
+//! for its [`Op`] at the current time, executes the op against the
+//! shared [`crate::machine::Machine`], charges the cost, and hands
+//! the outcome back through [`Program::on_result`]. This models the
+//! paper's setting faithfully: both parties are straight-line loops
+//! whose only interaction is through the shared cache.
+
+use cache_sim::addr::VirtAddr;
+use cache_sim::hierarchy::HitLevel;
+
+/// One step of a program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// An untimed load of `va` (the sender's encode step, the
+    /// receiver's init/decode accesses).
+    Access(VirtAddr),
+    /// A pointer-chase-timed load of `va` (the receiver's final
+    /// "access line 0 and time the access"). Requires the thread to
+    /// carry a [`crate::measure::LatencyProbe`].
+    TimedAccess(VirtAddr),
+    /// `clflush` of `va`'s line (Flush+Reload baseline).
+    Flush(VirtAddr),
+    /// Busy work for a fixed number of cycles (address arithmetic,
+    /// logging, ...).
+    Compute(u32),
+    /// Spin until the global timestamp counter reaches the value
+    /// (Algorithm 3's `while TSC < T_last + Tr`). May be returned
+    /// repeatedly; the scheduler advances time and asks again.
+    SpinUntil(u64),
+    /// The program has finished.
+    Done,
+}
+
+/// Outcome of one executed op, delivered to [`Program::on_result`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OpResult {
+    /// Cycles the op cost this thread.
+    pub cycles: u64,
+    /// Which cache level served an `Access`/`TimedAccess`.
+    pub level: Option<HitLevel>,
+    /// Timer readout of a `TimedAccess`.
+    pub measured: Option<u32>,
+    /// Thread-local time when the op completed.
+    pub completed_at: u64,
+}
+
+/// A resumable single-thread workload.
+///
+/// Implementations must tolerate `next_op` being called again after
+/// returning [`Op::SpinUntil`] (time-sliced scheduling interrupts
+/// spins at quantum boundaries) — i.e. derive the op from the `now`
+/// argument and internal phase, not from a consumed iterator alone.
+pub trait Program {
+    /// The op to execute at thread-local time `now`.
+    fn next_op(&mut self, now: u64) -> Op;
+
+    /// Delivery of the outcome of the op most recently returned by
+    /// [`Program::next_op`] (not called for `SpinUntil`/`Done`).
+    fn on_result(&mut self, result: &OpResult) {
+        let _ = result;
+    }
+}
+
+/// A trivial program that runs a fixed list of ops then finishes.
+/// Useful in tests and for one-shot access sequences.
+#[derive(Debug, Clone)]
+pub struct Script {
+    ops: Vec<Op>,
+    next: usize,
+    /// Results collected in execution order.
+    pub results: Vec<OpResult>,
+}
+
+impl Script {
+    /// A program executing `ops` front to back.
+    pub fn new(ops: Vec<Op>) -> Self {
+        Self {
+            ops,
+            next: 0,
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Program for Script {
+    fn next_op(&mut self, now: u64) -> Op {
+        loop {
+            match self.ops.get(self.next) {
+                // Spins are re-issued until time passes them (the
+                // trait contract): only consume the op once `now`
+                // has reached the deadline.
+                Some(&Op::SpinUntil(t)) => {
+                    if now < t {
+                        return Op::SpinUntil(t);
+                    }
+                    self.next += 1;
+                }
+                Some(&op) => {
+                    self.next += 1;
+                    return op;
+                }
+                None => return Op::Done,
+            }
+        }
+    }
+
+    fn on_result(&mut self, result: &OpResult) {
+        self.results.push(*result);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn script_yields_ops_then_done() {
+        let mut s = Script::new(vec![Op::Compute(5), Op::Compute(6)]);
+        assert_eq!(s.next_op(0), Op::Compute(5));
+        assert_eq!(s.next_op(0), Op::Compute(6));
+        assert_eq!(s.next_op(0), Op::Done);
+        assert_eq!(s.next_op(0), Op::Done);
+    }
+
+    #[test]
+    fn script_records_results() {
+        let mut s = Script::new(vec![Op::Compute(5)]);
+        let _ = s.next_op(0);
+        s.on_result(&OpResult {
+            cycles: 5,
+            level: None,
+            measured: None,
+            completed_at: 5,
+        });
+        assert_eq!(s.results.len(), 1);
+        assert_eq!(s.results[0].cycles, 5);
+    }
+}

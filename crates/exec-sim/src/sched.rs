@@ -1,0 +1,515 @@
+//! The two core-sharing settings of the paper's evaluation:
+//! hyper-threaded (SMT, §V-A) and time-sliced (§V-B) scheduling.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::machine::{Machine, Pid};
+use crate::measure::LatencyProbe;
+use crate::program::{Op, OpResult, Program};
+
+/// Fixed issue cost of a load beyond its cache latency (address
+/// generation, AGU/port occupancy).
+const ACCESS_ISSUE_COST: u64 = 1;
+
+/// Cost of a `clflush` instruction.
+const FLUSH_COST: u64 = 40;
+
+/// A schedulable thread: a program, the process it runs as, and an
+/// optional measurement probe (receivers have one, senders don't).
+pub struct ThreadHandle<'a> {
+    /// Process identity (page tables, counters).
+    pub pid: Pid,
+    /// The program to run.
+    pub program: &'a mut dyn Program,
+    /// Pointer-chase probe backing [`Op::TimedAccess`].
+    pub probe: Option<LatencyProbe>,
+}
+
+impl<'a> ThreadHandle<'a> {
+    /// A thread without a measurement probe.
+    pub fn new(pid: Pid, program: &'a mut dyn Program) -> Self {
+        Self {
+            pid,
+            program,
+            probe: None,
+        }
+    }
+
+    /// A thread carrying a probe (receivers).
+    pub fn with_probe(pid: Pid, program: &'a mut dyn Program, probe: LatencyProbe) -> Self {
+        Self {
+            pid,
+            program,
+            probe: Some(probe),
+        }
+    }
+}
+
+impl std::fmt::Debug for ThreadHandle<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadHandle")
+            .field("pid", &self.pid)
+            .field("probe", &self.probe.is_some())
+            .finish()
+    }
+}
+
+/// Summary of a scheduler run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchedulerReport {
+    /// Global cycles elapsed when the run ended.
+    pub elapsed: u64,
+    /// Ops executed per thread (indexed like the `threads` slice).
+    pub ops_executed: Vec<u64>,
+    /// Context switches performed (time-sliced only; 0 under SMT).
+    pub context_switches: u64,
+}
+
+fn execute_op(
+    machine: &mut Machine,
+    thread: &mut ThreadHandle<'_>,
+    op: Op,
+    now: u64,
+    rng: &mut SmallRng,
+) -> OpResult {
+    match op {
+        Op::Access(va) => {
+            let out = machine.access(thread.pid, va);
+            let cycles = out.cycles as u64 + ACCESS_ISSUE_COST;
+            OpResult {
+                cycles,
+                level: Some(out.level),
+                measured: None,
+                completed_at: now + cycles,
+            }
+        }
+        Op::TimedAccess(va) => {
+            let probe = thread
+                .probe
+                .as_ref()
+                .expect("TimedAccess requires a thread with a LatencyProbe");
+            let meas = probe.measure(machine, thread.pid, va, rng);
+            let cycles = meas.true_cycles as u64 + probe.tsc().overhead as u64;
+            OpResult {
+                cycles,
+                level: Some(meas.level),
+                measured: Some(meas.measured),
+                completed_at: now + cycles,
+            }
+        }
+        Op::Flush(va) => {
+            machine.flush(thread.pid, va);
+            OpResult {
+                cycles: FLUSH_COST,
+                level: None,
+                measured: None,
+                completed_at: now + FLUSH_COST,
+            }
+        }
+        Op::Compute(c) => OpResult {
+            cycles: c as u64,
+            level: None,
+            measured: None,
+            completed_at: now + c as u64,
+        },
+        Op::SpinUntil(_) | Op::Done => unreachable!("handled by the scheduler"),
+    }
+}
+
+/// Hyper-threaded (SMT) sharing: both threads are live on the core,
+/// their memory operations interleave at instruction granularity
+/// (paper §V-A). Modelled by advancing whichever thread has the
+/// smaller local clock, with a little per-op pipeline jitter so the
+/// interleaving is irregular — the "random insertion" pattern the
+/// Table I analysis assumes for hyper-threading.
+#[derive(Debug, Clone)]
+pub struct HyperThreaded {
+    /// Peak per-op scheduling jitter in cycles.
+    pub jitter: u32,
+    /// RNG seed for the jitter stream.
+    pub seed: u64,
+}
+
+impl HyperThreaded {
+    /// Jitter of 2 cycles — enough to randomize interleaving without
+    /// distorting latencies.
+    pub fn new(seed: u64) -> Self {
+        Self { jitter: 2, seed }
+    }
+
+    /// Runs the threads until all finish or `limit` global cycles
+    /// pass.
+    pub fn run(
+        &self,
+        machine: &mut Machine,
+        threads: &mut [ThreadHandle<'_>],
+        limit: u64,
+    ) -> SchedulerReport {
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let n = threads.len();
+        let mut local = vec![0u64; n];
+        let mut finished = vec![false; n];
+        let mut ops = vec![0u64; n];
+
+        // The live thread with the smallest local clock issues next.
+        while let Some(idx) = (0..n)
+            .filter(|&i| !finished[i] && local[i] < limit)
+            .min_by_key(|&i| local[i])
+        {
+            let now = local[idx];
+            match threads[idx].program.next_op(now) {
+                Op::Done => finished[idx] = true,
+                Op::SpinUntil(t) => {
+                    // Spinning occupies only this hyper-thread.
+                    local[idx] = now.max(t.min(limit));
+                    if t >= limit {
+                        local[idx] = limit;
+                    }
+                }
+                op => {
+                    let result = execute_op(machine, &mut threads[idx], op, now, &mut rng);
+                    let jitter = if self.jitter == 0 {
+                        0
+                    } else {
+                        rng.gen_range(0..=self.jitter) as u64
+                    };
+                    local[idx] = now + result.cycles + jitter;
+                    machine.counters_mut(threads[idx].pid).cycles += result.cycles + jitter;
+                    machine.counters_mut(threads[idx].pid).instructions += 1;
+                    threads[idx].program.on_result(&result);
+                    ops[idx] += 1;
+                }
+            }
+        }
+
+        SchedulerReport {
+            elapsed: local.into_iter().max().unwrap_or(0),
+            ops_executed: ops,
+            context_switches: 0,
+        }
+    }
+}
+
+/// Time-sliced sharing: one thread on the core at a time, switched
+/// at quantum boundaries (paper §V-B). The L1 contents survive the
+/// switch (same physical core), which is exactly what the time-sliced
+/// channel exploits.
+#[derive(Debug, Clone)]
+pub struct TimeSliced {
+    /// Nominal quantum length in cycles. The paper's observations
+    /// (≈30% of iterations reflecting the sender at `Tr = 1e8`)
+    /// correspond to multi-`Tr` slices, i.e. a few hundred million
+    /// cycles for two spinning processes under CFS.
+    pub quantum: u64,
+    /// Peak-to-peak random quantum variation.
+    pub quantum_jitter: u64,
+    /// Direct cost of a context switch in cycles.
+    pub switch_cost: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl TimeSliced {
+    /// A CFS-like default: ~3×10⁸-cycle slices (two cpu-bound tasks),
+    /// ±20% jitter, 20k-cycle switch cost.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            quantum: 300_000_000,
+            quantum_jitter: 120_000_000,
+            switch_cost: 20_000,
+            seed,
+        }
+    }
+
+    /// Runs the threads round-robin until all finish or `limit`
+    /// global cycles pass.
+    pub fn run(
+        &self,
+        machine: &mut Machine,
+        threads: &mut [ThreadHandle<'_>],
+        limit: u64,
+    ) -> SchedulerReport {
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let n = threads.len();
+        let mut finished = vec![false; n];
+        let mut ops = vec![0u64; n];
+        let mut switches = 0u64;
+        let mut t = 0u64;
+        let mut cur = 0usize;
+        let mut slice_end = t + self.next_quantum(&mut rng);
+
+        while t < limit && finished.iter().any(|f| !f) {
+            if finished[cur] {
+                // Rotate to a live thread without charging a switch
+                // (the finished one just exited).
+                cur = (cur + 1) % n;
+                continue;
+            }
+            match threads[cur].program.next_op(t) {
+                Op::Done => {
+                    finished[cur] = true;
+                }
+                Op::SpinUntil(target) => {
+                    if target <= t {
+                        // Deadline already passed: let the program
+                        // observe the new time immediately.
+                        continue;
+                    }
+                    let wake = target.min(limit);
+                    if wake >= slice_end {
+                        // The spin burns the rest of the quantum;
+                        // the sibling runs next.
+                        t = slice_end;
+                        switches += 1;
+                        t += self.switch_cost;
+                        cur = (cur + 1) % n;
+                        slice_end = t + self.next_quantum(&mut rng);
+                    } else {
+                        t = wake;
+                    }
+                }
+                op => {
+                    let result = execute_op(machine, &mut threads[cur], op, t, &mut rng);
+                    t += result.cycles;
+                    machine.counters_mut(threads[cur].pid).cycles += result.cycles;
+                    machine.counters_mut(threads[cur].pid).instructions += 1;
+                    threads[cur].program.on_result(&result);
+                    ops[cur] += 1;
+                    if t >= slice_end {
+                        switches += 1;
+                        t += self.switch_cost;
+                        cur = (cur + 1) % n;
+                        slice_end = t + self.next_quantum(&mut rng);
+                    }
+                }
+            }
+        }
+
+        SchedulerReport {
+            elapsed: t,
+            ops_executed: ops,
+            context_switches: switches,
+        }
+    }
+
+    fn next_quantum(&self, rng: &mut SmallRng) -> u64 {
+        if self.quantum_jitter == 0 {
+            self.quantum
+        } else {
+            let half = self.quantum_jitter / 2;
+            self.quantum - half + rng.gen_range(0..=self.quantum_jitter)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::Script;
+    use cache_sim::profiles::MicroArch;
+    use cache_sim::replacement::PolicyKind;
+
+    fn machine() -> Machine {
+        Machine::new(
+            MicroArch::sandy_bridge_e5_2690(),
+            PolicyKind::TreePlru,
+            11,
+        )
+    }
+
+    #[test]
+    fn hyperthreaded_interleaves_two_scripts() {
+        let mut m = machine();
+        let a = m.create_process();
+        let b = m.create_process();
+        let va_a = m.alloc_pages(a, 1);
+        let va_b = m.alloc_pages(b, 1);
+        let mut pa = Script::new(vec![Op::Access(va_a); 10]);
+        let mut pb = Script::new(vec![Op::Access(va_b); 10]);
+        let report = HyperThreaded::new(1).run(
+            &mut m,
+            &mut [ThreadHandle::new(a, &mut pa), ThreadHandle::new(b, &mut pb)],
+            1_000_000,
+        );
+        assert_eq!(report.ops_executed, vec![10, 10]);
+        assert_eq!(pa.results.len(), 10);
+        // Both threads made progress in overlapping time: elapsed is
+        // far less than the serial sum of both threads' work.
+        assert!(report.elapsed < 2 * pa.results.iter().map(|r| r.cycles).sum::<u64>());
+    }
+
+    #[test]
+    fn spin_until_advances_local_clock() {
+        let mut m = machine();
+        let a = m.create_process();
+        let mut p = Script::new(vec![Op::SpinUntil(5000), Op::Compute(10)]);
+        let report = HyperThreaded::new(1).run(
+            &mut m,
+            &mut [ThreadHandle::new(a, &mut p)],
+            1_000_000,
+        );
+        assert!(report.elapsed >= 5010);
+    }
+
+    #[test]
+    fn limit_stops_infinite_spinners() {
+        let mut m = machine();
+        let a = m.create_process();
+        let mut p = Script::new(vec![Op::SpinUntil(u64::MAX)]);
+        let report = HyperThreaded::new(1).run(
+            &mut m,
+            &mut [ThreadHandle::new(a, &mut p)],
+            10_000,
+        );
+        assert_eq!(report.elapsed, 10_000);
+    }
+
+    #[test]
+    fn time_sliced_serializes_threads() {
+        let mut m = machine();
+        let a = m.create_process();
+        let b = m.create_process();
+        let va_a = m.alloc_pages(a, 1);
+        let va_b = m.alloc_pages(b, 1);
+        let mut pa = Script::new(vec![Op::Access(va_a); 5]);
+        let mut pb = Script::new(vec![Op::Access(va_b); 5]);
+        let sched = TimeSliced {
+            quantum: 1000,
+            quantum_jitter: 0,
+            switch_cost: 100,
+            seed: 3,
+        };
+        let report = sched.run(
+            &mut m,
+            &mut [ThreadHandle::new(a, &mut pa), ThreadHandle::new(b, &mut pb)],
+            1_000_000,
+        );
+        assert_eq!(report.ops_executed, vec![5, 5]);
+    }
+
+    #[test]
+    fn time_sliced_switches_during_long_spins() {
+        let mut m = machine();
+        let a = m.create_process();
+        let b = m.create_process();
+        let va_b = m.alloc_pages(b, 1);
+        // Thread A spins far beyond several quanta; thread B works.
+        let mut pa = Script::new(vec![Op::SpinUntil(50_000), Op::Compute(1)]);
+        let mut pb = Script::new(vec![Op::Access(va_b); 8]);
+        let sched = TimeSliced {
+            quantum: 5_000,
+            quantum_jitter: 0,
+            switch_cost: 10,
+            seed: 3,
+        };
+        let report = sched.run(
+            &mut m,
+            &mut [ThreadHandle::new(a, &mut pa), ThreadHandle::new(b, &mut pb)],
+            1_000_000,
+        );
+        assert!(report.context_switches >= 2);
+        assert_eq!(report.ops_executed[1], 8, "B must run during A's spin");
+        assert_eq!(report.ops_executed[0], 1, "A finishes its compute after waking");
+    }
+
+    #[test]
+    fn counters_charge_cycles_per_thread() {
+        let mut m = machine();
+        let a = m.create_process();
+        let va = m.alloc_pages(a, 1);
+        let mut p = Script::new(vec![Op::Access(va), Op::Compute(100)]);
+        HyperThreaded { jitter: 0, seed: 1 }.run(
+            &mut m,
+            &mut [ThreadHandle::new(a, &mut p)],
+            1_000_000,
+        );
+        assert_eq!(m.counters(a).instructions, 2);
+        // Access to memory (200) + issue 1 + compute 100.
+        assert_eq!(m.counters(a).cycles, 301);
+    }
+
+    #[test]
+    fn flush_op_flushes() {
+        let mut m = machine();
+        let a = m.create_process();
+        let va = m.alloc_pages(a, 1);
+        let mut p = Script::new(vec![Op::Access(va), Op::Flush(va)]);
+        HyperThreaded::new(1).run(&mut m, &mut [ThreadHandle::new(a, &mut p)], 1_000_000);
+        assert_eq!(
+            m.probe_level(a, va),
+            cache_sim::hierarchy::HitLevel::Mem
+        );
+    }
+
+    #[test]
+    fn timed_access_needs_probe() {
+        let mut m = machine();
+        let a = m.create_process();
+        let va = m.alloc_pages(a, 1);
+        let probe = LatencyProbe::new(&mut m, a, crate::tsc::TscModel::intel(), 63);
+        let mut p = Script::new(vec![Op::TimedAccess(va)]);
+        HyperThreaded::new(1).run(
+            &mut m,
+            &mut [ThreadHandle::with_probe(a, &mut p, probe)],
+            1_000_000,
+        );
+        assert!(p.results[0].measured.is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a thread with a LatencyProbe")]
+    fn timed_access_without_probe_panics() {
+        let mut m = machine();
+        let a = m.create_process();
+        let va = m.alloc_pages(a, 1);
+        let mut p = Script::new(vec![Op::TimedAccess(va)]);
+        HyperThreaded::new(1).run(&mut m, &mut [ThreadHandle::new(a, &mut p)], 1_000_000);
+    }
+
+    #[test]
+    fn spin_reissue_pattern_is_supported() {
+        // A program that re-issues SpinUntil until time passes, as
+        // the trait contract requires.
+        struct Spinner {
+            wake: u64,
+            done_compute: bool,
+        }
+        impl Program for Spinner {
+            fn next_op(&mut self, now: u64) -> Op {
+                if now < self.wake {
+                    Op::SpinUntil(self.wake)
+                } else if !self.done_compute {
+                    self.done_compute = true;
+                    Op::Compute(7)
+                } else {
+                    Op::Done
+                }
+            }
+        }
+        let mut m = machine();
+        let a = m.create_process();
+        let b = m.create_process();
+        let mut sp = Spinner {
+            wake: 20_000,
+            done_compute: false,
+        };
+        let mut other = Script::new(vec![Op::Compute(100); 50]);
+        let sched = TimeSliced {
+            quantum: 1_000,
+            quantum_jitter: 0,
+            switch_cost: 10,
+            seed: 9,
+        };
+        let report = sched.run(
+            &mut m,
+            &mut [
+                ThreadHandle::new(a, &mut sp),
+                ThreadHandle::new(b, &mut other),
+            ],
+            1_000_000,
+        );
+        assert!(sp.done_compute);
+        assert_eq!(report.ops_executed[0], 1);
+    }
+}

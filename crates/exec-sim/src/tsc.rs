@@ -1,0 +1,202 @@
+//! Timestamp-counter models (paper §IV-D, §VI-A, Appendix A).
+//!
+//! The receiver's whole problem is telling a ~4-cycle L1 hit from a
+//! ~12–17-cycle L1 miss with a noisy clock:
+//!
+//! * A serialized `rdtscp` pair has ~30 cycles of overhead that
+//!   *overlaps* a short load's execution, so single-load
+//!   measurements of L1 hits and L2 hits come out identical
+//!   (Appendix A, Fig. 13). [`TscModel::measure_single`] models
+//!   this with an overlap window.
+//! * A pointer chase serializes its loads by data dependency, so
+//!   nothing overlaps and the latency sum is visible
+//!   ([`TscModel::measure_chain`], Fig. 3).
+//! * The AMD readout advances in coarse steps (§VI-A), so even the
+//!   pointer chase needs averaging on Zen.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use cache_sim::profiles::MicroArch;
+
+/// A timestamp-counter / measurement model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TscModel {
+    /// Observable step of the counter in cycles (1 on Intel; tens of
+    /// cycles on the EPYC 7571).
+    pub granularity: u32,
+    /// Mean overhead of the serializing `rdtscp` pair, in cycles.
+    pub overhead: u32,
+    /// Peak-to-peak uniform jitter of a measurement, in cycles.
+    pub jitter: u32,
+    /// How many cycles of a *single* load's latency are hidden under
+    /// the `rdtscp` overhead by out-of-order execution (Appendix A:
+    /// enough to swallow both an L1 and an L2 hit).
+    pub overlap_window: u32,
+}
+
+impl TscModel {
+    /// Fine-grained Intel-style counter.
+    pub fn intel() -> Self {
+        TscModel {
+            granularity: 1,
+            overhead: 30,
+            jitter: 4,
+            overlap_window: 20,
+        }
+    }
+
+    /// Coarse AMD-style counter (§VI-A).
+    pub fn amd() -> Self {
+        TscModel {
+            granularity: 25,
+            overhead: 60,
+            jitter: 20,
+            overlap_window: 20,
+        }
+    }
+
+    /// The counter of a platform profile.
+    pub fn from_arch(arch: &MicroArch) -> Self {
+        TscModel {
+            granularity: arch.tsc_granularity,
+            overhead: arch.tsc_overhead,
+            jitter: arch.tsc_jitter,
+            overlap_window: 20,
+        }
+    }
+
+    /// Measures a *single* load of true latency `true_cycles` with
+    /// the `rdtscp` pair of Fig. 12. Short loads disappear into the
+    /// overhead (Fig. 13: L1 hit and L1 miss overlap); only
+    /// latencies beyond the overlap window become visible.
+    pub fn measure_single(&self, true_cycles: u32, rng: &mut SmallRng) -> u32 {
+        let visible = true_cycles.saturating_sub(self.overlap_window);
+        self.readout(self.overhead + visible, rng)
+    }
+
+    /// Measures a fully serialized chain of loads (the pointer chase
+    /// of Fig. 2): every cycle of `total_cycles` is visible because
+    /// each load's address depends on the previous load's data.
+    pub fn measure_chain(&self, total_cycles: u32, rng: &mut SmallRng) -> u32 {
+        self.readout(self.overhead / 4 + total_cycles, rng)
+    }
+
+    /// Quantizes and jitters a raw cycle count the way the counter
+    /// readout would.
+    fn readout(&self, cycles: u32, rng: &mut SmallRng) -> u32 {
+        let jitter = if self.jitter == 0 {
+            0
+        } else {
+            rng.gen_range(0..=self.jitter)
+        };
+        let raw = cycles + jitter;
+        if self.granularity <= 1 {
+            raw
+        } else {
+            (raw / self.granularity) * self.granularity
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(7)
+    }
+
+    /// Sample distributions of `measure_single` for two latencies and
+    /// report how much they overlap (fraction of identical readouts).
+    fn single_overlap(tsc: &TscModel, lat_a: u32, lat_b: u32) -> f64 {
+        let mut r = rng();
+        let n = 4000;
+        let a: Vec<u32> = (0..n).map(|_| tsc.measure_single(lat_a, &mut r)).collect();
+        let b: Vec<u32> = (0..n).map(|_| tsc.measure_single(lat_b, &mut r)).collect();
+        let same = a.iter().filter(|v| b.contains(v)).count();
+        same as f64 / n as f64
+    }
+
+    #[test]
+    fn rdtscp_cannot_separate_l1_from_l2() {
+        // Appendix A: L1 hit (4 cycles) vs L2 hit (12 cycles)
+        // distributions must be identical under measure_single.
+        let tsc = TscModel::intel();
+        assert!(single_overlap(&tsc, 4, 12) > 0.95);
+    }
+
+    #[test]
+    fn rdtscp_does_separate_memory() {
+        let tsc = TscModel::intel();
+        let mut r = rng();
+        let l1 = tsc.measure_single(4, &mut r);
+        let mem = tsc.measure_single(200, &mut r);
+        assert!(mem > l1 + 100);
+    }
+
+    #[test]
+    fn chain_separates_l1_from_l2() {
+        // Fig. 3: seven L1 hits (28 cycles) + target. Hit chain: 32
+        // cycles total; miss chain: 40. The gap must survive
+        // measurement on Intel.
+        let tsc = TscModel::intel();
+        let mut r = rng();
+        for _ in 0..100 {
+            let hit = tsc.measure_chain(7 * 4 + 4, &mut r);
+            let miss = tsc.measure_chain(7 * 4 + 12, &mut r);
+            assert!(miss >= hit, "miss chain reads at least as long");
+        }
+        // With max jitter 4 < gap 8, thresholding is reliable:
+        let hits: Vec<u32> = (0..1000).map(|_| tsc.measure_chain(32, &mut r)).collect();
+        let misses: Vec<u32> = (0..1000).map(|_| tsc.measure_chain(40, &mut r)).collect();
+        let max_hit = *hits.iter().max().unwrap();
+        let min_miss = *misses.iter().min().unwrap();
+        assert!(min_miss > max_hit, "distributions must separate cleanly");
+    }
+
+    #[test]
+    fn amd_chain_needs_averaging() {
+        // §VI-A: single AMD readouts of the two chain latencies often
+        // coincide (coarse counter), but the means differ.
+        let tsc = TscModel::amd();
+        let mut r = rng();
+        let hits: Vec<u32> = (0..2000).map(|_| tsc.measure_chain(32, &mut r)).collect();
+        let misses: Vec<u32> = (0..2000)
+            .map(|_| tsc.measure_chain(32 + 13, &mut r))
+            .collect();
+        let same = hits.iter().filter(|v| misses.contains(v)).count();
+        assert!(
+            same as f64 / hits.len() as f64 > 0.2,
+            "coarse counter must produce overlapping readouts"
+        );
+        let mean = |v: &[u32]| v.iter().map(|&x| x as f64).sum::<f64>() / v.len() as f64;
+        assert!(
+            mean(&misses) > mean(&hits) + 5.0,
+            "averaging must still reveal the difference"
+        );
+    }
+
+    #[test]
+    fn granularity_quantizes_readout() {
+        let tsc = TscModel {
+            granularity: 25,
+            overhead: 0,
+            jitter: 0,
+            overlap_window: 0,
+        };
+        let mut r = rng();
+        assert_eq!(tsc.measure_chain(60, &mut r) % 25, 0);
+    }
+
+    #[test]
+    fn from_arch_picks_up_profile_values() {
+        let zen = MicroArch::zen_epyc_7571();
+        let tsc = TscModel::from_arch(&zen);
+        assert_eq!(tsc.granularity, zen.tsc_granularity);
+        assert!(tsc.granularity > 1);
+        let snb = MicroArch::sandy_bridge_e5_2690();
+        assert_eq!(TscModel::from_arch(&snb).granularity, 1);
+    }
+}

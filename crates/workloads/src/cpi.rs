@@ -1,0 +1,225 @@
+//! Trace-driven timing model: L1D miss rate and CPI per benchmark
+//! and replacement policy (the two panels of Fig. 9).
+
+use cache_sim::profiles::MicroArch;
+use cache_sim::replacement::PolicyKind;
+use exec_sim::machine::Machine;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::spec_like::Benchmark;
+
+/// The timing model: out-of-order cores overlap much of a miss's
+/// latency, so only `mlp_exposure` of the beyond-L1 cycles shows up
+/// in CPI. This is what makes the Fig. 9 CPI deltas tiny even where
+/// miss-rate deltas are visible ("an L1 miss can still hit in L2").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CpiModel {
+    /// Cycles per instruction with a perfect L1.
+    pub base_cpi: f64,
+    /// Memory references per instruction.
+    pub mem_per_instr: f64,
+    /// Fraction of miss latency that stalls retirement.
+    pub mlp_exposure: f64,
+}
+
+impl CpiModel {
+    /// The model for a benchmark's published traits.
+    pub fn for_benchmark(bench: &Benchmark) -> Self {
+        let t = bench.traits();
+        CpiModel {
+            base_cpi: t.base_cpi,
+            mem_per_instr: t.mem_per_instr,
+            mlp_exposure: t.mlp_exposure,
+        }
+    }
+
+    /// CPI given the average *exposed* memory penalty per access.
+    pub fn cpi(&self, avg_penalty_per_access: f64) -> f64 {
+        self.base_cpi + self.mem_per_instr * avg_penalty_per_access * self.mlp_exposure
+    }
+}
+
+/// Result of running one benchmark under one policy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchmarkResult {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// L1D replacement policy used.
+    pub policy: PolicyKind,
+    /// Demand accesses simulated.
+    pub accesses: u64,
+    /// L1D miss rate.
+    pub l1d_miss_rate: f64,
+    /// L2 (local) miss rate.
+    pub l2_miss_rate: f64,
+    /// Modelled cycles per instruction.
+    pub cpi: f64,
+}
+
+/// Runs `accesses` memory references of `bench` through a fresh
+/// machine built from `arch` with the given L1D policy, and returns
+/// miss rates plus modelled CPI.
+pub fn measure_benchmark(
+    bench: Benchmark,
+    arch: &MicroArch,
+    policy: PolicyKind,
+    accesses: u64,
+    seed: u64,
+) -> BenchmarkResult {
+    let mut machine = Machine::new(*arch, policy, seed);
+    let pid = machine.create_process();
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xbe6c);
+
+    // One private region per mix component, sized to its working
+    // set. Patterns emit offsets; we add the region base.
+    let mut mix = bench.patterns(seed);
+    let total_weight: f64 = mix.iter().map(|(w, _)| *w).sum();
+    let bases: Vec<_> = mix
+        .iter()
+        .map(|(_, p)| {
+            let ws = pattern_extent(p);
+            machine.alloc_pages(pid, ws.div_ceil(4096).max(1))
+        })
+        .collect();
+
+    let l1_lat = arch.latencies.l1 as f64;
+    let mut exposed_penalty = 0.0f64;
+    // Warm-up half as long as the measurement, then measure in
+    // steady state (SPEC results are steady-state too; without this
+    // the compulsory misses of a cold cache dominate short runs).
+    let warmup = accesses / 2;
+    for step in 0..warmup + accesses {
+        if step == warmup {
+            machine.reset_counters();
+            exposed_penalty = 0.0;
+        }
+        // Weighted pick of a mix component.
+        let mut pick = rng.gen_range(0.0..total_weight);
+        let mut idx = 0;
+        for (i, (w, _)) in mix.iter().enumerate() {
+            if pick < *w {
+                idx = i;
+                break;
+            }
+            pick -= *w;
+        }
+        let off = mix[idx].1.next_offset();
+        let out = machine.access(pid, bases[idx].add(off));
+        exposed_penalty += (out.cycles as f64 - l1_lat).max(0.0);
+    }
+
+    let c = machine.counters(pid);
+    let rates = c.miss_rates();
+    let model = CpiModel::for_benchmark(&bench);
+    BenchmarkResult {
+        name: bench.name,
+        policy,
+        accesses,
+        l1d_miss_rate: rates.l1d,
+        l2_miss_rate: rates.l2,
+        cpi: model.cpi(exposed_penalty / accesses as f64),
+    }
+}
+
+fn pattern_extent(p: &crate::access_pattern::AccessPattern) -> u64 {
+    use crate::access_pattern::AccessPattern as A;
+    match p {
+        A::Sequential { working_set, .. }
+        | A::RandomUniform { working_set, .. }
+        | A::Zipfian { working_set, .. }
+        | A::StackLike { working_set, .. } => *working_set,
+        A::PointerChase { perm, .. } => perm.len() as u64 * crate::access_pattern::LINE,
+        A::Blocked2d { cols, rows, .. } => cols * rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec_like::SUITE;
+
+    const N: u64 = 20_000;
+
+    #[test]
+    fn small_working_sets_mostly_hit() {
+        let arch = MicroArch::gem5_fig9();
+        let hmmer = Benchmark::by_name("hmmer").unwrap();
+        let r = measure_benchmark(hmmer, &arch, PolicyKind::TreePlru, N, 1);
+        assert!(
+            r.l1d_miss_rate < 0.15,
+            "hmmer should be L1-friendly, got {:.3}",
+            r.l1d_miss_rate
+        );
+    }
+
+    #[test]
+    fn mcf_misses_much_more_than_hmmer() {
+        let arch = MicroArch::gem5_fig9();
+        let mcf = measure_benchmark(
+            Benchmark::by_name("mcf").unwrap(),
+            &arch,
+            PolicyKind::TreePlru,
+            N,
+            2,
+        );
+        let hmmer = measure_benchmark(
+            Benchmark::by_name("hmmer").unwrap(),
+            &arch,
+            PolicyKind::TreePlru,
+            N,
+            2,
+        );
+        assert!(mcf.l1d_miss_rate > 3.0 * hmmer.l1d_miss_rate);
+        assert!(mcf.cpi > hmmer.cpi);
+    }
+
+    #[test]
+    fn policies_change_cpi_by_little() {
+        // The Fig. 9 claim, on a sample of the suite: CPI varies by
+        // a few percent across policies.
+        let arch = MicroArch::gem5_fig9();
+        for name in ["bzip2", "gcc", "hmmer"] {
+            let b = Benchmark::by_name(name).unwrap();
+            let base = measure_benchmark(b, &arch, PolicyKind::TreePlru, N, 3);
+            for policy in [PolicyKind::Fifo, PolicyKind::Random] {
+                let alt = measure_benchmark(b, &arch, policy, N, 3);
+                let delta = (alt.cpi / base.cpi - 1.0).abs();
+                assert!(
+                    delta < 0.08,
+                    "{name}/{policy}: CPI delta {delta:.3} too large"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn results_are_deterministic() {
+        let arch = MicroArch::gem5_fig9();
+        let b = Benchmark::by_name("astar").unwrap();
+        let a = measure_benchmark(b, &arch, PolicyKind::Random, 5_000, 7);
+        let c = measure_benchmark(b, &arch, PolicyKind::Random, 5_000, 7);
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn cpi_model_is_monotone_in_penalty() {
+        let m = CpiModel {
+            base_cpi: 0.8,
+            mem_per_instr: 0.3,
+            mlp_exposure: 0.5,
+        };
+        assert!(m.cpi(2.0) > m.cpi(1.0));
+        assert!((m.cpi(0.0) - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn whole_suite_runs() {
+        let arch = MicroArch::gem5_fig9();
+        for b in SUITE.iter().take(4) {
+            let r = measure_benchmark(*b, &arch, PolicyKind::TreePlru, 2_000, 5);
+            assert_eq!(r.accesses, 2_000);
+            assert!(r.cpi > 0.0);
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! Quickstart: send one byte through the LRU state of a single cache
+//! set, exactly as in §IV-A of the paper.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use lru_leak::lru_channel::covert::{CovertConfig, Sharing, Variant};
+use lru_leak::lru_channel::decode::{self, BitConvention};
+use lru_leak::lru_channel::params::{ChannelParams, Platform};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The byte to exfiltrate.
+    let secret: u8 = 0b1011_0010;
+    let message: Vec<bool> = (0..8).rev().map(|i| (secret >> i) & 1 == 1).collect();
+
+    // Paper Fig. 5 (top) configuration: shared-memory Algorithm 1 on
+    // a simulated Xeon E5-2690, both parties hyper-threaded on one
+    // core, d = 8, Ts = 6000 cycles per bit, receiver samples every
+    // Tr = 600 cycles.
+    let platform = Platform::e5_2690();
+    let params = ChannelParams::paper_alg1_default();
+    let run = CovertConfig {
+        platform,
+        params,
+        variant: Variant::SharedMemory,
+        sharing: Sharing::HyperThreaded,
+        message: message.clone(),
+        seed: 42,
+    }
+    .run()?;
+
+    println!(
+        "receiver took {} timed observations (threshold: {} cycles, rate ≈ {:.0} Kbit/s)",
+        run.samples.len(),
+        run.hit_threshold,
+        run.rate_bps / 1e3
+    );
+
+    // Decode: a fast (L1-hit) observation means the sender touched
+    // line 0 during that bit period ⇒ bit 1.
+    let bits = decode::bits_by_window(
+        &run.samples,
+        params.ts,
+        run.hit_threshold,
+        BitConvention::HitIsOne,
+    );
+    let mut recovered: u8 = 0;
+    for &b in bits.iter().take(8) {
+        recovered = (recovered << 1) | u8::from(b);
+    }
+    println!("sent      {secret:#010b}");
+    println!("recovered {recovered:#010b}");
+    assert_eq!(secret, recovered, "the channel should be error-free at this rate");
+    println!("byte transferred through nothing but Tree-PLRU metadata ✔");
+    Ok(())
+}

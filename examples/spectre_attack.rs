@@ -1,0 +1,68 @@
+//! Spectre v1 with the LRU channel as the disclosure primitive
+//! (paper §VIII): recover a secret string the victim never
+//! architecturally reads out of bounds.
+//!
+//! Run with `cargo run --release --example spectre_attack`.
+
+use lru_leak::attacks::primitive::{
+    FlushReloadPrimitive, LruAlg1Primitive, LruAlg2Primitive,
+};
+use lru_leak::attacks::spectre::{decode_symbols, encode_symbols, SpectreAttack};
+use lru_leak::cache_sim::replacement::PolicyKind;
+use lru_leak::exec_sim::machine::Machine;
+use lru_leak::exec_sim::speculation::build_victim;
+use lru_leak::lru_channel::params::Platform;
+
+const SECRET: &str = "The Magic Words are Squeamish Ossifrage";
+
+fn main() {
+    let platform = Platform::e5_2690();
+    println!("victim secret: {SECRET:?}\n");
+
+    for which in ["F+R (mem)", "LRU Alg.1", "LRU Alg.2"] {
+        let mut machine = Machine::new(platform.arch, PolicyKind::TreePlru, 0xfeed);
+        let symbols = encode_symbols(SECRET);
+        let (mut victim, secret_offset) = build_victim(&mut machine, &symbols, 8);
+        let attack = SpectreAttack::default();
+
+        // Warm up on the first symbol, then reset the counters so
+        // the miss profile reflects the steady-state attack (the
+        // view `perf` would give over a long run), as in Table VII.
+        let recovered = match which {
+            "F+R (mem)" => {
+                let mut p = FlushReloadPrimitive::new(victim.pid, victim.array2, platform);
+                attack.recover(&mut machine, &mut victim, &mut p, secret_offset, 1);
+                machine.reset_counters();
+                attack.recover(&mut machine, &mut victim, &mut p, secret_offset, symbols.len())
+            }
+            "LRU Alg.1" => {
+                // The stealthy variant: the victim's transient probe
+                // access *hits* in L1 — only the Tree-PLRU bits move.
+                let mut p =
+                    LruAlg1Primitive::new(&mut machine, victim.pid, victim.array2, platform);
+                attack.recover(&mut machine, &mut victim, &mut p, secret_offset, 1);
+                machine.reset_counters();
+                attack.recover(&mut machine, &mut victim, &mut p, secret_offset, symbols.len())
+            }
+            _ => {
+                let mut p =
+                    LruAlg2Primitive::new(&mut machine, victim.pid, victim.array2, platform);
+                attack.recover(&mut machine, &mut victim, &mut p, secret_offset, 1);
+                machine.reset_counters();
+                attack.recover(&mut machine, &mut victim, &mut p, secret_offset, symbols.len())
+            }
+        };
+        let text = decode_symbols(&recovered);
+        let c = machine.counters(victim.pid);
+        let rates = c.miss_rates();
+        println!("{which:<10} recovered: {text:?}");
+        println!(
+            "{:<10} attack miss profile: {rates}  ({} L1D / {} L2 / {} LLC accesses)\n",
+            "", c.l1d_accesses, c.l2_accesses, c.llc_accesses
+        );
+    }
+    println!("note the Table VII shape: Flush+Reload misses beyond the L2 *constantly*");
+    println!("(every probe reload comes from memory), while the LRU-channel attacks make");
+    println!("almost no traffic beyond the L1 at all — their non-zero LLC percentages sit");
+    println!("on a few dozen compulsory accesses, invisible to a rate-based detector.");
+}

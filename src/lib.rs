@@ -1,0 +1,61 @@
+//! # lru-leak — "Leaking Information Through Cache LRU States", reproduced in Rust
+//!
+//! A full reproduction of Xiong & Szefer's HPCA 2020 paper: cache
+//! covert/side channels that leak through the **replacement state**
+//! (LRU / Tree-PLRU / Bit-PLRU) of a cache set rather than through
+//! line presence. Every access — *hit or miss* — updates that state;
+//! a later replacement decision reveals it.
+//!
+//! This facade re-exports the workspace crates:
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`cache_sim`] | set-associative caches with observable replacement state, PL cache, AMD µtag way predictor, prefetchers, perf counters |
+//! | [`exec_sim`] | processes/page tables, timestamp-counter models, pointer-chase measurement, SMT & time-sliced schedulers, Spectre-v1 speculation |
+//! | [`lru_channel`] | **the paper's contribution**: Algorithms 1–3, decoders, the Table I PLRU study, Wagner–Fischer error analysis |
+//! | [`attacks`] | Flush+Reload / Prime+Probe baselines, Spectre-v1 with pluggable disclosure primitives, Tables V–VII experiments |
+//! | [`defense`] | §IX defenses: FIFO/Random substitution (Fig. 9), fixed PL cache (Fig. 11), DAWG-style partitioning, invisible speculation, detection |
+//! | [`workloads`] | synthetic SPEC-like benchmark suite and CPI model for the defense study |
+//!
+//! ## Quickstart: transfer bits through LRU states
+//!
+//! ```
+//! use lru_leak::lru_channel::covert::{CovertConfig, Sharing, Variant};
+//! use lru_leak::lru_channel::params::{ChannelParams, Platform};
+//! use lru_leak::lru_channel::decode::{self, BitConvention};
+//!
+//! let message = vec![true, false, true, true, false, true, false, false];
+//! let run = CovertConfig {
+//!     platform: Platform::e5_2690(),
+//!     params: ChannelParams::paper_alg1_default(),
+//!     variant: Variant::SharedMemory,
+//!     sharing: Sharing::HyperThreaded,
+//!     message: message.clone(),
+//!     seed: 7,
+//! }
+//! .run()?;
+//! let bits = decode::bits_by_window(
+//!     &run.samples,
+//!     6_000,
+//!     run.hit_threshold,
+//!     BitConvention::HitIsOne,
+//! );
+//! assert_eq!(&bits[..message.len()], &message[..]);
+//! # Ok::<(), lru_leak::lru_channel::params::ParamError>(())
+//! ```
+//!
+//! See `examples/` for runnable demonstrations (covert channels on
+//! all three simulated CPUs, the Spectre attack, the PL-cache break
+//! and fix, and the AMD way-predictor effect), and
+//! `cargo bench --workspace` to regenerate every table and figure of
+//! the paper.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use attacks;
+pub use cache_sim;
+pub use defense;
+pub use exec_sim;
+pub use lru_channel;
+pub use workloads;
