@@ -99,8 +99,16 @@ mod tests {
             let mem = encoding_latency(platform, EncodedChannel::FlushReloadMem);
             let l1 = encoding_latency(platform, EncodedChannel::FlushReloadL1);
             let lru = encoding_latency(platform, EncodedChannel::LruChannel);
-            assert!(lru < l1, "{}: LRU {lru} !< F+R(L1) {l1}", platform.arch.model);
-            assert!(l1 < mem, "{}: F+R(L1) {l1} !< F+R(mem) {mem}", platform.arch.model);
+            assert!(
+                lru < l1,
+                "{}: LRU {lru} !< F+R(L1) {l1}",
+                platform.arch.model
+            );
+            assert!(
+                l1 < mem,
+                "{}: F+R(L1) {l1} !< F+R(mem) {mem}",
+                platform.arch.model
+            );
         }
     }
 
@@ -117,7 +125,10 @@ mod tests {
     #[test]
     fn fr_mem_costs_a_memory_round_trip() {
         let mem = encoding_latency(Platform::e5_2690(), EncodedChannel::FlushReloadMem);
-        assert!(mem > 150, "F+R(mem) encode must include memory latency, got {mem}");
+        assert!(
+            mem > 150,
+            "F+R(mem) encode must include memory latency, got {mem}"
+        );
     }
 
     #[test]

@@ -154,11 +154,7 @@ mod tests {
     use lru_channel::protocol::LruSender;
     use lru_channel::setup;
 
-    fn run_fr(
-        eviction_is_flush: bool,
-        message: Vec<bool>,
-        seed: u64,
-    ) -> (Vec<Sample>, u32) {
+    fn run_fr(eviction_is_flush: bool, message: Vec<bool>, seed: u64) -> (Vec<Sample>, u32) {
         let mut m = Machine::new(
             MicroArch::sandy_bridge_e5_2690(),
             PolicyKind::TreePlru,
@@ -199,10 +195,7 @@ mod tests {
         let (samples, _thr) = run_fr(true, vec![true; 10], 2);
         // m=1: the sender keeps re-fetching the line, so most
         // reloads hit somewhere in the hierarchy.
-        let fast = samples
-            .iter()
-            .filter(|s| s.level != HitLevel::Mem)
-            .count();
+        let fast = samples.iter().filter(|s| s.level != HitLevel::Mem).count();
         assert!(
             fast as f64 / samples.len() as f64 > 0.7,
             "sender accesses should make reloads fast: {fast}/{}",
@@ -233,10 +226,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "eviction set")]
     fn rejects_empty_eviction_set() {
-        let _ = FlushReloadReceiver::new(
-            VirtAddr::new(0),
-            EvictionMethod::L1EvictionSet(vec![]),
-            100,
-        );
+        let _ =
+            FlushReloadReceiver::new(VirtAddr::new(0), EvictionMethod::L1EvictionSet(vec![]), 100);
     }
 }

@@ -128,8 +128,7 @@ pub fn sender_miss_rates(
             );
         }
         SenderScenario::LruAlg1 | SenderScenario::LruAlg2 => {
-            let mut recv =
-                LruReceiver::new(endpoints.receiver_lines.clone(), params.d, params.tr);
+            let mut recv = LruReceiver::new(endpoints.receiver_lines.clone(), params.d, params.tr);
             let probe = LatencyProbe::new(&mut machine, receiver_pid, platform.tsc, 63);
             HyperThreaded::new(seed).run(
                 &mut machine,

@@ -200,11 +200,7 @@ mod tests {
         let quiet = run_pp(vec![false; 8], 3);
         let busy = run_pp(vec![true; 8], 3);
         let mean = |v: &[ProbeSample]| {
-            v[2..]
-                .iter()
-                .map(|s| s.total_measured as f64)
-                .sum::<f64>()
-                / (v.len() - 2) as f64
+            v[2..].iter().map(|s| s.total_measured as f64).sum::<f64>() / (v.len() - 2) as f64
         };
         assert!(
             mean(&busy) > mean(&quiet) + 4.0,

@@ -96,8 +96,7 @@ impl DisclosurePrimitive for FlushReloadPrimitive {
 
     fn decode(&mut self, machine: &mut Machine, rng: &mut SmallRng) -> Vec<u8> {
         // Anything measurably below a memory round trip is cached.
-        let mem_floor =
-            self.platform.tsc.overhead + self.platform.arch.latencies.mem / 2;
+        let mem_floor = self.platform.tsc.overhead + self.platform.arch.latencies.mem / 2;
         let mut found = Vec::new();
         for v in shuffled_values(rng) {
             let meas = rdtscp_single(
@@ -318,6 +317,9 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(5);
         prim.prepare(&mut m);
         let got = prim.decode(&mut m, &mut rng);
-        assert!(got.is_empty(), "quiet sets must decode to nothing, got {got:?}");
+        assert!(
+            got.is_empty(),
+            "quiet sets must decode to nothing, got {got:?}"
+        );
     }
 }

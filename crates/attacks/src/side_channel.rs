@@ -103,9 +103,7 @@ impl SetMonitor {
         }
         let mut touched = Vec::new();
         for s in order {
-            let meas = self
-                .probe
-                .measure(machine, self.pid, self.lines[s][0], rng);
+            let meas = self.probe.measure(machine, self.pid, self.lines[s][0], rng);
             if meas.measured > self.threshold {
                 touched.push(s as u8);
             }

@@ -14,8 +14,7 @@ use crate::primitive::{DisclosurePrimitive, SYMBOL_VALUES};
 
 /// The 63-symbol alphabet used by the demos (the paper's setup
 /// supports 63 distinct values — 63 usable cache sets).
-pub const ALPHABET: &[u8; 63] =
-    b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789 ";
+pub const ALPHABET: &[u8; 63] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789 ";
 
 /// Encodes text into 6-bit symbols (`0..63`). Characters outside the
 /// alphabet map to the space symbol.
@@ -133,11 +132,7 @@ impl SpectreAttack {
 /// noise floor, fall back to the raw attack majority (covers the
 /// corner where the secret value collides with the gadget's own set,
 /// so subtraction cancels the true signal too).
-fn resolve_votes(
-    attack: &HashMap<u8, usize>,
-    baseline: &HashMap<u8, usize>,
-    rounds: usize,
-) -> u8 {
+fn resolve_votes(attack: &HashMap<u8, usize>, baseline: &HashMap<u8, usize>, rounds: usize) -> u8 {
     let mut ranked: Vec<(i64, std::cmp::Reverse<u8>, u8)> = attack
         .iter()
         .map(|(&v, &n)| {
@@ -182,11 +177,7 @@ mod tests {
     const SECRET: &str = "Squeamish";
 
     fn machine() -> Machine {
-        Machine::new(
-            MicroArch::sandy_bridge_e5_2690(),
-            PolicyKind::TreePlru,
-            7,
-        )
+        Machine::new(MicroArch::sandy_bridge_e5_2690(), PolicyKind::TreePlru, 7)
     }
 
     #[test]
@@ -207,13 +198,8 @@ mod tests {
         let secret = encode_symbols(SECRET);
         let (mut victim, off) = build_victim(&mut m, &secret, 8);
         let mut prim = build(&mut m, victim.pid, victim.array2);
-        let got = SpectreAttack::default().recover(
-            &mut m,
-            &mut victim,
-            &mut prim,
-            off,
-            secret.len(),
-        );
+        let got =
+            SpectreAttack::default().recover(&mut m, &mut victim, &mut prim, off, secret.len());
         decode_symbols(&got)
     }
 
@@ -225,15 +211,13 @@ mod tests {
 
     #[test]
     fn spectre_via_lru_alg1_recovers_secret() {
-        let got =
-            run_with(|m, pid, a2| LruAlg1Primitive::new(m, pid, a2, Platform::e5_2690()));
+        let got = run_with(|m, pid, a2| LruAlg1Primitive::new(m, pid, a2, Platform::e5_2690()));
         assert_eq!(got, SECRET);
     }
 
     #[test]
     fn spectre_via_lru_alg2_recovers_secret() {
-        let got =
-            run_with(|m, pid, a2| LruAlg2Primitive::new(m, pid, a2, Platform::e5_2690()));
+        let got = run_with(|m, pid, a2| LruAlg2Primitive::new(m, pid, a2, Platform::e5_2690()));
         assert_eq!(got, SECRET);
     }
 
@@ -242,7 +226,8 @@ mod tests {
         let mut m = machine();
         let secret = encode_symbols("K9");
         let (mut victim, off) = build_victim(&mut m, &secret, 8);
-        let mut prim = LruAlg1Primitive::new(&mut m, victim.pid, victim.array2, Platform::e5_2690());
+        let mut prim =
+            LruAlg1Primitive::new(&mut m, victim.pid, victim.array2, Platform::e5_2690());
         let attack = SpectreAttack {
             mode: SpecMode::Invisible,
             ..SpectreAttack::default()
@@ -265,7 +250,8 @@ mod tests {
             .with_prefetcher(Prefetcher::next_line());
         let secret = encode_symbols("magic");
         let (mut victim, off) = build_victim(&mut m, &secret, 8);
-        let mut prim = LruAlg2Primitive::new(&mut m, victim.pid, victim.array2, Platform::e5_2690());
+        let mut prim =
+            LruAlg2Primitive::new(&mut m, victim.pid, victim.array2, Platform::e5_2690());
         let attack = SpectreAttack {
             rounds: 11,
             ..SpectreAttack::default()

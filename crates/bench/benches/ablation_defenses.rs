@@ -45,9 +45,19 @@ fn main() {
         "every defense vs the channels: policy substitution, state partitioning, invisible speculation, detection",
     );
 
-    println!("\n[§IX-A] Alg.1 HT error rate per L1 replacement policy (high error = channel dead):");
-    for policy in [PolicyKind::TreePlru, PolicyKind::BitPlru, PolicyKind::Fifo, PolicyKind::Random] {
-        println!("  {policy:<12} error rate {}", pct1(channel_error_under_policy(policy)));
+    println!(
+        "\n[§IX-A] Alg.1 HT error rate per L1 replacement policy (high error = channel dead):"
+    );
+    for policy in [
+        PolicyKind::TreePlru,
+        PolicyKind::BitPlru,
+        PolicyKind::Fifo,
+        PolicyKind::Random,
+    ] {
+        println!(
+            "  {policy:<12} error rate {}",
+            pct1(channel_error_under_policy(policy))
+        );
     }
     println!("  note: under the literal Bit-PLRU rollover (all MRU-bits reset to 0) the");
     println!("  receiver's own timed access parks line 0 in a high way and the *continuous*");
@@ -57,8 +67,14 @@ fn main() {
     println!("\n[§IX-B] replacement-state partitioning (victim-flip rate; 0 = no leak):");
     let shared = shared_plru_leak(5_000, BENCH_SEED);
     let dawg = dawg_partitioned_leak(5_000, BENCH_SEED);
-    println!("  way-partitioned, shared Tree-PLRU   {}", pct1(shared.victim_flip_rate));
-    println!("  DAWG-partitioned Tree-PLRU state    {}", pct1(dawg.victim_flip_rate));
+    println!(
+        "  way-partitioned, shared Tree-PLRU   {}",
+        pct1(shared.victim_flip_rate)
+    );
+    println!(
+        "  DAWG-partitioned Tree-PLRU state    {}",
+        pct1(dawg.victim_flip_rate)
+    );
 
     println!("\n[§IX-B] InvisiSpec-style invisible speculation vs Spectre:");
     row("channel", &["baseline acc.", "invisible acc."]);

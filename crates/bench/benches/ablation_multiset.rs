@@ -24,16 +24,8 @@ fn main() {
             .collect();
         // The receiver sweep grows with K: give it room in Tr/Ts.
         let (ts, tr) = (4_000 + 2_000 * k as u64, 600 + 200 * k as u64);
-        let run = run_parallel_alg1(
-            platform,
-            &sets,
-            8,
-            ts,
-            tr,
-            frames.clone(),
-            BENCH_SEED,
-        )
-        .expect("valid configuration");
+        let run = run_parallel_alg1(platform, &sets, 8, ts, tr, frames.clone(), BENCH_SEED)
+            .expect("valid configuration");
         let decoded = run.decode_frames(k, ts, frames.len());
         let total = frames.len() * k;
         let correct: usize = frames

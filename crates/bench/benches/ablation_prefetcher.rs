@@ -49,12 +49,22 @@ fn main() {
     let configs: [(&str, Option<Prefetcher>, usize); 4] = [
         ("no prefetcher, 1 round", None, 1),
         ("no prefetcher, 7 rounds", None, 7),
-        ("next-line prefetcher, 1 round", Some(Prefetcher::next_line()), 1),
-        ("next-line prefetcher, 11 rounds", Some(Prefetcher::next_line()), 11),
+        (
+            "next-line prefetcher, 1 round",
+            Some(Prefetcher::next_line()),
+            1,
+        ),
+        (
+            "next-line prefetcher, 11 rounds",
+            Some(Prefetcher::next_line()),
+            11,
+        ),
     ];
     for (label, pf, rounds) in configs {
         let (acc, text) = accuracy(pf, rounds);
         println!("{label:<34} accuracy {:>5.1}%   {text:?}", acc * 100.0);
     }
-    println!("\nshape check: prefetcher + 1 round degrades; the Appendix-C mitigation restores accuracy");
+    println!(
+        "\nshape check: prefetcher + 1 round degrades; the Appendix-C mitigation restores accuracy"
+    );
 }

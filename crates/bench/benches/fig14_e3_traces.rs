@@ -27,7 +27,11 @@ fn run(variant: Variant, params: ChannelParams, convention: BitConvention, ratio
         .collect();
     println!(
         "\n{:?}, d={}, Tr={}, Ts={} (nominal {:.0}Kbps — paper reports 580Kbps wall-clock):",
-        variant, params.d, params.tr, params.ts, run.rate_bps / 1e3
+        variant,
+        params.d,
+        params.tr,
+        params.ts,
+        run.rate_bps / 1e3
     );
     println!("latency trace: {}", sparkline(&series));
     let bits = decode::bits_by_window_ratio(

@@ -12,9 +12,5 @@ fn main() {
         "Paper Fig. 15 (Appendix B)",
         "% of 1s received, E3-1245 v5 time-sliced, Alg.1 (paper: similar to E5-2690)",
     );
-    timesliced::run_grid(
-        Platform::e3_1245v5(),
-        Variant::SharedMemory,
-        &[1, 4, 7, 8],
-    );
+    timesliced::run_grid(Platform::e3_1245v5(), Variant::SharedMemory, &[1, 4, 7, 8]);
 }

@@ -7,6 +7,7 @@ use lru_channel::covert::{CovertConfig, Sharing, Variant};
 use lru_channel::decode::{self, BitConvention};
 use lru_channel::edit_distance::error_rate;
 use lru_channel::params::{ChannelParams, Platform};
+use lru_channel::trials::run_trials;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -58,6 +59,9 @@ fn error_for(variant: Variant, d: usize, tr: u64, ts: u64, seed: u64) -> f64 {
     total / REPEATS as f64
 }
 
+const TRS: [u64; 3] = [600, 1000, 3000];
+const TSS: [u64; 4] = [30000, 12000, 6000, 4500];
+
 fn main() {
     header(
         "fig4_error_rates",
@@ -70,25 +74,29 @@ fn main() {
         (Variant::NoSharedMemory, "Algorithm 2 (no shared memory)"),
     ] {
         println!("\n--- {name} ---");
-        for tr in [600u64, 1000, 3000] {
+        // The (tr, d, ts) grid points are independent channel runs,
+        // each seeded only by its own coordinates: fan them out over
+        // the cores and print from the index-ordered results.
+        let coords: Vec<(u64, usize, u64)> = TRS
+            .iter()
+            .flat_map(|&tr| (1..=8usize).flat_map(move |d| TSS.iter().map(move |&ts| (tr, d, ts))))
+            .collect();
+        let errors = run_trials(coords.len(), |i| {
+            let (tr, d, ts) = coords[i];
+            error_for(variant, d, tr, ts, BENCH_SEED ^ (d as u64) ^ ts ^ tr)
+        });
+        let mut next = errors.iter();
+        for tr in TRS {
             println!("\nTr = {tr} cycles:");
             let mut labels = vec!["d \\ rate".to_string()];
-            for ts in [30000u64, 12000, 6000, 4500] {
+            for ts in TSS {
                 labels.push(kbps(platform.rate_bps(ts)));
             }
             row(&labels[0], &labels[1..]);
             for d in 1..=8usize {
-                let vals: Vec<String> = [30000u64, 12000, 6000, 4500]
+                let vals: Vec<String> = TSS
                     .iter()
-                    .map(|&ts| {
-                        pct1(error_for(
-                            variant,
-                            d,
-                            tr,
-                            ts,
-                            BENCH_SEED ^ (d as u64) ^ ts ^ tr,
-                        ))
-                    })
+                    .map(|_| pct1(*next.next().expect("grid sized")))
                     .collect();
                 row(&format!("d={d}"), &vals);
             }

@@ -28,7 +28,12 @@ fn run(variant: Variant, params: ChannelParams, convention: BitConvention, ratio
         .collect();
     println!(
         "\n{:?}, d={}, Tr={}, Ts={} (threshold {} cycles, nominal {:.0}Kbps):",
-        variant, params.d, params.tr, params.ts, run.hit_threshold, run.rate_bps / 1e3
+        variant,
+        params.d,
+        params.tr,
+        params.ts,
+        run.hit_threshold,
+        run.rate_bps / 1e3
     );
     println!("latency trace (first 200 obs): {}", sparkline(&series));
     let bits = decode::bits_by_window_ratio(

@@ -12,9 +12,5 @@ fn main() {
         "Paper Fig. 6 (§V-B)",
         "% of 1s received, E5-2690 time-sliced, Alg.1 (paper: ~0-5% sending 0; ~30% sending 1 at d=8, Tr=1e8)",
     );
-    timesliced::run_grid(
-        Platform::e5_2690(),
-        Variant::SharedMemory,
-        &[1, 2, 4, 7, 8],
-    );
+    timesliced::run_grid(Platform::e5_2690(), Variant::SharedMemory, &[1, 2, 4, 7, 8]);
 }

@@ -34,12 +34,19 @@ fn run(variant: Variant, d: usize, convention: BitConvention) {
         run.rate_bps / 1e3
     );
     let raw: Vec<f64> = run.samples.iter().map(|s| s.measured as f64).collect();
-    println!("raw readouts (coarse counter): {}", sparkline(&raw[..raw.len().min(160)]));
+    println!(
+        "raw readouts (coarse counter): {}",
+        sparkline(&raw[..raw.len().min(160)])
+    );
     // Samples per bit period ≈ Ts / Tr — the paper's "best fit
     // period".
     let period = (params.ts / params.tr) as usize;
     let avg = decode::moving_average(&run.samples, period.max(3));
-    println!("moving average ({}-sample window): {}", period, sparkline(&avg[..avg.len().min(160)]));
+    println!(
+        "moving average ({}-sample window): {}",
+        period,
+        sparkline(&avg[..avg.len().min(160)])
+    );
     let bits = decode::bits_from_moving_average(&avg, period, convention);
     let sent: String = message.iter().map(|&b| if b { '1' } else { '0' }).collect();
     let got: String = bits

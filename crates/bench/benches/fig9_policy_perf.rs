@@ -15,7 +15,10 @@ fn main() {
     let rows = fig9(ACCESSES, BENCH_SEED);
 
     println!("\nL1D miss rate per policy:");
-    row("benchmark", &["Tree-PLRU", "FIFO", "Random", "FIFO/base", "Rand/base"]);
+    row(
+        "benchmark",
+        &["Tree-PLRU", "FIFO", "Random", "FIFO/base", "Rand/base"],
+    );
     for r in &rows {
         let n = r.normalized_miss_rates();
         row(

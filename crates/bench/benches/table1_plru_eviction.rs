@@ -1,8 +1,8 @@
 //! Table I: probability of `line 0` being evicted with PLRU.
 
 use bench_harness::{header, pct1, row, BENCH_SEED};
-use lru_channel::plru_study::{eviction_curve, InitCond, SequenceKind, PAPER_TRIALS};
 use cache_sim::replacement::PolicyKind;
+use lru_channel::plru_study::{eviction_curve, InitCond, SequenceKind, PAPER_TRIALS};
 
 fn main() {
     header(
@@ -22,10 +22,7 @@ fn main() {
         for policy in PolicyKind::TABLE1 {
             for seq in [SequenceKind::Seq1, SequenceKind::Seq2] {
                 let curve = eviction_curve(policy, seq, init, 12, PAPER_TRIALS, BENCH_SEED);
-                let label = format!(
-                    "{:?}/{policy}/{:?}",
-                    init, seq
-                );
+                let label = format!("{:?}/{policy}/{:?}", init, seq);
                 row(
                     &label,
                     &[

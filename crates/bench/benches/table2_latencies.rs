@@ -13,7 +13,10 @@ fn main() {
         "Paper Table II (§IV-D)",
         "L1D and L2 access latency in cycles (paper: SNB 4-5/12, SKL 4-5/12, Zen 4-5/17)",
     );
-    row("platform", &["L1D (model)", "L2 (model)", "L1D (meas)", "L2 (meas)"]);
+    row(
+        "platform",
+        &["L1D (model)", "L2 (model)", "L1D (meas)", "L2 (meas)"],
+    );
     for platform in Platform::all() {
         let mut m = Machine::new(platform.arch, PolicyKind::TreePlru, 1);
         let pid = m.create_process();

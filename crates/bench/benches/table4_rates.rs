@@ -5,10 +5,16 @@ use lru_channel::covert::{percent_ones, percent_ones_with_noise, CovertConfig, S
 use lru_channel::decode::{self, BitConvention};
 use lru_channel::edit_distance::error_rate;
 use lru_channel::params::{ChannelParams, Platform};
+use lru_channel::trials::run_trials;
 
 /// Effective hyper-threaded rate: nominal `freq/Ts` scaled by the
 /// fraction of bits that get through (1 − error rate).
-fn ht_rate(platform: Platform, variant: Variant, params: ChannelParams, conv: BitConvention) -> f64 {
+fn ht_rate(
+    platform: Platform,
+    variant: Variant,
+    params: ChannelParams,
+    conv: BitConvention,
+) -> f64 {
     let message: Vec<bool> = (0..64).map(|i| (i / 3) % 2 == 0).collect();
     let run = CovertConfig {
         platform,
@@ -20,8 +26,13 @@ fn ht_rate(platform: Platform, variant: Variant, params: ChannelParams, conv: Bi
     }
     .run()
     .expect("valid parameters");
-    let ratio = if conv == BitConvention::MissIsOne { 0.25 } else { 0.5 };
-    let bits = decode::bits_by_window_ratio(&run.samples, params.ts, run.hit_threshold, conv, ratio);
+    let ratio = if conv == BitConvention::MissIsOne {
+        0.25
+    } else {
+        0.5
+    };
+    let bits =
+        decode::bits_by_window_ratio(&run.samples, params.ts, run.hit_threshold, conv, ratio);
     let err = error_rate(&message, &bits[..message.len().min(bits.len())]);
     run.rate_bps * (1.0 - err)
 }
@@ -37,8 +48,13 @@ fn ts_rate(platform: Platform, variant: Variant) -> Option<f64> {
         ts: tr,
         tr,
     };
-    let p0 = percent_ones(platform, params, variant, false, 80, BENCH_SEED).ok()?;
-    let p1 = percent_ones(platform, params, variant, true, 80, BENCH_SEED).ok()?;
+    // The two constant-bit runs are independent: run them on two
+    // cores via the deterministic trial driver.
+    let ps = run_trials(2, |i| {
+        percent_ones(platform, params, variant, i == 1, 80, BENCH_SEED)
+    });
+    let p0 = *ps[0].as_ref().ok()?;
+    let p1 = *ps[1].as_ref().ok()?;
     let gap = (p1 - p0).abs();
     if gap < 0.02 {
         return None; // indistinguishable — no channel (the paper's "–")
@@ -74,7 +90,12 @@ fn main() {
     row(
         "HT / Algorithm 1",
         &[
-            kbps(ht_rate(intel, Variant::SharedMemory, fast, BitConvention::HitIsOne)),
+            kbps(ht_rate(
+                intel,
+                Variant::SharedMemory,
+                fast,
+                BitConvention::HitIsOne,
+            )),
             kbps(ht_rate(
                 amd,
                 Variant::SharedMemoryThreads,
@@ -86,7 +107,12 @@ fn main() {
     row(
         "HT / Algorithm 2",
         &[
-            kbps(ht_rate(intel, Variant::NoSharedMemory, fast2, BitConvention::MissIsOne)),
+            kbps(ht_rate(
+                intel,
+                Variant::NoSharedMemory,
+                fast2,
+                BitConvention::MissIsOne,
+            )),
             kbps(ht_rate(
                 amd,
                 Variant::NoSharedMemory,
@@ -131,8 +157,11 @@ fn ts_rate_noisy(platform: Platform, variant: Variant) -> Option<f64> {
         ts: tr,
         tr,
     };
-    let p0 = percent_ones_with_noise(platform, params, variant, false, 60, BENCH_SEED).ok()?;
-    let p1 = percent_ones_with_noise(platform, params, variant, true, 60, BENCH_SEED).ok()?;
+    let ps = run_trials(2, |i| {
+        percent_ones_with_noise(platform, params, variant, i == 1, 60, BENCH_SEED)
+    });
+    let p0 = *ps[0].as_ref().ok()?;
+    let p1 = *ps[1].as_ref().ok()?;
     let gap = (p1 - p0).abs();
     if gap < 0.1 {
         return None;

@@ -26,5 +26,7 @@ fn main() {
         }
     }
     println!("\nshape check: the LRU senders' beyond-L1 traffic is tiny and their L1D rate");
-    println!("is within the benign-cosched band — a miss-rate detector cannot separate them (§VII)");
+    println!(
+        "is within the benign-cosched band — a miss-rate detector cannot separate them (§VII)"
+    );
 }

@@ -77,9 +77,15 @@ pub const BENCH_SEED: u64 = 0x11ca_c4e5;
 
 /// Shared driver for the time-sliced percent-of-ones figures
 /// (Figs. 6, 8 and 15).
+///
+/// The grid points are independent simulator runs, so they are
+/// evaluated through the deterministic parallel trial driver
+/// ([`lru_channel::trials`]): wall-clock scales with core count
+/// while every fraction stays bit-identical to a sequential sweep
+/// (each point is seeded only by its own `(d, Tr, bit)` tuple).
 pub mod timesliced {
     use super::{pct1, row, BENCH_SEED};
-    use lru_channel::covert::{percent_ones, Variant};
+    use lru_channel::covert::{percent_ones_grid, GridPoint, Variant};
     use lru_channel::params::{ChannelParams, Platform};
 
     /// Samples per data point (paper: 1000; reduced to keep the grid
@@ -89,8 +95,34 @@ pub mod timesliced {
     /// The Tr grid in cycles (paper x-axis: up to ~5×10⁸).
     pub const TRS: [u64; 4] = [50_000_000, 100_000_000, 200_000_000, 400_000_000];
 
+    /// The full `(bit, d, Tr)` grid for one platform, in print order.
+    pub fn grid_points(ds: &[usize]) -> Vec<GridPoint> {
+        let mut points = Vec::with_capacity(2 * ds.len() * TRS.len());
+        for bit in [false, true] {
+            for &d in ds {
+                for tr in TRS {
+                    points.push(GridPoint {
+                        params: ChannelParams {
+                            d,
+                            target_set: 0,
+                            ts: tr,
+                            tr,
+                        },
+                        bit,
+                        seed: BENCH_SEED ^ tr ^ d as u64 ^ u64::from(bit),
+                    });
+                }
+            }
+        }
+        points
+    }
+
     /// Runs and prints the constant-bit grid for one platform.
     pub fn run_grid(platform: Platform, variant: Variant, ds: &[usize]) {
+        let points = grid_points(ds);
+        let fractions =
+            percent_ones_grid(platform, variant, &points, SAMPLES).expect("valid parameters");
+        let mut next = fractions.iter();
         for bit in [false, true] {
             println!("\nSending {}:", u8::from(bit));
             let mut labels = vec!["d \\ Tr".to_string()];
@@ -101,24 +133,7 @@ pub mod timesliced {
             for &d in ds {
                 let vals: Vec<String> = TRS
                     .iter()
-                    .map(|&tr| {
-                        let params = ChannelParams {
-                            d,
-                            target_set: 0,
-                            ts: tr,
-                            tr,
-                        };
-                        let p = percent_ones(
-                            platform,
-                            params,
-                            variant,
-                            bit,
-                            SAMPLES,
-                            BENCH_SEED ^ tr ^ d as u64 ^ u64::from(bit),
-                        )
-                        .expect("valid parameters");
-                        pct1(p)
-                    })
+                    .map(|_| pct1(*next.next().expect("grid sized")))
                     .collect();
                 row(&format!("d={d}"), &vals);
             }

@@ -120,15 +120,9 @@ mod tests {
     #[test]
     fn page_arithmetic_round_trips() {
         let va = VirtAddr::new(0x1234_5678);
-        assert_eq!(
-            VirtAddr::from_page(va.page_number(), va.page_offset()),
-            va
-        );
+        assert_eq!(VirtAddr::from_page(va.page_number(), va.page_offset()), va);
         let pa = PhysAddr::new(0xdead_beef);
-        assert_eq!(
-            PhysAddr::from_frame(pa.page_number(), pa.page_offset()),
-            pa
-        );
+        assert_eq!(PhysAddr::from_frame(pa.page_number(), pa.page_offset()), pa);
     }
 
     #[test]

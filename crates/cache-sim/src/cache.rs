@@ -1,10 +1,20 @@
 //! A single-level, physically tagged, set-associative cache.
+//!
+//! Storage is structure-of-arrays (the private `storage` module): one
+//! contiguous tag array for the whole cache, per-set validity/lock
+//! bitmask words, and packed replacement state — so the
+//! [`Cache::access`] hot path is a branch-light tag compare over one
+//! or two host cache lines. The original array-of-structs layout is
+//! preserved in [`crate::reference`] as the equivalence oracle and
+//! performance baseline.
 
 use crate::addr::PhysAddr;
 use crate::geometry::CacheGeometry;
 use crate::line::LineMeta;
-use crate::replacement::{Domain, Policy, PolicyKind, WayMask};
-use crate::set::CacheSet;
+use crate::replacement::{Domain, PolicyKind, WayMask};
+use crate::storage::SoaStore;
+
+use std::fmt;
 
 /// Result of one access to a [`Cache`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -48,7 +58,7 @@ impl CacheStats {
 /// Addresses are physical; the cache is oblivious to virtual
 /// addresses except for the µtag field that
 /// [`crate::way_predictor::WayPredictor`] maintains through
-/// [`Cache::line_meta_mut`].
+/// [`Cache::set_utag`].
 ///
 /// ```
 /// use cache_sim::{Cache, CacheGeometry, PolicyKind, PhysAddr};
@@ -59,7 +69,7 @@ impl CacheStats {
 #[derive(Debug, Clone)]
 pub struct Cache {
     geom: CacheGeometry,
-    sets: Vec<CacheSet>,
+    store: SoaStore,
     kind: PolicyKind,
     stats: CacheStats,
 }
@@ -73,14 +83,11 @@ impl Cache {
     /// # Panics
     ///
     /// Panics if `kind` requires a power-of-two way count and the
-    /// geometry's is not (see [`Policy::new`]).
+    /// geometry's is not (see [`crate::replacement::Policy::new`]).
     pub fn new(geom: CacheGeometry, kind: PolicyKind, seed: u64) -> Self {
-        let sets = (0..geom.num_sets())
-            .map(|s| CacheSet::new(Policy::new(kind, geom.ways(), seed ^ (s * 0x9e37_79b9))))
-            .collect();
         Self {
             geom,
-            sets,
+            store: SoaStore::new(kind, geom.num_sets() as usize, geom.ways(), seed),
             kind,
             stats: CacheStats::default(),
         }
@@ -97,39 +104,32 @@ impl Cache {
     }
 
     /// Demand access in the primary domain.
+    #[inline]
     pub fn access(&mut self, pa: PhysAddr) -> AccessOutcome {
         self.access_in_domain(pa, Domain::PRIMARY)
     }
 
     /// Demand access on behalf of `domain` (partitioned policies
     /// confine the victim to the domain's ways).
+    #[inline]
     pub fn access_in_domain(&mut self, pa: PhysAddr, domain: Domain) -> AccessOutcome {
         let (set_idx, tag) = self.locate(pa);
         self.stats.accesses += 1;
-        let ways = self.geom.ways();
-        let set = &mut self.sets[set_idx];
-        if let Some(way) = set.find_way(tag) {
-            set.record_access(way, domain);
-            return AccessOutcome {
-                hit: true,
-                set: set_idx,
-                way,
-                evicted: None,
-            };
+        let out = self.store.demand_access(set_idx, tag, domain);
+        if !out.hit {
+            self.stats.misses += 1;
+            self.stats.fills += 1;
+            if out.evicted_tag.is_some() {
+                self.stats.evictions += 1;
+            }
         }
-        self.stats.misses += 1;
-        self.stats.fills += 1;
-        let way = set.choose_fill_way(WayMask::all(ways), domain);
-        let evicted = set.install(way, LineMeta::new(tag));
-        if evicted.is_some() {
-            self.stats.evictions += 1;
-        }
-        set.record_fill(way, domain);
         AccessOutcome {
-            hit: false,
+            hit: out.hit,
             set: set_idx,
-            way,
-            evicted: evicted.map(|m| PhysAddr::new(self.geom.line_addr(m.tag, set_idx))),
+            way: out.way,
+            evicted: out
+                .evicted_tag
+                .map(|t| PhysAddr::new(self.geom.line_addr(t, set_idx))),
         }
     }
 
@@ -140,79 +140,130 @@ impl Cache {
     /// Returns the evicted line base, if the fill displaced one.
     pub fn prefetch_fill(&mut self, pa: PhysAddr) -> Option<PhysAddr> {
         let (set_idx, tag) = self.locate(pa);
-        let ways = self.geom.ways();
-        let set = &mut self.sets[set_idx];
-        if set.find_way(tag).is_some() {
+        if self.store.find_way(set_idx, tag).is_some() {
             return None;
         }
         self.stats.fills += 1;
-        let way = set.choose_fill_way(WayMask::all(ways), Domain::PRIMARY);
-        let evicted = set.install(way, LineMeta::new(tag));
+        let ways = self.store.ways();
+        let way = self
+            .store
+            .choose_fill_way(set_idx, WayMask::all(ways), Domain::PRIMARY);
+        let evicted = self.store.install(set_idx, way, LineMeta::new(tag));
         if evicted.is_some() {
             self.stats.evictions += 1;
         }
-        set.record_fill(way, Domain::PRIMARY);
+        self.store.record_fill(set_idx, way, Domain::PRIMARY);
         evicted.map(|m| PhysAddr::new(self.geom.line_addr(m.tag, set_idx)))
     }
 
     /// Whether the line containing `pa` is present (no state change).
+    #[inline]
     pub fn probe(&self, pa: PhysAddr) -> bool {
         let (set_idx, tag) = self.locate(pa);
-        self.sets[set_idx].find_way(tag).is_some()
+        self.store.find_way(set_idx, tag).is_some()
     }
 
     /// The way holding `pa`'s line, if present (no state change).
+    #[inline]
     pub fn way_of(&self, pa: PhysAddr) -> Option<usize> {
         let (set_idx, tag) = self.locate(pa);
-        self.sets[set_idx].find_way(tag)
+        self.store.find_way(set_idx, tag)
     }
 
     /// Invalidates the line containing `pa` (a `clflush` at this
     /// level). Returns whether a line was removed.
     pub fn flush_line(&mut self, pa: PhysAddr) -> bool {
         let (set_idx, tag) = self.locate(pa);
-        let set = &mut self.sets[set_idx];
-        match set.find_way(tag) {
+        match self.store.find_way(set_idx, tag) {
             Some(way) => {
-                set.invalidate(way);
+                self.store.invalidate(set_idx, way);
                 true
             }
             None => false,
         }
     }
 
-    /// Metadata of `pa`'s line, if present.
-    pub fn line_meta(&self, pa: PhysAddr) -> Option<&LineMeta> {
+    /// Metadata of `pa`'s line, if present (assembled from the flat
+    /// storage).
+    pub fn line_meta(&self, pa: PhysAddr) -> Option<LineMeta> {
         let (set_idx, tag) = self.locate(pa);
-        let set = &self.sets[set_idx];
-        set.find_way(tag).and_then(|w| set.line(w))
+        self.store
+            .find_way(set_idx, tag)
+            .and_then(|w| self.store.line_meta(set_idx, w))
     }
 
-    /// Mutable metadata of `pa`'s line, if present (used by the way
-    /// predictor to maintain µtags and by the PL cache for lock
-    /// bits).
-    pub fn line_meta_mut(&mut self, pa: PhysAddr) -> Option<&mut LineMeta> {
+    /// µtag of `pa`'s line, if present and trained (AMD way
+    /// predictor, paper §VI-B).
+    #[inline]
+    pub fn utag_of(&self, pa: PhysAddr) -> Option<u16> {
         let (set_idx, tag) = self.locate(pa);
-        let set = &mut self.sets[set_idx];
-        set.find_way(tag).and_then(move |w| set.line_mut(w))
+        self.store
+            .find_way(set_idx, tag)
+            .and_then(|w| self.store.utag(set_idx, w))
     }
 
-    /// Borrow of a set (for inspection in tests and experiments).
+    /// µtag of the line in `way` of `set`, if trained — the
+    /// positional variant callers use when an [`AccessOutcome`]
+    /// already names the line, avoiding a second tag search.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `set` or `way` is out of range.
+    #[inline]
+    pub fn utag_at(&self, set: usize, way: usize) -> Option<u16> {
+        self.check_position(set, way);
+        self.store.utag(set, way)
+    }
+
+    /// Trains (or clears) the µtag of `pa`'s line; a no-op when the
+    /// line is absent.
+    #[inline]
+    pub fn set_utag(&mut self, pa: PhysAddr, utag: Option<u16>) {
+        let (set_idx, tag) = self.locate(pa);
+        if let Some(w) = self.store.find_way(set_idx, tag) {
+            self.store.set_utag(set_idx, w, utag);
+        }
+    }
+
+    /// Trains (or clears) the µtag of the line in `way` of `set` —
+    /// positional variant of [`Cache::set_utag`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `set` or `way` is out of range.
+    #[inline]
+    pub fn set_utag_at(&mut self, set: usize, way: usize, utag: Option<u16>) {
+        self.check_position(set, way);
+        self.store.set_utag(set, way, utag);
+    }
+
+    /// Bounds check backing the positional accessors' documented
+    /// panics (a bad `way` would otherwise index a neighboring
+    /// set's slot in the flat arrays).
+    #[inline]
+    fn check_position(&self, set: usize, way: usize) {
+        assert!(
+            (set as u64) < self.geom.num_sets(),
+            "set index {set} out of range"
+        );
+        assert!(way < self.store.ways(), "way index {way} out of range");
+    }
+
+    /// Read-only view of a set (for inspection in tests and
+    /// experiments).
     ///
     /// # Panics
     ///
     /// Panics if `idx >= num_sets`.
-    pub fn set(&self, idx: usize) -> &CacheSet {
-        &self.sets[idx]
-    }
-
-    /// Mutable borrow of a set.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `idx >= num_sets`.
-    pub fn set_mut(&mut self, idx: usize) -> &mut CacheSet {
-        &mut self.sets[idx]
+    pub fn set(&self, idx: usize) -> SetView<'_> {
+        assert!(
+            (idx as u64) < self.geom.num_sets(),
+            "set index {idx} out of range"
+        );
+        SetView {
+            store: &self.store,
+            idx,
+        }
     }
 
     /// Accumulated statistics.
@@ -227,14 +278,75 @@ impl Cache {
 
     /// Empties the cache and resets all replacement state and stats.
     pub fn clear(&mut self) {
-        for set in &mut self.sets {
-            set.clear();
-        }
+        self.store.clear();
         self.stats = CacheStats::default();
     }
 
+    #[inline]
     fn locate(&self, pa: PhysAddr) -> (usize, u64) {
         (self.geom.set_index(pa.raw()), self.geom.tag(pa.raw()))
+    }
+}
+
+/// Read-only view of one cache set over the flat storage.
+///
+/// The `Debug` output covers the complete observable state of the
+/// set — per-way line metadata plus the packed replacement-state
+/// words — so "state unchanged" assertions can compare two formatted
+/// views.
+#[derive(Clone, Copy)]
+pub struct SetView<'a> {
+    store: &'a SoaStore,
+    idx: usize,
+}
+
+impl<'a> SetView<'a> {
+    /// View of set `idx` of `store` (shared with
+    /// [`crate::plcache::PlCache`]).
+    pub(crate) fn over(store: &'a SoaStore, idx: usize) -> Self {
+        Self { store, idx }
+    }
+
+    /// Associativity of the set.
+    pub fn ways(&self) -> usize {
+        self.store.ways()
+    }
+
+    /// Number of valid lines.
+    pub fn valid_count(&self) -> usize {
+        self.store.valid_count(self.idx)
+    }
+
+    /// Finds the way holding `tag`, if present.
+    pub fn find_way(&self, tag: u64) -> Option<usize> {
+        self.store.find_way(self.idx, tag)
+    }
+
+    /// Metadata of the line in `way`, if valid.
+    pub fn line(&self, way: usize) -> Option<LineMeta> {
+        self.store.line_meta(self.idx, way)
+    }
+
+    /// Mask of ways holding locked lines (PL cache).
+    pub fn locked_mask(&self) -> WayMask {
+        self.store.locked_mask(self.idx)
+    }
+
+    /// Packed replacement-state words of the set (policy-specific;
+    /// see [`crate::replacement`]).
+    pub fn repl_words(&self) -> Vec<u64> {
+        self.store.repl_words(self.idx)
+    }
+}
+
+impl fmt::Debug for SetView<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let lines: Vec<Option<LineMeta>> = (0..self.ways()).map(|w| self.line(w)).collect();
+        f.debug_struct("SetView")
+            .field("set", &self.idx)
+            .field("lines", &lines)
+            .field("repl", &self.repl_words())
+            .finish()
     }
 }
 
@@ -363,6 +475,38 @@ mod tests {
         c.clear();
         assert!(!c.probe(PhysAddr::new(0)));
         assert_eq!(c.stats(), CacheStats::default());
+    }
+
+    #[test]
+    fn utag_round_trips_through_line() {
+        let mut c = l1(PolicyKind::Lru);
+        let a = PhysAddr::new(0x40);
+        c.access(a);
+        assert_eq!(c.utag_of(a), None);
+        c.set_utag(a, Some(0x5a));
+        assert_eq!(c.utag_of(a), Some(0x5a));
+        assert_eq!(c.line_meta(a).unwrap().utag, Some(0x5a));
+        // Absent line: silently ignored.
+        c.set_utag(PhysAddr::new(0x9_0000), Some(1));
+        assert_eq!(c.utag_of(PhysAddr::new(0x9_0000)), None);
+    }
+
+    #[test]
+    fn set_view_reports_state() {
+        let mut c = l1(PolicyKind::TreePlru);
+        let g = c.geometry();
+        c.access(line(g, 2, 7));
+        let v = c.set(2);
+        assert_eq!(v.ways(), 8);
+        assert_eq!(v.valid_count(), 1);
+        assert_eq!(v.find_way(7), Some(0));
+        assert_eq!(v.line(0).unwrap().tag, 7);
+        assert_eq!(v.locked_mask(), WayMask::EMPTY);
+        let dbg = format!("{v:?}");
+        assert!(
+            dbg.contains("repl"),
+            "debug must expose replacement state: {dbg}"
+        );
     }
 
     proptest! {

@@ -20,6 +20,11 @@ pub struct CacheGeometry {
     line_size: u64,
     num_sets: u64,
     ways: usize,
+    /// `log2(line_size)`, precomputed so the hot address slicing is
+    /// shifts and masks instead of u64 divisions.
+    line_shift: u32,
+    /// `log2(num_sets)`.
+    set_shift: u32,
 }
 
 /// Error returned when constructing an invalid [`CacheGeometry`].
@@ -70,6 +75,8 @@ impl CacheGeometry {
             line_size,
             num_sets,
             ways,
+            line_shift: line_size.trailing_zeros(),
+            set_shift: num_sets.trailing_zeros(),
         })
     }
 
@@ -127,13 +134,15 @@ impl CacheGeometry {
 
     /// Set index of an address (paper §IV-B: bits 6–11 for the L1
     /// geometry).
+    #[inline]
     pub fn set_index(&self, addr: u64) -> usize {
-        ((addr / self.line_size) % self.num_sets) as usize
+        ((addr >> self.line_shift) & (self.num_sets - 1)) as usize
     }
 
     /// Tag of an address: everything above the index bits.
+    #[inline]
     pub fn tag(&self, addr: u64) -> u64 {
-        addr / (self.line_size * self.num_sets)
+        addr >> (self.line_shift + self.set_shift)
     }
 
     /// Address of the first byte of the line containing `addr`.
@@ -145,8 +154,9 @@ impl CacheGeometry {
     ///
     /// Inverse of [`CacheGeometry::tag`] + [`CacheGeometry::set_index`]
     /// for line-aligned addresses.
+    #[inline]
     pub fn line_addr(&self, tag: u64, set: usize) -> u64 {
-        tag * self.set_stride() + set as u64 * self.line_size
+        (tag << (self.line_shift + self.set_shift)) | ((set as u64) << self.line_shift)
     }
 }
 

@@ -186,18 +186,20 @@ impl CacheHierarchy {
             let mut cycles = self.lat.l1;
             let mut mispredict = false;
             if let Some(wp) = self.way_predictor {
-                if let Some(meta) = self.l1.line_meta_mut(pa) {
-                    match wp.check(meta.utag, va) {
-                        UtagCheck::Match => {}
-                        UtagCheck::Trained => meta.utag = Some(wp.utag(va)),
-                        UtagCheck::Mismatch => {
-                            // Data is in L1 but the µtag belongs to a
-                            // different linear address: pay an
-                            // L1-miss latency and retrain (§VI-B).
-                            meta.utag = Some(wp.utag(va));
-                            cycles = self.lat.l2;
-                            mispredict = true;
-                        }
+                // The hit outcome already names the line — use the
+                // positional µtag accessors instead of re-running
+                // the tag search.
+                let (set, way) = (l1_out.set, l1_out.way);
+                match wp.check(self.l1.utag_at(set, way), va) {
+                    UtagCheck::Match => {}
+                    UtagCheck::Trained => self.l1.set_utag_at(set, way, Some(wp.utag(va))),
+                    UtagCheck::Mismatch => {
+                        // Data is in L1 but the µtag belongs to a
+                        // different linear address: pay an L1-miss
+                        // latency and retrain (§VI-B).
+                        self.l1.set_utag_at(set, way, Some(wp.utag(va)));
+                        cycles = self.lat.l2;
+                        mispredict = true;
                     }
                 }
             }
@@ -231,9 +233,9 @@ impl CacheHierarchy {
         };
 
         if let Some(wp) = self.way_predictor {
-            if let Some(meta) = self.l1.line_meta_mut(pa) {
-                meta.utag = Some(wp.utag(va));
-            }
+            // The miss installed the line at (l1_out.set, l1_out.way).
+            self.l1
+                .set_utag_at(l1_out.set, l1_out.way, Some(wp.utag(va)));
         }
 
         let mut prefetched = Vec::new();
@@ -310,7 +312,11 @@ mod tests {
     fn small_hierarchy() -> CacheHierarchy {
         let l1 = Cache::new(CacheGeometry::l1d_paper(), PolicyKind::TreePlru, 1);
         let l2 = Cache::new(CacheGeometry::new(64, 512, 8).unwrap(), PolicyKind::Lru, 2);
-        let llc = Cache::new(CacheGeometry::new(64, 4096, 16).unwrap(), PolicyKind::Lru, 3);
+        let llc = Cache::new(
+            CacheGeometry::new(64, 4096, 16).unwrap(),
+            PolicyKind::Lru,
+            3,
+        );
         CacheHierarchy::new(l1, l2, Some(llc), Latencies::sandy_bridge())
     }
 
@@ -401,7 +407,11 @@ mod tests {
         let out = h.access(va_receiver, pa, &mut c, Domain::PRIMARY);
         assert_eq!(out.level, HitLevel::L1, "data is in L1");
         assert!(out.utag_mispredict);
-        assert_eq!(out.cycles, Latencies::sandy_bridge().l2, "observes miss latency");
+        assert_eq!(
+            out.cycles,
+            Latencies::sandy_bridge().l2,
+            "observes miss latency"
+        );
         // And the receiver retrained it: sender now mispredicts.
         let out = h.access(va_sender, pa, &mut c, Domain::PRIMARY);
         assert!(out.utag_mispredict);

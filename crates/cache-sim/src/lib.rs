@@ -11,7 +11,12 @@
 //!   DAWG-style partitioned Tree-PLRU, all behind the
 //!   [`replacement::SetReplacement`] trait.
 //! * [`cache`] — a single-level set-associative [`cache::Cache`] with
-//!   per-access outcomes (hit/miss, filled way, evicted line).
+//!   per-access outcomes (hit/miss, filled way, evicted line). Its
+//!   storage is a flat structure-of-arrays hot path: one contiguous
+//!   row of tags + valid word + packed replacement state per set.
+//! * [`reference`] — the original array-of-structs layout
+//!   ([`reference::RefCache`]), retained as the equivalence oracle
+//!   and performance baseline for the flat layout.
 //! * [`plcache`] — Partition-Locked cache semantics (paper Fig. 10),
 //!   in both the *original* (LRU state still updated on locked lines —
 //!   vulnerable) and *fixed* (LRU state frozen for locked lines) forms.
@@ -63,15 +68,18 @@ pub mod line;
 pub mod plcache;
 pub mod prefetcher;
 pub mod profiles;
+pub mod reference;
 pub mod replacement;
 pub mod set;
+mod storage;
 pub mod way_predictor;
 
 pub use addr::{PhysAddr, VirtAddr};
-pub use cache::{AccessOutcome, Cache};
+pub use cache::{AccessOutcome, Cache, SetView};
 pub use counters::{MissRates, PerfCounters};
 pub use geometry::CacheGeometry;
 pub use hierarchy::{CacheHierarchy, HierarchyOutcome, HitLevel, Latencies};
 pub use plcache::{PlCache, PlDesign, PlRequest};
 pub use profiles::MicroArch;
+pub use reference::RefCache;
 pub use replacement::{Domain, Policy, PolicyKind, SetReplacement, WayMask};

@@ -11,13 +11,18 @@
 //! The **fixed** design also freezes the LRU state for accesses to
 //! locked lines (the blue boxes of Fig. 10), closing the channel
 //! (Fig. 11 bottom).
+//!
+//! Like [`crate::cache::Cache`], storage is the flat
+//! structure-of-arrays layout shared with [`crate::cache::Cache`]; the lock bits
+//! live in the per-set lock bitmask word, so the locked-victim check
+//! is a single bit test.
 
 use crate::addr::PhysAddr;
-use crate::cache::CacheStats;
+use crate::cache::{CacheStats, SetView};
 use crate::geometry::CacheGeometry;
 use crate::line::LineMeta;
-use crate::replacement::{Domain, Policy, PolicyKind, WayMask};
-use crate::set::CacheSet;
+use crate::replacement::{Domain, PolicyKind, WayMask};
+use crate::storage::SoaStore;
 
 /// Which PL-cache variant to simulate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -74,7 +79,7 @@ pub struct PlOutcome {
 #[derive(Debug, Clone)]
 pub struct PlCache {
     geom: CacheGeometry,
-    sets: Vec<CacheSet>,
+    store: SoaStore,
     design: PlDesign,
     stats: CacheStats,
 }
@@ -85,14 +90,11 @@ impl PlCache {
     /// # Panics
     ///
     /// Panics if the policy requires a power-of-two way count and the
-    /// geometry's is not (see [`Policy::new`]).
+    /// geometry's is not (see [`crate::replacement::Policy::new`]).
     pub fn new(geom: CacheGeometry, kind: PolicyKind, design: PlDesign, seed: u64) -> Self {
-        let sets = (0..geom.num_sets())
-            .map(|s| CacheSet::new(Policy::new(kind, geom.ways(), seed ^ (s * 0x9e37_79b9))))
-            .collect();
         Self {
             geom,
-            sets,
+            store: SoaStore::new(kind, geom.num_sets() as usize, geom.ways(), seed),
             design,
             stats: CacheStats::default(),
         }
@@ -116,17 +118,15 @@ impl PlCache {
     /// Whether `pa`'s line is present (no state change).
     pub fn probe(&self, pa: PhysAddr) -> bool {
         let (set, tag) = self.locate(pa);
-        self.sets[set].find_way(tag).is_some()
+        self.store.find_way(set, tag).is_some()
     }
 
     /// Whether `pa`'s line is present *and locked*.
     pub fn is_locked(&self, pa: PhysAddr) -> bool {
         let (set, tag) = self.locate(pa);
-        let s = &self.sets[set];
-        s.find_way(tag)
-            .and_then(|w| s.line(w))
-            .map(|m| m.locked)
-            .unwrap_or(false)
+        self.store
+            .find_way(set, tag)
+            .is_some_and(|w| self.store.is_locked(set, w))
     }
 
     /// Issues a request, implementing the Fig. 10 flow chart.
@@ -139,13 +139,12 @@ impl PlCache {
     pub fn request_in_domain(&mut self, pa: PhysAddr, req: PlRequest, domain: Domain) -> PlOutcome {
         let (set_idx, tag) = self.locate(pa);
         let design = self.design;
-        let ways = self.geom.ways();
+        let ways = self.store.ways();
         self.stats.accesses += 1;
-        let set = &mut self.sets[set_idx];
 
-        if let Some(way) = set.find_way(tag) {
+        if let Some(way) = self.store.find_way(set_idx, tag) {
             // Cache hit.
-            let locked = set.line(way).map(|m| m.locked).unwrap_or(false);
+            let locked = self.store.is_locked(set_idx, way);
             let update_state = match (design, locked) {
                 // Original design: every hit updates LRU state —
                 // the vulnerability.
@@ -156,14 +155,12 @@ impl PlCache {
                 (PlDesign::Fixed, false) => true,
             };
             if update_state {
-                set.record_access(way, domain);
+                self.store.touch(set_idx, way, domain);
             }
-            if let Some(meta) = set.line_mut(way) {
-                match req {
-                    PlRequest::Lock => meta.locked = true,
-                    PlRequest::Unlock => meta.locked = false,
-                    PlRequest::Access => {}
-                }
+            match req {
+                PlRequest::Lock => self.store.set_locked(set_idx, way, true),
+                PlRequest::Unlock => self.store.set_locked(set_idx, way, false),
+                PlRequest::Access => {}
             }
             return PlOutcome {
                 hit: true,
@@ -175,16 +172,17 @@ impl PlCache {
         // Cache miss: choose victim based on replacement policy
         // (locks are checked *after* selection, per Fig. 10).
         self.stats.misses += 1;
-        let way = set.choose_fill_way(WayMask::all(ways), domain);
-        let victim_locked = set.line(way).map(|m| m.locked).unwrap_or(false);
-        if victim_locked {
+        let way = self
+            .store
+            .choose_fill_way(set_idx, WayMask::all(ways), domain);
+        if self.store.is_locked(set_idx, way) {
             // Locked victim: handle the incoming line uncached; no
             // replacement occurs. The replacement state of the
             // victim is still updated (the "Update replacement state
             // of victim" box of Fig. 10) so the pointer rotates off
             // the locked way instead of freezing every future miss
             // of this set into the uncached path.
-            set.record_access(way, domain);
+            self.store.touch(set_idx, way, domain);
             return PlOutcome {
                 hit: false,
                 uncached: true,
@@ -196,11 +194,11 @@ impl PlCache {
         if req == PlRequest::Lock {
             meta.locked = true;
         }
-        let evicted = set.install(way, meta);
+        let evicted = self.store.install(set_idx, way, meta);
         if evicted.is_some() {
             self.stats.evictions += 1;
         }
-        set.record_fill(way, domain);
+        self.store.record_fill(set_idx, way, domain);
         PlOutcome {
             hit: false,
             uncached: false,
@@ -208,13 +206,17 @@ impl PlCache {
         }
     }
 
-    /// Borrow of a set (inspection).
+    /// Read-only view of a set (inspection).
     ///
     /// # Panics
     ///
     /// Panics if `idx >= num_sets`.
-    pub fn set(&self, idx: usize) -> &CacheSet {
-        &self.sets[idx]
+    pub fn set(&self, idx: usize) -> SetView<'_> {
+        assert!(
+            (idx as u64) < self.geom.num_sets(),
+            "set index {idx} out of range"
+        );
+        SetView::over(&self.store, idx)
     }
 
     fn locate(&self, pa: PhysAddr) -> (usize, u64) {
@@ -335,5 +337,16 @@ mod tests {
         let after = c.stats();
         assert_eq!(after.misses, before.misses + 1);
         assert_eq!(after.fills, before.fills, "uncached miss must not fill");
+    }
+
+    #[test]
+    fn set_view_exposes_locked_mask() {
+        let mut c = pl(PlDesign::Fixed);
+        let g = c.geometry();
+        c.request(line(g, 0), PlRequest::Lock);
+        c.request(line(g, 1), PlRequest::Access);
+        let v = c.set(0);
+        assert_eq!(v.valid_count(), 2);
+        assert_eq!(v.locked_mask().iter().collect::<Vec<_>>(), vec![0]);
     }
 }

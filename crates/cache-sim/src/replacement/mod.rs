@@ -23,6 +23,7 @@
 mod bit_plru;
 mod fifo;
 mod lru;
+pub(crate) mod packed;
 mod partitioned;
 mod random_repl;
 mod tree_plru;
@@ -95,6 +96,16 @@ impl WayMask {
         WayMask(1u64 << way)
     }
 
+    /// Mask from a raw bit pattern (bit `w` = way `w`).
+    pub const fn from_bits(bits: u64) -> Self {
+        WayMask(bits)
+    }
+
+    /// The raw bit pattern of the mask.
+    pub const fn bits(&self) -> u64 {
+        self.0
+    }
+
     /// Whether `way` is in the mask.
     pub const fn contains(&self, way: usize) -> bool {
         way < 64 && (self.0 >> way) & 1 == 1
@@ -132,12 +143,30 @@ impl WayMask {
 
     /// Whether any way in `lo..hi` is in the mask.
     pub fn any_in_range(&self, lo: usize, hi: usize) -> bool {
-        (lo..hi).any(|w| self.contains(w))
+        if lo >= hi || lo >= 64 {
+            return false;
+        }
+        let hi = hi.min(64);
+        let span = hi - lo;
+        let window = if span == 64 {
+            u64::MAX
+        } else {
+            ((1u64 << span) - 1) << lo
+        };
+        self.0 & window != 0
     }
 
     /// Iterates over the ways in the mask, ascending.
     pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
-        (0..64).filter(move |&w| self.contains(w))
+        let mut bits = self.0;
+        std::iter::from_fn(move || {
+            if bits == 0 {
+                return None;
+            }
+            let w = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            Some(w)
+        })
     }
 
     /// Lowest-indexed way in the mask, if any.
@@ -185,7 +214,8 @@ impl PolicyKind {
     ];
 
     /// The three policies the Table I study compares.
-    pub const TABLE1: [PolicyKind; 3] = [PolicyKind::Lru, PolicyKind::TreePlru, PolicyKind::BitPlru];
+    pub const TABLE1: [PolicyKind; 3] =
+        [PolicyKind::Lru, PolicyKind::TreePlru, PolicyKind::BitPlru];
 
     /// The three policies the Fig. 9 performance study compares.
     pub const FIG9: [PolicyKind; 3] = [PolicyKind::TreePlru, PolicyKind::Fifo, PolicyKind::Random];

@@ -7,9 +7,7 @@
 //! partitions the LRU state — which is exactly what stops both of the
 //! paper's channels.
 
-use super::{
-    assert_valid_victim_request, Domain, SetReplacement, TreePlru, WayMask,
-};
+use super::{assert_valid_victim_request, Domain, SetReplacement, TreePlru, WayMask};
 
 /// Tree-PLRU state statically split between two protection domains.
 ///

@@ -98,7 +98,12 @@ impl Extend<u32> for Histogram {
 impl fmt::Display for Histogram {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         for (v, freq) in self.rows() {
-            writeln!(f, "{v:>6}  {:>6.2}%  {}", freq * 100.0, "#".repeat((freq * 60.0) as usize))?;
+            writeln!(
+                f,
+                "{v:>6}  {:>6.2}%  {}",
+                freq * 100.0,
+                "#".repeat((freq * 60.0) as usize)
+            )?;
         }
         Ok(())
     }
@@ -131,8 +136,7 @@ pub fn summarize(samples: &[Sample], hit_threshold: u32) -> TraceSummary {
             max: 0,
         };
     }
-    let mean =
-        samples.iter().map(|s| s.measured as f64).sum::<f64>() / samples.len() as f64;
+    let mean = samples.iter().map(|s| s.measured as f64).sum::<f64>() / samples.len() as f64;
     let hits = samples
         .iter()
         .filter(|s| s.measured <= hit_threshold)

@@ -90,11 +90,8 @@ impl CovertConfig {
             .validate(geom.ways(), geom.num_sets() as usize)?;
 
         let (endpoints, receiver) = self.wire(machine);
-        let mut sender_prog = LruSender::new(
-            endpoints.sender_line,
-            self.message.clone(),
-            self.params.ts,
-        );
+        let mut sender_prog =
+            LruSender::new(endpoints.sender_line, self.message.clone(), self.params.ts);
         if self.sharing == Sharing::TimeSliced {
             // Keep multi-second time-sliced runs tractable: the
             // sender touches its line every ~50k cycles instead of
@@ -105,7 +102,12 @@ impl CovertConfig {
         let mut receiver_prog = receiver;
 
         let probe_set = setup::reserved_probe_set(machine, self.params.target_set);
-        let probe = LatencyProbe::new(machine, endpoints.receiver_pid, self.platform.tsc, probe_set);
+        let probe = LatencyProbe::new(
+            machine,
+            endpoints.receiver_pid,
+            self.platform.tsc,
+            probe_set,
+        );
 
         // Warm the channel lines so the steady state (all lines in
         // L1/L2 rather than cold memory) is reached immediately, as
@@ -193,7 +195,12 @@ pub fn percent_ones(
     let mut receiver_prog = receiver.with_max_samples(n_samples);
 
     let probe_set = setup::reserved_probe_set(&machine, params.target_set);
-    let probe = LatencyProbe::new(&mut machine, endpoints.receiver_pid, platform.tsc, probe_set);
+    let probe = LatencyProbe::new(
+        &mut machine,
+        endpoints.receiver_pid,
+        platform.tsc,
+        probe_set,
+    );
     for &va in &endpoints.receiver_lines {
         machine.access(endpoints.receiver_pid, va);
     }
@@ -223,6 +230,44 @@ pub fn percent_ones(
         })
         .count();
     Ok(ones as f64 / samples.len() as f64)
+}
+
+/// One point of a time-sliced percent-of-ones grid (Figs. 6, 8, 15).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GridPoint {
+    /// Channel parameters of the point (`d`, target set, `Ts`, `Tr`).
+    pub params: ChannelParams,
+    /// The constant bit the sender holds.
+    pub bit: bool,
+    /// Seed of this point's run.
+    pub seed: u64,
+}
+
+/// Evaluates a whole percent-of-ones grid, one independent
+/// [`percent_ones`] run per point, fanned out over the host's cores
+/// by [`crate::trials::run_trials`].
+///
+/// Each point's run is seeded only by its own [`GridPoint::seed`],
+/// so the returned fractions (in `points` order) are bit-identical
+/// to evaluating the points sequentially — the property the
+/// `trial_driver_determinism` suite pins down.
+///
+/// # Errors
+///
+/// Returns the first [`ParamError`] in `points` order, if any point
+/// has parameters that do not fit the platform's L1 geometry.
+pub fn percent_ones_grid(
+    platform: Platform,
+    variant: Variant,
+    points: &[GridPoint],
+    n_samples: usize,
+) -> Result<Vec<f64>, ParamError> {
+    crate::trials::run_trials(points.len(), |i| {
+        let p = points[i];
+        percent_ones(platform, p.params, variant, p.bit, n_samples, p.seed)
+    })
+    .into_iter()
+    .collect()
 }
 
 /// [`percent_ones`] with a third, benign process time-slicing the
@@ -265,7 +310,12 @@ pub fn percent_ones_with_noise(
     let mut noise = RandomTouches::new(noise_buf, 4 * 64, 64, 60_000, seed ^ 0x0153);
 
     let probe_set = setup::reserved_probe_set(&machine, params.target_set);
-    let probe = LatencyProbe::new(&mut machine, endpoints.receiver_pid, platform.tsc, probe_set);
+    let probe = LatencyProbe::new(
+        &mut machine,
+        endpoints.receiver_pid,
+        platform.tsc,
+        probe_set,
+    );
     for &va in &endpoints.receiver_lines {
         machine.access(endpoints.receiver_pid, va);
     }
@@ -437,7 +487,10 @@ mod tests {
             p1 > p0 + 0.1,
             "sending 1 must yield more observed 1s (got p0={p0:.2}, p1={p1:.2})"
         );
-        assert!(p0 < 0.1, "sending 0 should read as almost all 0s, got {p0:.2}");
+        assert!(
+            p0 < 0.1,
+            "sending 0 should read as almost all 0s, got {p0:.2}"
+        );
     }
 }
 
@@ -462,22 +515,42 @@ mod diagnostics_alg2 {
         }
         .run()
         .unwrap();
-        println!("threshold={} samples={}", run.hit_threshold, run.samples.len());
+        println!(
+            "threshold={} samples={}",
+            run.hit_threshold,
+            run.samples.len()
+        );
         // per-window fraction of misses
         let ts = 6000u64;
         let mut windows: Vec<Vec<u32>> = vec![];
         for s in &run.samples {
             let w = (s.at / ts) as usize;
-            while windows.len() <= w { windows.push(vec![]); }
+            while windows.len() <= w {
+                windows.push(vec![]);
+            }
             windows[w].push(s.measured);
         }
         for (w, vals) in windows.iter().enumerate() {
             let miss = vals.iter().filter(|&&v| v > run.hit_threshold).count();
-            println!("w{:02} sent={} miss_frac={:.2} n={} vals={:?}", w,
-                msg.get(w).map(|b| *b as u8).unwrap_or(9), miss as f64/vals.len().max(1) as f64, vals.len(), &vals[..vals.len().min(12)]);
+            println!(
+                "w{:02} sent={} miss_frac={:.2} n={} vals={:?}",
+                w,
+                msg.get(w).map(|b| *b as u8).unwrap_or(9),
+                miss as f64 / vals.len().max(1) as f64,
+                vals.len(),
+                &vals[..vals.len().min(12)]
+            );
         }
-        let bits = decode::bits_by_window(&run.samples, ts, run.hit_threshold, BitConvention::MissIsOne);
-        println!("decoded: {:?}", bits.iter().map(|b| *b as u8).collect::<Vec<_>>());
+        let bits = decode::bits_by_window(
+            &run.samples,
+            ts,
+            run.hit_threshold,
+            BitConvention::MissIsOne,
+        );
+        println!(
+            "decoded: {:?}",
+            bits.iter().map(|b| *b as u8).collect::<Vec<_>>()
+        );
     }
 }
 
@@ -489,7 +562,12 @@ mod diagnostics_alg2_by_d {
     #[ignore]
     fn alg2_signal_by_d() {
         for d in 1..=8 {
-            let params = ChannelParams { d, target_set: 0, ts: 6000, tr: 600 };
+            let params = ChannelParams {
+                d,
+                target_set: 0,
+                ts: 6000,
+                tr: 600,
+            };
             let mut fracs = (0.0, 0.0);
             for (bit, slot) in [(false, 0), (true, 1)] {
                 let run = CovertConfig {
@@ -499,10 +577,20 @@ mod diagnostics_alg2_by_d {
                     sharing: Sharing::HyperThreaded,
                     message: vec![bit; 30],
                     seed: 7,
-                }.run().unwrap();
-                let miss = run.samples.iter().filter(|s| s.measured > run.hit_threshold).count();
+                }
+                .run()
+                .unwrap();
+                let miss = run
+                    .samples
+                    .iter()
+                    .filter(|s| s.measured > run.hit_threshold)
+                    .count();
                 let f = miss as f64 / run.samples.len() as f64;
-                if slot == 0 { fracs.0 = f } else { fracs.1 = f }
+                if slot == 0 {
+                    fracs.0 = f
+                } else {
+                    fracs.1 = f
+                }
             }
             println!("d={d} miss_frac m=0: {:.2}  m=1: {:.2}", fracs.0, fracs.1);
         }
@@ -518,7 +606,12 @@ mod diagnostics_bitplru {
     #[ignore]
     fn bitplru_sweep_d() {
         for d in 1..=8 {
-            let params = ChannelParams { d, target_set: 0, ts: 6000, tr: 600 };
+            let params = ChannelParams {
+                d,
+                target_set: 0,
+                ts: 6000,
+                tr: 600,
+            };
             let mut res = vec![];
             for bit in [false, true] {
                 let cfg = CovertConfig {
@@ -529,12 +622,20 @@ mod diagnostics_bitplru {
                     message: vec![bit; 30],
                     seed: 7,
                 };
-                let mut machine = exec_sim::machine::Machine::new(cfg.platform.arch, PolicyKind::BitPlru, 7);
+                let mut machine =
+                    exec_sim::machine::Machine::new(cfg.platform.arch, PolicyKind::BitPlru, 7);
                 let run = cfg.run_on(&mut machine).unwrap();
-                let hits = run.samples.iter().filter(|s| s.measured <= run.hit_threshold).count();
+                let hits = run
+                    .samples
+                    .iter()
+                    .filter(|s| s.measured <= run.hit_threshold)
+                    .count();
                 res.push(hits as f64 / run.samples.len() as f64);
             }
-            println!("BitPlru d={d} P(hit|0)={:.2} P(hit|1)={:.2}", res[0], res[1]);
+            println!(
+                "BitPlru d={d} P(hit|0)={:.2} P(hit|1)={:.2}",
+                res[0], res[1]
+            );
         }
     }
 }

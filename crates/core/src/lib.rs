@@ -30,6 +30,9 @@
 //! * [`plru_study`] — the Table I eviction-probability study of
 //!   Tree-PLRU / Bit-PLRU vs true LRU.
 //! * [`analysis`] — histograms and trace summaries (Figs. 3, 5, 13).
+//! * [`trials`] — deterministic parallel trial driver: independent
+//!   simulator runs fan out over all host cores with per-trial seeds,
+//!   bit-identical to sequential execution.
 //!
 //! ## Quickstart
 //!
@@ -75,6 +78,7 @@ pub mod params;
 pub mod plru_study;
 pub mod protocol;
 pub mod setup;
+pub mod trials;
 
 pub use covert::{CovertConfig, CovertRun, Sharing, Variant};
 pub use params::{ChannelParams, ParamError, Platform};

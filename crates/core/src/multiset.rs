@@ -162,9 +162,7 @@ impl Program for MultiSetReceiver {
                     if self.set_idx < self.groups.len() {
                         if self.line_idx < self.d {
                             self.line_idx += 1;
-                            return Op::Access(
-                                self.groups[self.set_idx][self.line_idx - 1],
-                            );
+                            return Op::Access(self.groups[self.set_idx][self.line_idx - 1]);
                         }
                         self.set_idx += 1;
                         self.line_idx = 0;
@@ -287,7 +285,10 @@ pub fn run_parallel_alg1(
         }
     }
     if d == 0 || d > geom.ways() {
-        return Err(ParamError::BadD { d, ways: geom.ways() });
+        return Err(ParamError::BadD {
+            d,
+            ways: geom.ways(),
+        });
     }
     if ts == 0 || tr == 0 || ts < tr {
         return Err(ParamError::BadTiming { ts, tr });

@@ -56,7 +56,10 @@ impl fmt::Display for ParamError {
                 write!(f, "d must be in 1..={ways}, got {d}")
             }
             ParamError::BadTargetSet { set, num_sets } => {
-                write!(f, "target set {set} out of range (cache has {num_sets} sets)")
+                write!(
+                    f,
+                    "target set {set} out of range (cache has {num_sets} sets)"
+                )
             }
             ParamError::BadTiming { ts, tr } => {
                 write!(f, "need ts >= tr > 0, got ts={ts}, tr={tr}")

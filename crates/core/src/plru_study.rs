@@ -325,8 +325,19 @@ mod diagnostics {
     #[ignore]
     fn dump_table1() {
         for curve in table1(12, 2000, 42) {
-            let p: Vec<String> = curve.probabilities.iter().map(|x| format!("{:.1}", x * 100.0)).collect();
-            println!("{:?} {:?} {:?}: {} steady={:.1}", curve.init, curve.policy, curve.sequence, p.join(" "), curve.steady_state() * 100.0);
+            let p: Vec<String> = curve
+                .probabilities
+                .iter()
+                .map(|x| format!("{:.1}", x * 100.0))
+                .collect();
+            println!(
+                "{:?} {:?} {:?}: {} steady={:.1}",
+                curve.init,
+                curve.policy,
+                curve.sequence,
+                p.join(" "),
+                curve.steady_state() * 100.0
+            );
         }
     }
 }

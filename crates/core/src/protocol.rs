@@ -183,10 +183,7 @@ impl Program for LruReceiver {
         loop {
             match self.phase {
                 Phase::Init => {
-                    if self
-                        .max_samples
-                        .is_some_and(|n| self.samples.len() >= n)
-                    {
+                    if self.max_samples.is_some_and(|n| self.samples.len() >= n) {
                         return Op::Done;
                     }
                     if self.idx < self.d {

@@ -116,11 +116,7 @@ mod tests {
     use cache_sim::replacement::PolicyKind;
 
     fn machine() -> Machine {
-        Machine::new(
-            MicroArch::sandy_bridge_e5_2690(),
-            PolicyKind::TreePlru,
-            5,
-        )
+        Machine::new(MicroArch::sandy_bridge_e5_2690(), PolicyKind::TreePlru, 5)
     }
 
     #[test]

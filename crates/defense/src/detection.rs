@@ -74,12 +74,7 @@ mod tests {
     #[test]
     fn detector_flags_flush_reload_mem() {
         let detector = MissRateDetector::default();
-        let row = sender_miss_rates(
-            Platform::e5_2690(),
-            SenderScenario::FlushReloadMem,
-            300,
-            1,
-        );
+        let row = sender_miss_rates(Platform::e5_2690(), SenderScenario::FlushReloadMem, 300, 1);
         assert!(
             detector.judge(row).flagged,
             "F+R(mem)'s memory hammering must be visible"

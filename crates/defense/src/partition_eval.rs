@@ -8,9 +8,7 @@
 //! observable exactly like the ordinary LRU channel. DAWG gives each
 //! domain its own tree half, removing the shared bits.
 
-use cache_sim::replacement::{
-    Domain, PartitionedTreePlru, SetReplacement, TreePlru, WayMask,
-};
+use cache_sim::replacement::{Domain, PartitionedTreePlru, SetReplacement, TreePlru, WayMask};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -55,7 +53,7 @@ pub fn shared_plru_leak(trials: usize, seed: u64) -> PartitionLeak {
             with_sender.touch(w);
         }
         // Sender (its own way) touches once in one world only.
-        with_sender.touch(sender_ways[rng.gen_range(0..4)]);
+        with_sender.touch(sender_ways[rng.gen_range(0..4usize)]);
         let v_quiet = tree.victim_among(receiver_ways, Domain::PRIMARY);
         let v_noisy = with_sender.victim_among(receiver_ways, Domain::PRIMARY);
         if v_quiet != v_noisy {
@@ -79,7 +77,11 @@ pub fn dawg_partitioned_leak(trials: usize, seed: u64) -> PartitionLeak {
         let mut state = PartitionedTreePlru::new(8);
         for _ in 0..rng.gen_range(4..24) {
             let w = rng.gen_range(0..8);
-            let domain = if w < 4 { Domain::PRIMARY } else { Domain::SECONDARY };
+            let domain = if w < 4 {
+                Domain::PRIMARY
+            } else {
+                Domain::SECONDARY
+            };
             state.on_access(w, domain);
         }
         let mut with_sender = state.clone();

@@ -155,7 +155,10 @@ mod tests {
         let mut cache = PlCache::new(geom, PolicyKind::TreePlru, PlDesign::Original, 3);
         cache.request(PhysAddr::new(8 * geom.set_stride()), PlRequest::Lock);
         for i in 0..100u64 {
-            cache.request(PhysAddr::new((i % 8) * geom.set_stride()), PlRequest::Access);
+            cache.request(
+                PhysAddr::new((i % 8) * geom.set_stride()),
+                PlRequest::Access,
+            );
         }
         assert!(cache.is_locked(PhysAddr::new(8 * geom.set_stride())));
     }
@@ -165,8 +168,16 @@ mod tests {
         let run = PlRun {
             design: PlDesign::Fixed,
             trace: vec![
-                PlTracePoint { bit: true, hit: true, latency: 4 },
-                PlTracePoint { bit: false, hit: true, latency: 4 },
+                PlTracePoint {
+                    bit: true,
+                    hit: true,
+                    latency: 4,
+                },
+                PlTracePoint {
+                    bit: false,
+                    hit: true,
+                    latency: 4,
+                },
             ],
         };
         assert_eq!(run.distinguishability(), 0.0);

@@ -32,11 +32,7 @@ impl Fig9Row {
     /// CPI of each policy divided by Tree-PLRU's (the bottom panel).
     pub fn normalized_cpi(&self) -> [f64; 3] {
         let base = self.results[0].cpi.max(1e-9);
-        [
-            1.0,
-            self.results[1].cpi / base,
-            self.results[2].cpi / base,
-        ]
+        [1.0, self.results[1].cpi / base, self.results[2].cpi / base]
     }
 }
 
@@ -52,8 +48,8 @@ pub fn fig9(accesses_per_benchmark: u64, seed: u64) -> Vec<Fig9Row> {
 
 /// One benchmark of the Fig. 9 study.
 pub fn fig9_row(bench: Benchmark, arch: &MicroArch, accesses: u64, seed: u64) -> Fig9Row {
-    let results = PolicyKind::FIG9
-        .map(|policy| measure_benchmark(bench, arch, policy, accesses, seed));
+    let results =
+        PolicyKind::FIG9.map(|policy| measure_benchmark(bench, arch, policy, accesses, seed));
     Fig9Row {
         name: bench.name,
         results,

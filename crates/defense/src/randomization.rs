@@ -38,11 +38,7 @@ pub struct RandomFillLeak {
 /// replacement-state update); a demand miss fills a *random* line of
 /// a 64-line neighbourhood window instead of the requested one, and
 /// the requested data is served uncached.
-fn random_fill_access(
-    cache: &mut Cache,
-    requested: PhysAddr,
-    rng: &mut SmallRng,
-) -> bool {
+fn random_fill_access(cache: &mut Cache, requested: PhysAddr, rng: &mut SmallRng) -> bool {
     if cache.probe(requested) {
         // Ordinary hit: LRU state updates — the residual channel.
         cache.access(requested);
@@ -53,8 +49,7 @@ fn random_fill_access(
         let geom = cache.geometry();
         let window_line = rng.gen_range(0..64u64);
         let fill = PhysAddr::new(
-            (requested.raw() & !(geom.set_stride() * 64 - 1))
-                + window_line * geom.set_stride(),
+            (requested.raw() & !(geom.set_stride() * 64 - 1)) + window_line * geom.set_stride(),
         );
         cache.prefetch_fill(fill);
         false
@@ -146,10 +141,7 @@ fn keyed_set(geom: CacheGeometry, pa: PhysAddr, key: u64) -> usize {
 /// builds its Algorithm-1 line set (same index bits, distinct tags)
 /// and tries the init+decode eviction; under a keyed mapping the
 /// lines scatter and `line 0` (mapped wherever) stops being evicted.
-pub fn index_randomization_defeats_eviction(
-    trials: usize,
-    seed: u64,
-) -> IndexRandomizationResult {
+pub fn index_randomization_defeats_eviction(trials: usize, seed: u64) -> IndexRandomizationResult {
     let mut rng = SmallRng::seed_from_u64(seed);
     let geom = CacheGeometry::l1d_paper();
     let mut collisions = 0usize;
@@ -159,8 +151,9 @@ pub fn index_randomization_defeats_eviction(
     for t in 0..trials {
         let key = rng.gen::<u64>();
         // Receiver's 9 lines: same index bits (set 0), tags 0..9.
-        let lines: Vec<PhysAddr> =
-            (0..9u64).map(|i| PhysAddr::new(i * geom.set_stride())).collect();
+        let lines: Vec<PhysAddr> = (0..9u64)
+            .map(|i| PhysAddr::new(i * geom.set_stride()))
+            .collect();
 
         // Where do they actually land under the keyed mapping?
         let sets: Vec<usize> = lines.iter().map(|&pa| keyed_set(geom, pa, key)).collect();
@@ -173,9 +166,7 @@ pub fn index_randomization_defeats_eviction(
         // Emulate the keyed cache with a full-size cache accessed at
         // remapped addresses (same tags, permuted sets).
         let remap = |pa: PhysAddr| {
-            PhysAddr::new(
-                geom.line_addr(geom.tag(pa.raw()), keyed_set(geom, pa, key)),
-            )
+            PhysAddr::new(geom.line_addr(geom.tag(pa.raw()), keyed_set(geom, pa, key)))
         };
         let mut keyed = Cache::new(geom, PolicyKind::TreePlru, seed ^ t as u64);
         let mut baseline = Cache::new(geom, PolicyKind::TreePlru, seed ^ t as u64);

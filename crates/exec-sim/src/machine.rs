@@ -267,11 +267,7 @@ mod tests {
     use cache_sim::hierarchy::HitLevel;
 
     fn machine() -> Machine {
-        Machine::new(
-            MicroArch::sandy_bridge_e5_2690(),
-            PolicyKind::TreePlru,
-            1,
-        )
+        Machine::new(MicroArch::sandy_bridge_e5_2690(), PolicyKind::TreePlru, 1)
     }
 
     #[test]

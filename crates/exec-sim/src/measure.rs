@@ -148,11 +148,7 @@ mod tests {
     use rand::SeedableRng;
 
     fn setup() -> (Machine, Pid) {
-        let mut m = Machine::new(
-            MicroArch::sandy_bridge_e5_2690(),
-            PolicyKind::TreePlru,
-            3,
-        );
+        let mut m = Machine::new(MicroArch::sandy_bridge_e5_2690(), PolicyKind::TreePlru, 3);
         let p = m.create_process();
         (m, p)
     }

@@ -130,19 +130,12 @@ mod tests {
 
     #[test]
     fn noise_runs_under_a_scheduler() {
-        let mut m = Machine::new(
-            MicroArch::sandy_bridge_e5_2690(),
-            PolicyKind::TreePlru,
-            2,
-        );
+        let mut m = Machine::new(MicroArch::sandy_bridge_e5_2690(), PolicyKind::TreePlru, 2);
         let pid = m.create_process();
         let buf = m.alloc_pages(pid, 4);
         let mut noise = RandomTouches::new(buf, 4 * 64, 64, 100, 9);
-        let report = HyperThreaded::new(4).run(
-            &mut m,
-            &mut [ThreadHandle::new(pid, &mut noise)],
-            200_000,
-        );
+        let report =
+            HyperThreaded::new(4).run(&mut m, &mut [ThreadHandle::new(pid, &mut noise)], 200_000);
         assert!(report.ops_executed[0] > 100, "noise must keep running");
         assert!(m.counters(pid).l1d_accesses > 50);
     }

@@ -311,11 +311,7 @@ mod tests {
     use cache_sim::replacement::PolicyKind;
 
     fn machine() -> Machine {
-        Machine::new(
-            MicroArch::sandy_bridge_e5_2690(),
-            PolicyKind::TreePlru,
-            11,
-        )
+        Machine::new(MicroArch::sandy_bridge_e5_2690(), PolicyKind::TreePlru, 11)
     }
 
     #[test]
@@ -344,11 +340,8 @@ mod tests {
         let mut m = machine();
         let a = m.create_process();
         let mut p = Script::new(vec![Op::SpinUntil(5000), Op::Compute(10)]);
-        let report = HyperThreaded::new(1).run(
-            &mut m,
-            &mut [ThreadHandle::new(a, &mut p)],
-            1_000_000,
-        );
+        let report =
+            HyperThreaded::new(1).run(&mut m, &mut [ThreadHandle::new(a, &mut p)], 1_000_000);
         assert!(report.elapsed >= 5010);
     }
 
@@ -357,11 +350,7 @@ mod tests {
         let mut m = machine();
         let a = m.create_process();
         let mut p = Script::new(vec![Op::SpinUntil(u64::MAX)]);
-        let report = HyperThreaded::new(1).run(
-            &mut m,
-            &mut [ThreadHandle::new(a, &mut p)],
-            10_000,
-        );
+        let report = HyperThreaded::new(1).run(&mut m, &mut [ThreadHandle::new(a, &mut p)], 10_000);
         assert_eq!(report.elapsed, 10_000);
     }
 
@@ -410,7 +399,10 @@ mod tests {
         );
         assert!(report.context_switches >= 2);
         assert_eq!(report.ops_executed[1], 8, "B must run during A's spin");
-        assert_eq!(report.ops_executed[0], 1, "A finishes its compute after waking");
+        assert_eq!(
+            report.ops_executed[0], 1,
+            "A finishes its compute after waking"
+        );
     }
 
     #[test]
@@ -436,10 +428,7 @@ mod tests {
         let va = m.alloc_pages(a, 1);
         let mut p = Script::new(vec![Op::Access(va), Op::Flush(va)]);
         HyperThreaded::new(1).run(&mut m, &mut [ThreadHandle::new(a, &mut p)], 1_000_000);
-        assert_eq!(
-            m.probe_level(a, va),
-            cache_sim::hierarchy::HitLevel::Mem
-        );
+        assert_eq!(m.probe_level(a, va), cache_sim::hierarchy::HitLevel::Mem);
     }
 
     #[test]

@@ -101,7 +101,13 @@ impl SpectreVictim {
     /// channel needs the gadget's two loads, which is the paper's
     /// point about the channel requiring "only a small speculation
     /// window".
-    pub fn new(pid: Pid, array1: VirtAddr, array1_size: u64, array2: VirtAddr, window: usize) -> Self {
+    pub fn new(
+        pid: Pid,
+        array1: VirtAddr,
+        array1_size: u64,
+        array2: VirtAddr,
+        window: usize,
+    ) -> Self {
         Self {
             pid,
             array1,
@@ -192,7 +198,11 @@ impl SpectreVictim {
 pub fn build_victim(machine: &mut Machine, secret: &[u8], window: usize) -> (SpectreVictim, u64) {
     let pid = machine.create_process();
     let array1 = machine.alloc_pages(pid, 1);
-    machine.write_bytes(pid, array1, &[1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16]);
+    machine.write_bytes(
+        pid,
+        array1,
+        &[1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16],
+    );
     let array2 = machine.alloc_pages(pid, 1); // one page = all 64 sets
     let secret_page = machine.alloc_pages(pid, 1);
     machine.write_bytes(pid, secret_page, secret);
@@ -223,11 +233,7 @@ mod tests {
     use cache_sim::replacement::PolicyKind;
 
     fn machine() -> Machine {
-        Machine::new(
-            MicroArch::sandy_bridge_e5_2690(),
-            PolicyKind::TreePlru,
-            17,
-        )
+        Machine::new(MicroArch::sandy_bridge_e5_2690(), PolicyKind::TreePlru, 17)
     }
 
     #[test]
@@ -242,7 +248,10 @@ mod tests {
             bp.update(1, true);
         }
         bp.update(1, false);
-        assert!(bp.predict(1), "one not-taken must not flip a saturated counter");
+        assert!(
+            bp.predict(1),
+            "one not-taken must not flip a saturated counter"
+        );
         bp.update(1, false);
         assert!(!bp.predict(1));
     }

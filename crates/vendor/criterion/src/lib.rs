@@ -1,0 +1,207 @@
+//! Offline drop-in subset of the `criterion` crate.
+//!
+//! The build environment has no crates.io access, so this workspace
+//! vendors the slice of the criterion API its micro-benchmarks use:
+//! [`Criterion`], [`Bencher::iter`]/[`Bencher::iter_batched`],
+//! benchmark groups, and the [`criterion_group!`]/
+//! [`criterion_main!`] macros. Timing is a straightforward
+//! wall-clock mean over `sample_size` samples of an adaptively sized
+//! inner loop — no statistics engine, plots or HTML reports.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Batch sizing hint for [`Bencher::iter_batched`] (accepted for API
+/// compatibility; batches are always per-iteration here).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small setup values.
+    SmallInput,
+    /// Large setup values.
+    LargeInput,
+    /// One setup per measured iteration.
+    PerIteration,
+}
+
+/// Drives one benchmark's measured closure.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: usize,
+    /// (mean nanoseconds per iteration, iterations measured)
+    result: Option<(f64, u64)>,
+}
+
+impl Bencher {
+    fn new(samples: usize) -> Self {
+        Self {
+            samples,
+            result: None,
+        }
+    }
+
+    /// Measures `routine` (mean wall-clock time per call).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Calibrate an inner-loop count targeting ~2 ms per sample.
+        let mut inner = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..inner {
+                std::hint::black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(2) || inner >= 1 << 20 {
+                break;
+            }
+            inner *= 4;
+        }
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..inner {
+                std::hint::black_box(routine());
+            }
+            total += start.elapsed();
+            iters += inner;
+        }
+        self.result = Some((total.as_nanos() as f64 / iters.max(1) as f64, iters));
+    }
+
+    /// Measures `routine` over values produced by `setup`; setup time
+    /// is excluded from the measurement.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            total += start.elapsed();
+            iters += 1;
+        }
+        self.result = Some((total.as_nanos() as f64 / iters.max(1) as f64, iters));
+    }
+}
+
+fn humanize(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// The benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: impl AsRef<str>, mut f: F) {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        match b.result {
+            Some((ns, iters)) => {
+                println!(
+                    "{:<44} {:>12} /iter   ({iters} iters)",
+                    name.as_ref(),
+                    humanize(ns)
+                );
+            }
+            None => println!("{:<44} (no measurement)", name.as_ref()),
+        }
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl AsRef<str>) -> BenchmarkGroup<'_> {
+        println!("group: {}", name.as_ref());
+        BenchmarkGroup { c: self }
+    }
+}
+
+/// A group of related benchmarks (printed under a shared heading).
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: impl AsRef<str>, f: F) {
+        self.c.bench_function(format!("  {}", name.as_ref()), f);
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $cfg;
+            $( $target(&mut c); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(name = $name; config = $crate::Criterion::default(); targets = $($target),+);
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_records_result() {
+        let mut c = Criterion::default().sample_size(3);
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut g = c.benchmark_group("g");
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| 41, |x| x + 1, BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn humanize_scales() {
+        assert!(humanize(12.0).ends_with("ns"));
+        assert!(humanize(12_000.0).ends_with("µs"));
+        assert!(humanize(12_000_000.0).ends_with("ms"));
+    }
+}

@@ -246,9 +246,7 @@ mod tests {
     #[test]
     fn zipfian_prefers_hot_region() {
         let mut p = AccessPattern::zipfian(1 << 20, 0.9, 4096, 2);
-        let hot = (0..2000)
-            .filter(|_| p.next_offset() < 4096)
-            .count();
+        let hot = (0..2000).filter(|_| p.next_offset() < 4096).count();
         assert!(hot > 1500, "hot region should absorb ~90%, got {hot}/2000");
     }
 

@@ -29,16 +29,16 @@ impl BenignCoRunner {
     /// Builds the gcc-like co-runner, allocating its working sets in
     /// `pid`'s address space.
     pub fn gcc(machine: &mut Machine, pid: Pid, seed: u64) -> Self {
-        Self::from_benchmark(machine, pid, Benchmark::by_name("gcc").expect("gcc exists"), seed)
+        Self::from_benchmark(
+            machine,
+            pid,
+            Benchmark::by_name("gcc").expect("gcc exists"),
+            seed,
+        )
     }
 
     /// Builds a co-runner from any suite benchmark.
-    pub fn from_benchmark(
-        machine: &mut Machine,
-        pid: Pid,
-        bench: Benchmark,
-        seed: u64,
-    ) -> Self {
+    pub fn from_benchmark(machine: &mut Machine, pid: Pid, bench: Benchmark, seed: u64) -> Self {
         let mix = bench.patterns(seed);
         let bases = mix
             .iter()
@@ -97,9 +97,7 @@ fn extent(p: &AccessPattern) -> u64 {
         | AccessPattern::RandomUniform { working_set, .. }
         | AccessPattern::Zipfian { working_set, .. }
         | AccessPattern::StackLike { working_set, .. } => *working_set,
-        AccessPattern::PointerChase { perm, .. } => {
-            perm.len() as u64 * crate::access_pattern::LINE
-        }
+        AccessPattern::PointerChase { perm, .. } => perm.len() as u64 * crate::access_pattern::LINE,
         AccessPattern::Blocked2d { cols, rows, .. } => cols * rows,
     }
 }
@@ -113,11 +111,7 @@ mod tests {
 
     #[test]
     fn gcc_corunner_generates_cache_traffic() {
-        let mut m = Machine::new(
-            MicroArch::sandy_bridge_e5_2690(),
-            PolicyKind::TreePlru,
-            3,
-        );
+        let mut m = Machine::new(MicroArch::sandy_bridge_e5_2690(), PolicyKind::TreePlru, 3);
         let pid = m.create_process();
         let mut gcc = BenignCoRunner::gcc(&mut m, pid, 11);
         HyperThreaded::new(1).run(&mut m, &mut [ThreadHandle::new(pid, &mut gcc)], 400_000);
@@ -131,18 +125,10 @@ mod tests {
 
     #[test]
     fn corunner_is_deterministic() {
-        let mut m1 = Machine::new(
-            MicroArch::sandy_bridge_e5_2690(),
-            PolicyKind::TreePlru,
-            3,
-        );
+        let mut m1 = Machine::new(MicroArch::sandy_bridge_e5_2690(), PolicyKind::TreePlru, 3);
         let p1 = m1.create_process();
         let mut a = BenignCoRunner::gcc(&mut m1, p1, 9);
-        let mut m2 = Machine::new(
-            MicroArch::sandy_bridge_e5_2690(),
-            PolicyKind::TreePlru,
-            3,
-        );
+        let mut m2 = Machine::new(MicroArch::sandy_bridge_e5_2690(), PolicyKind::TreePlru, 3);
         let p2 = m2.create_process();
         let mut b = BenignCoRunner::gcc(&mut m2, p2, 9);
         for _ in 0..64 {

@@ -35,22 +35,70 @@ pub struct Benchmark {
 
 /// The benchmark suite plotted in Fig. 9 (12 int + 4 fp mixes).
 pub const SUITE: [Benchmark; 16] = [
-    Benchmark { name: "perlbench", int_suite: true },
-    Benchmark { name: "bzip2", int_suite: true },
-    Benchmark { name: "gcc", int_suite: true },
-    Benchmark { name: "mcf", int_suite: true },
-    Benchmark { name: "gobmk", int_suite: true },
-    Benchmark { name: "hmmer", int_suite: true },
-    Benchmark { name: "sjeng", int_suite: true },
-    Benchmark { name: "libquantum", int_suite: true },
-    Benchmark { name: "h264ref", int_suite: true },
-    Benchmark { name: "omnetpp", int_suite: true },
-    Benchmark { name: "astar", int_suite: true },
-    Benchmark { name: "xalancbmk", int_suite: true },
-    Benchmark { name: "milc", int_suite: false },
-    Benchmark { name: "namd", int_suite: false },
-    Benchmark { name: "soplex", int_suite: false },
-    Benchmark { name: "lbm", int_suite: false },
+    Benchmark {
+        name: "perlbench",
+        int_suite: true,
+    },
+    Benchmark {
+        name: "bzip2",
+        int_suite: true,
+    },
+    Benchmark {
+        name: "gcc",
+        int_suite: true,
+    },
+    Benchmark {
+        name: "mcf",
+        int_suite: true,
+    },
+    Benchmark {
+        name: "gobmk",
+        int_suite: true,
+    },
+    Benchmark {
+        name: "hmmer",
+        int_suite: true,
+    },
+    Benchmark {
+        name: "sjeng",
+        int_suite: true,
+    },
+    Benchmark {
+        name: "libquantum",
+        int_suite: true,
+    },
+    Benchmark {
+        name: "h264ref",
+        int_suite: true,
+    },
+    Benchmark {
+        name: "omnetpp",
+        int_suite: true,
+    },
+    Benchmark {
+        name: "astar",
+        int_suite: true,
+    },
+    Benchmark {
+        name: "xalancbmk",
+        int_suite: true,
+    },
+    Benchmark {
+        name: "milc",
+        int_suite: false,
+    },
+    Benchmark {
+        name: "namd",
+        int_suite: false,
+    },
+    Benchmark {
+        name: "soplex",
+        int_suite: false,
+    },
+    Benchmark {
+        name: "lbm",
+        int_suite: false,
+    },
 ];
 
 const KB: u64 = 1024;
@@ -138,7 +186,10 @@ impl Benchmark {
             // Chess: transposition table + stack.
             "sjeng" => vec![
                 (0.5, AccessPattern::random(8 * MB, seed)),
-                (0.5, AccessPattern::stack_like(256 * KB, 0.8, 16 * KB, seed ^ 1)),
+                (
+                    0.5,
+                    AccessPattern::stack_like(256 * KB, 0.8, 16 * KB, seed ^ 1),
+                ),
             ],
             // Quantum simulation: pure streaming over a big vector.
             "libquantum" => vec![(1.0, AccessPattern::sequential(16 * MB))],

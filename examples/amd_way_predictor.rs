@@ -55,7 +55,10 @@ fn channel_comparison() -> Result<(), Box<dyn std::error::Error>> {
     };
     let message: Vec<bool> = (0..32).map(|i| i % 2 == 1).collect();
     for (label, variant) in [
-        ("Alg.1, two threads of one address space", Variant::SharedMemoryThreads),
+        (
+            "Alg.1, two threads of one address space",
+            Variant::SharedMemoryThreads,
+        ),
         ("Alg.1, two separate processes", Variant::SharedMemory),
     ] {
         let run = CovertConfig {

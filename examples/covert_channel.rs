@@ -39,7 +39,11 @@ fn run(
         let avg = decode::moving_average(&run.samples, period);
         decode::bits_from_moving_average(&avg, period, conv)
     } else {
-        let ratio = if conv == BitConvention::MissIsOne { 0.25 } else { 0.5 };
+        let ratio = if conv == BitConvention::MissIsOne {
+            0.25
+        } else {
+            0.5
+        };
         decode::bits_by_window_ratio(&run.samples, params.ts, run.hit_threshold, conv, ratio)
     };
     let err = error_rate(&message, &bits[..message.len().min(bits.len())]);
@@ -57,18 +61,58 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let fast2 = ChannelParams::paper_alg2_default();
     // The AMD timer is coarse: the channel needs a slower bit period
     // (paper Fig. 7 uses Ts = 1e5).
-    let amd1 = ChannelParams { ts: 100_000, tr: 1_000, ..fast1 };
-    let amd2 = ChannelParams { ts: 100_000, tr: 1_000, ..fast2 };
+    let amd1 = ChannelParams {
+        ts: 100_000,
+        tr: 1_000,
+        ..fast1
+    };
+    let amd2 = ChannelParams {
+        ts: 100_000,
+        tr: 1_000,
+        ..fast2
+    };
 
-    run("E5-2690  / Alg.1 (shared memory)", Platform::e5_2690(), Variant::SharedMemory, fast1)?;
-    run("E5-2690  / Alg.2 (no shared memory)", Platform::e5_2690(), Variant::NoSharedMemory, fast2)?;
-    run("E3-1245v5/ Alg.1 (shared memory)", Platform::e3_1245v5(), Variant::SharedMemory, fast1)?;
-    run("E3-1245v5/ Alg.2 (no shared memory)", Platform::e3_1245v5(), Variant::NoSharedMemory, fast2)?;
-    run("EPYC 7571/ Alg.1 (threads, shared AS)", Platform::epyc_7571(), Variant::SharedMemoryThreads, amd1)?;
-    run("EPYC 7571/ Alg.2 (no shared memory)", Platform::epyc_7571(), Variant::NoSharedMemory, amd2)?;
+    run(
+        "E5-2690  / Alg.1 (shared memory)",
+        Platform::e5_2690(),
+        Variant::SharedMemory,
+        fast1,
+    )?;
+    run(
+        "E5-2690  / Alg.2 (no shared memory)",
+        Platform::e5_2690(),
+        Variant::NoSharedMemory,
+        fast2,
+    )?;
+    run(
+        "E3-1245v5/ Alg.1 (shared memory)",
+        Platform::e3_1245v5(),
+        Variant::SharedMemory,
+        fast1,
+    )?;
+    run(
+        "E3-1245v5/ Alg.2 (no shared memory)",
+        Platform::e3_1245v5(),
+        Variant::NoSharedMemory,
+        fast2,
+    )?;
+    run(
+        "EPYC 7571/ Alg.1 (threads, shared AS)",
+        Platform::epyc_7571(),
+        Variant::SharedMemoryThreads,
+        amd1,
+    )?;
+    run(
+        "EPYC 7571/ Alg.2 (no shared memory)",
+        Platform::epyc_7571(),
+        Variant::NoSharedMemory,
+        amd2,
+    )?;
 
     println!("\nAs in the paper: Intel runs at hundreds of Kbps; the AMD channel is an order");
     println!("of magnitude slower (coarse timestamp counter + lower clock), and cross-process");
-    println!("Alg.1 on AMD additionally fights the µtag way predictor (see example amd_way_predictor).");
+    println!(
+        "Alg.1 on AMD additionally fights the µtag way predictor (see example amd_way_predictor)."
+    );
     Ok(())
 }

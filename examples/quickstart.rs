@@ -49,7 +49,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!("sent      {secret:#010b}");
     println!("recovered {recovered:#010b}");
-    assert_eq!(secret, recovered, "the channel should be error-free at this rate");
+    assert_eq!(
+        secret, recovered,
+        "the channel should be error-free at this rate"
+    );
     println!("byte transferred through nothing but Tree-PLRU metadata ✔");
     Ok(())
 }

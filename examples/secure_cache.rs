@@ -4,11 +4,11 @@
 //! Run with `cargo run --release --example secure_cache`.
 
 use lru_leak::cache_sim::plcache::PlDesign;
+use lru_leak::cache_sim::profiles::MicroArch;
 use lru_leak::cache_sim::replacement::PolicyKind;
 use lru_leak::defense::partition_eval::{dawg_partitioned_leak, shared_plru_leak};
 use lru_leak::defense::pl_cache_eval::fig11;
 use lru_leak::defense::policy_eval::{fig9_row, geomean_normalized_cpi};
-use lru_leak::cache_sim::profiles::MicroArch;
 use lru_leak::workloads::spec_like::Benchmark;
 
 fn main() {
@@ -20,8 +20,10 @@ fn main() {
             run.design,
             run.distinguishability() * 100.0,
             match run.design {
-                PlDesign::Original => "→ the sender's hits on its LOCKED line still steer the Tree-PLRU: leak",
-                PlDesign::Fixed => "→ locked lines frozen out of the LRU state: receiver always hits",
+                PlDesign::Original =>
+                    "→ the sender's hits on its LOCKED line still steer the Tree-PLRU: leak",
+                PlDesign::Fixed =>
+                    "→ locked lines frozen out of the LRU state: receiver always hits",
             }
         );
     }

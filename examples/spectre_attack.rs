@@ -4,9 +4,7 @@
 //!
 //! Run with `cargo run --release --example spectre_attack`.
 
-use lru_leak::attacks::primitive::{
-    FlushReloadPrimitive, LruAlg1Primitive, LruAlg2Primitive,
-};
+use lru_leak::attacks::primitive::{FlushReloadPrimitive, LruAlg1Primitive, LruAlg2Primitive};
 use lru_leak::attacks::spectre::{decode_symbols, encode_symbols, SpectreAttack};
 use lru_leak::cache_sim::replacement::PolicyKind;
 use lru_leak::exec_sim::machine::Machine;
@@ -33,7 +31,13 @@ fn main() {
                 let mut p = FlushReloadPrimitive::new(victim.pid, victim.array2, platform);
                 attack.recover(&mut machine, &mut victim, &mut p, secret_offset, 1);
                 machine.reset_counters();
-                attack.recover(&mut machine, &mut victim, &mut p, secret_offset, symbols.len())
+                attack.recover(
+                    &mut machine,
+                    &mut victim,
+                    &mut p,
+                    secret_offset,
+                    symbols.len(),
+                )
             }
             "LRU Alg.1" => {
                 // The stealthy variant: the victim's transient probe
@@ -42,14 +46,26 @@ fn main() {
                     LruAlg1Primitive::new(&mut machine, victim.pid, victim.array2, platform);
                 attack.recover(&mut machine, &mut victim, &mut p, secret_offset, 1);
                 machine.reset_counters();
-                attack.recover(&mut machine, &mut victim, &mut p, secret_offset, symbols.len())
+                attack.recover(
+                    &mut machine,
+                    &mut victim,
+                    &mut p,
+                    secret_offset,
+                    symbols.len(),
+                )
             }
             _ => {
                 let mut p =
                     LruAlg2Primitive::new(&mut machine, victim.pid, victim.array2, platform);
                 attack.recover(&mut machine, &mut victim, &mut p, secret_offset, 1);
                 machine.reset_counters();
-                attack.recover(&mut machine, &mut victim, &mut p, secret_offset, symbols.len())
+                attack.recover(
+                    &mut machine,
+                    &mut victim,
+                    &mut p,
+                    secret_offset,
+                    symbols.len(),
+                )
             }
         };
         let text = decode_symbols(&recovered);

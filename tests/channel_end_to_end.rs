@@ -66,11 +66,7 @@ fn alg2_transfers_bits_with_low_error_on_both_intel_parts() {
             0.25,
         );
         let err = error_rate(&message, &bits[..message.len().min(bits.len())]);
-        assert!(
-            err < 0.2,
-            "{}: Alg2 error rate {err}",
-            platform.arch.model
-        );
+        assert!(err < 0.2, "{}: Alg2 error rate {err}", platform.arch.model);
     }
 }
 
@@ -225,7 +221,10 @@ fn benign_noise_kills_time_sliced_alg2() {
         (p1 - p0).abs() < 0.15,
         "noise should collapse the Alg2 time-sliced gap, got p0={p0:.2} p1={p1:.2}"
     );
-    assert!(p0 > 0.1, "noise pollutes the set even when the sender idles, got {p0:.2}");
+    assert!(
+        p0 > 0.1,
+        "noise pollutes the set even when the sender idles, got {p0:.2}"
+    );
 }
 
 #[test]

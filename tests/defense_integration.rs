@@ -88,8 +88,16 @@ fn invisible_speculation_stops_spectre_but_baseline_leaks() {
     for channel in [Channel::FlushReload, Channel::LruAlg1, Channel::LruAlg2] {
         let base = spectre_under_mode(channel, SpecMode::Baseline, "ok", 44);
         let inv = spectre_under_mode(channel, SpecMode::Invisible, "ok", 44);
-        assert!(base.accuracy > 0.99, "{channel:?} baseline {:.2}", base.accuracy);
-        assert!(inv.accuracy < 0.5, "{channel:?} invisible {:.2}", inv.accuracy);
+        assert!(
+            base.accuracy > 0.99,
+            "{channel:?} baseline {:.2}",
+            base.accuracy
+        );
+        assert!(
+            inv.accuracy < 0.5,
+            "{channel:?} invisible {:.2}",
+            inv.accuracy
+        );
     }
 }
 
@@ -102,7 +110,12 @@ fn detector_separates_fr_from_lru_and_benign() {
         .map(|v| v.label)
         .collect();
     assert!(flagged.contains(&"F+R (mem)"), "flagged: {flagged:?}");
-    for benign in ["L1 LRU Alg.1", "L1 LRU Alg.2", "sender & gcc", "sender only"] {
+    for benign in [
+        "L1 LRU Alg.1",
+        "L1 LRU Alg.2",
+        "sender & gcc",
+        "sender only",
+    ] {
         assert!(
             !flagged.contains(&benign),
             "{benign} wrongly flagged (flagged: {flagged:?})"

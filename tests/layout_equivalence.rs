@@ -1,0 +1,135 @@
+//! Golden-trace equivalence: the flat structure-of-arrays cache
+//! ([`cache_sim::Cache`]) must be observationally identical to the
+//! original array-of-structs layout ([`cache_sim::RefCache`]) —
+//! hit/miss, chosen way, evicted line, statistics — for long random
+//! access streams under all six replacement policies, mixed with
+//! prefetch fills, flushes and read-only probes.
+//!
+//! This suite is what makes the hot-path refactor behaviour-
+//! preserving by construction: any divergence in tag search, victim
+//! selection, fill bookkeeping or the Random policy's per-set seed
+//! derivation fails here with the exact step number.
+
+use lru_leak::cache_sim::addr::PhysAddr;
+use lru_leak::cache_sim::cache::Cache;
+use lru_leak::cache_sim::geometry::CacheGeometry;
+use lru_leak::cache_sim::reference::RefCache;
+use lru_leak::cache_sim::replacement::{Domain, PolicyKind};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Replays `steps` mixed operations through both layouts, comparing
+/// every outcome.
+fn replay(geom: CacheGeometry, kind: PolicyKind, seed: u64, steps: usize) {
+    let mut soa = Cache::new(geom, kind, seed);
+    let mut aos = RefCache::new(geom, kind, seed);
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x1ace);
+    // Address universe: ~4× the cache capacity so streams mix hits,
+    // misses and evictions.
+    let universe = geom.size_bytes() * 4;
+
+    for step in 0..steps {
+        let pa = PhysAddr::new(rng.gen_range(0..universe) & !(geom.line_size() - 1));
+        match rng.gen_range(0..10u32) {
+            // Demand accesses dominate, as in the experiments.
+            0..=6 => {
+                let domain = if kind == PolicyKind::PartitionedTreePlru && rng.gen_bool(0.5) {
+                    Domain::SECONDARY
+                } else {
+                    Domain::PRIMARY
+                };
+                let a = soa.access_in_domain(pa, domain);
+                let b = aos.access_in_domain(pa, domain);
+                assert_eq!(a, b, "{kind}: access diverged at step {step} ({pa})");
+            }
+            7 => {
+                let a = soa.prefetch_fill(pa);
+                let b = aos.prefetch_fill(pa);
+                assert_eq!(a, b, "{kind}: prefetch diverged at step {step} ({pa})");
+            }
+            8 => {
+                let a = soa.flush_line(pa);
+                let b = aos.flush_line(pa);
+                assert_eq!(a, b, "{kind}: flush diverged at step {step} ({pa})");
+            }
+            _ => {
+                assert_eq!(
+                    soa.probe(pa),
+                    aos.probe(pa),
+                    "{kind}: probe diverged at step {step} ({pa})"
+                );
+                assert_eq!(
+                    soa.way_of(pa),
+                    aos.way_of(pa),
+                    "{kind}: way_of diverged at step {step} ({pa})"
+                );
+            }
+        }
+        assert_eq!(
+            soa.stats(),
+            aos.stats(),
+            "{kind}: stats diverged at step {step}"
+        );
+    }
+
+    // Final state: every set holds the same lines in the same ways.
+    for s in 0..geom.num_sets() as usize {
+        for w in 0..geom.ways() {
+            let a = soa.set(s).line(w);
+            let b = aos.set(s).line(w).copied();
+            assert_eq!(a, b, "{kind}: set {s} way {w} differs after replay");
+        }
+    }
+}
+
+#[test]
+fn all_policies_match_on_the_paper_l1() {
+    for kind in PolicyKind::ALL {
+        replay(CacheGeometry::l1d_paper(), kind, 0xdead_beef, 20_000);
+    }
+}
+
+#[test]
+fn all_policies_match_on_an_l2_geometry() {
+    let geom = CacheGeometry::new(64, 512, 8).unwrap();
+    for kind in PolicyKind::ALL {
+        replay(geom, kind, 0x5eed, 20_000);
+    }
+}
+
+#[test]
+fn policies_match_on_small_and_wide_geometries() {
+    // 2-way and 16-way stress the tree walks and mask edges.
+    for (sets, ways) in [(4u64, 2usize), (16, 16), (8, 4)] {
+        let geom = CacheGeometry::new(64, sets, ways).unwrap();
+        for kind in PolicyKind::ALL {
+            replay(geom, kind, 0xc0de ^ sets ^ ways as u64, 8_000);
+        }
+    }
+}
+
+#[test]
+fn random_policy_streams_are_bit_identical_across_seeds() {
+    // The Random policy is the only seed-consuming one: pin the
+    // per-set seed derivation across several master seeds.
+    for seed in [0u64, 1, 42, u64::MAX] {
+        replay(CacheGeometry::l1d_paper(), PolicyKind::Random, seed, 10_000);
+    }
+}
+
+#[test]
+fn clear_preserves_equivalence() {
+    let geom = CacheGeometry::l1d_paper();
+    let mut soa = Cache::new(geom, PolicyKind::TreePlru, 7);
+    let mut aos = RefCache::new(geom, PolicyKind::TreePlru, 7);
+    for i in 0..500u64 {
+        let pa = PhysAddr::new(i * 64 * 3);
+        assert_eq!(soa.access(pa), aos.access(pa));
+    }
+    soa.clear();
+    aos.clear();
+    for i in 0..500u64 {
+        let pa = PhysAddr::new(i * 64 * 5);
+        assert_eq!(soa.access(pa), aos.access(pa), "diverged after clear");
+    }
+}

@@ -17,7 +17,11 @@ const SECRET: &str = "open sesame 42";
 fn recover_with<F, P>(build: F, seed: u64) -> String
 where
     P: DisclosurePrimitive,
-    F: FnOnce(&mut Machine, lru_leak::exec_sim::machine::Pid, lru_leak::cache_sim::addr::VirtAddr) -> P,
+    F: FnOnce(
+        &mut Machine,
+        lru_leak::exec_sim::machine::Pid,
+        lru_leak::cache_sim::addr::VirtAddr,
+    ) -> P,
 {
     let platform = Platform::e5_2690();
     let mut machine = Machine::new(platform.arch, PolicyKind::TreePlru, seed);
@@ -36,7 +40,10 @@ where
 fn all_three_primitives_recover_the_secret() {
     let platform = Platform::e5_2690();
     assert_eq!(
-        recover_with(|_m, pid, a2| FlushReloadPrimitive::new(pid, a2, platform), 10),
+        recover_with(
+            |_m, pid, a2| FlushReloadPrimitive::new(pid, a2, platform),
+            10
+        ),
         SECRET
     );
     assert_eq!(
@@ -79,7 +86,11 @@ fn lru_attack_survives_bit_plru_l1() {
         .zip("mru".bytes())
         .filter(|(a, b)| a == b)
         .count();
-    assert!(correct >= 2, "Bit-PLRU recovery too weak: {:?}", decode_symbols(&got));
+    assert!(
+        correct >= 2,
+        "Bit-PLRU recovery too weak: {:?}",
+        decode_symbols(&got)
+    );
 }
 
 #[test]

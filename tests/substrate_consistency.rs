@@ -151,11 +151,7 @@ fn replacement_trait_objects_are_usable() {
 
 #[test]
 fn shared_pages_have_one_physical_identity_across_the_stack() {
-    let mut m = Machine::new(
-        MicroArch::sandy_bridge_e5_2690(),
-        PolicyKind::TreePlru,
-        54,
-    );
+    let mut m = Machine::new(MicroArch::sandy_bridge_e5_2690(), PolicyKind::TreePlru, 54);
     let a = m.create_process();
     let b = m.create_process();
     let (va_a, va_b) = m.map_shared_page(a, b);
@@ -163,10 +159,7 @@ fn shared_pages_have_one_physical_identity_across_the_stack() {
     // addresses...
     assert_ne!(va_a, va_b);
     // ...for one physical page.
-    assert_eq!(
-        m.translate(a, va_a).unwrap(),
-        m.translate(b, va_b).unwrap()
-    );
+    assert_eq!(m.translate(a, va_a).unwrap(), m.translate(b, va_b).unwrap());
     // Cache state is shared: A's load, B's hit.
     m.access(a, va_a.add(0x80));
     assert_eq!(m.access(b, va_b.add(0x80)).level, HitLevel::L1);
@@ -178,11 +171,7 @@ fn l1_hits_never_touch_lower_level_replacement_state() {
     // not change the replacement state in the LLC" — in this model,
     // an access served by the L1 leaves the L2 (and LLC) completely
     // untouched, which is why the paper focuses the channel on L1.
-    let mut m = Machine::new(
-        MicroArch::sandy_bridge_e5_2690(),
-        PolicyKind::TreePlru,
-        70,
-    );
+    let mut m = Machine::new(MicroArch::sandy_bridge_e5_2690(), PolicyKind::TreePlru, 70);
     let pid = m.create_process();
     let va = m.alloc_pages(pid, 1);
     m.access(pid, va); // miss: reaches L2/LLC once
@@ -200,14 +189,8 @@ fn l1_hits_never_touch_lower_level_replacement_state() {
 
 #[test]
 fn side_channel_recovers_secret_through_full_stack() {
-    use lru_leak::attacks::side_channel::{
-        recover_table_index, SetMonitor, TableLookupVictim,
-    };
-    let mut m = Machine::new(
-        MicroArch::sandy_bridge_e5_2690(),
-        PolicyKind::TreePlru,
-        71,
-    );
+    use lru_leak::attacks::side_channel::{recover_table_index, SetMonitor, TableLookupVictim};
+    let mut m = Machine::new(MicroArch::sandy_bridge_e5_2690(), PolicyKind::TreePlru, 71);
     let victim = TableLookupVictim::new(&mut m, 42);
     let monitor = SetMonitor::new(&mut m, Platform::e5_2690());
     assert_eq!(recover_table_index(&mut m, &victim, &monitor, 5, 71), 42);

@@ -1,0 +1,87 @@
+//! The parallel trial driver must be bit-identical to sequential
+//! execution: trial results depend only on the trial index (and the
+//! seed derived from it), never on scheduling, worker count or
+//! completion order.
+
+use lru_leak::lru_channel::covert::{percent_ones_grid, GridPoint, Variant};
+use lru_leak::lru_channel::params::{ChannelParams, Platform};
+use lru_leak::lru_channel::trials::{derive_seed, run_trials, run_trials_on};
+
+/// A small but real grid: every point runs the full time-sliced
+/// channel simulation (machine, scheduler, probe).
+fn small_grid() -> Vec<GridPoint> {
+    let mut points = Vec::new();
+    for bit in [false, true] {
+        for d in [4usize, 8] {
+            let tr = 2_000_000u64;
+            points.push(GridPoint {
+                params: ChannelParams {
+                    d,
+                    target_set: 0,
+                    ts: tr,
+                    tr,
+                },
+                bit,
+                seed: derive_seed(0xf1e6, (d as u64) << 1 | u64::from(bit)),
+            });
+        }
+    }
+    points
+}
+
+#[test]
+fn parallel_grid_matches_sequential_grid() {
+    let platform = Platform::e5_2690();
+    let points = small_grid();
+    // Sequential oracle: map the same closure in index order on one
+    // thread.
+    let seq: Vec<f64> = points
+        .iter()
+        .map(|p| {
+            lru_leak::lru_channel::covert::percent_ones(
+                platform,
+                p.params,
+                Variant::SharedMemory,
+                p.bit,
+                12,
+                p.seed,
+            )
+            .unwrap()
+        })
+        .collect();
+    let par = percent_ones_grid(platform, Variant::SharedMemory, &points, 12).unwrap();
+    assert_eq!(
+        seq, par,
+        "parallel grid must be bit-identical to sequential"
+    );
+}
+
+#[test]
+fn worker_count_does_not_change_results() {
+    let f = |i: usize| {
+        // A deterministic but non-trivial per-trial computation.
+        let mut acc = derive_seed(0xabc, i as u64);
+        for _ in 0..1000 {
+            acc = acc.rotate_left(7) ^ acc.wrapping_mul(0x2545_f491_4f6c_dd1d);
+        }
+        acc
+    };
+    let one = run_trials_on(1, 64, f);
+    for workers in [2, 3, 4, 8, 64] {
+        assert_eq!(run_trials_on(workers, 64, f), one, "workers={workers}");
+    }
+}
+
+#[test]
+fn default_driver_matches_sequential() {
+    let f = |i: usize| derive_seed(7, i as u64) % 1000;
+    assert_eq!(run_trials(100, f), run_trials_on(1, 100, f));
+}
+
+#[test]
+fn per_trial_seeds_are_unique() {
+    let mut seen = std::collections::HashSet::new();
+    for i in 0..10_000u64 {
+        assert!(seen.insert(derive_seed(0x1234, i)), "duplicate seed at {i}");
+    }
+}
