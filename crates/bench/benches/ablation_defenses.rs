@@ -1,125 +1,9 @@
 //! Ablation: every §IX defense against the channels.
-
-use bench_harness::{header, pct1, row, BENCH_SEED};
-use cache_sim::replacement::PolicyKind;
-use defense::delayed_update::{ablation, Channel};
-use defense::detection::detection_study;
-use defense::partition_eval::{dawg_partitioned_leak, shared_plru_leak};
-use defense::randomization::{index_randomization_defeats_eviction, random_fill_leak};
-use exec_sim::machine::Machine;
-use exec_sim::speculation::SpecMode;
-use lru_channel::covert::{CovertConfig, Sharing, Variant};
-use lru_channel::decode::{self, BitConvention};
-use lru_channel::edit_distance::error_rate;
-use lru_channel::params::{ChannelParams, Platform};
-
-/// Channel error rate with a given L1 replacement policy (the §IX-A
-/// policy-substitution defense: FIFO/Random should push Alg.1 to
-/// coin-flip error).
-fn channel_error_under_policy(policy: PolicyKind) -> f64 {
-    let platform = Platform::e5_2690();
-    let message: Vec<bool> = (0..40).map(|i| i % 2 == 1).collect();
-    let cfg = CovertConfig {
-        platform,
-        params: ChannelParams::paper_alg1_default(),
-        variant: Variant::SharedMemory,
-        sharing: Sharing::HyperThreaded,
-        message: message.clone(),
-        seed: BENCH_SEED,
-    };
-    let mut machine = Machine::new(platform.arch, policy, BENCH_SEED);
-    let run = cfg.run_on(&mut machine).expect("valid parameters");
-    let bits = decode::bits_by_window(
-        &run.samples,
-        cfg.params.ts,
-        run.hit_threshold,
-        BitConvention::HitIsOne,
-    );
-    error_rate(&message, &bits[..message.len().min(bits.len())])
-}
+//!
+//! Thin wrapper: the experiment itself is the `ablation_defenses` grid in
+//! `scenario::registry`; `lru-leak run ablation_defenses` executes the same
+//! scenarios.
 
 fn main() {
-    header(
-        "ablation_defenses",
-        "Paper §IX",
-        "every defense vs the channels: policy substitution, state partitioning, invisible speculation, detection",
-    );
-
-    println!(
-        "\n[§IX-A] Alg.1 HT error rate per L1 replacement policy (high error = channel dead):"
-    );
-    for policy in [
-        PolicyKind::TreePlru,
-        PolicyKind::BitPlru,
-        PolicyKind::Fifo,
-        PolicyKind::Random,
-    ] {
-        println!(
-            "  {policy:<12} error rate {}",
-            pct1(channel_error_under_policy(policy))
-        );
-    }
-    println!("  note: under the literal Bit-PLRU rollover (all MRU-bits reset to 0) the");
-    println!("  receiver's own timed access parks line 0 in a high way and the *continuous*");
-    println!("  covert loop fails, although the one-shot decode of Table I / Spectre works");
-    println!("  on Bit-PLRU — see EXPERIMENTS.md");
-
-    println!("\n[§IX-B] replacement-state partitioning (victim-flip rate; 0 = no leak):");
-    let shared = shared_plru_leak(5_000, BENCH_SEED);
-    let dawg = dawg_partitioned_leak(5_000, BENCH_SEED);
-    println!(
-        "  way-partitioned, shared Tree-PLRU   {}",
-        pct1(shared.victim_flip_rate)
-    );
-    println!(
-        "  DAWG-partitioned Tree-PLRU state    {}",
-        pct1(dawg.victim_flip_rate)
-    );
-
-    println!("\n[§IX-B] InvisiSpec-style invisible speculation vs Spectre:");
-    row("channel", &["baseline acc.", "invisible acc."]);
-    let rows = ablation("leak", BENCH_SEED);
-    for ch in [Channel::FlushReload, Channel::LruAlg1, Channel::LruAlg2] {
-        let base = rows
-            .iter()
-            .find(|r| r.channel == ch && r.mode == SpecMode::Baseline)
-            .unwrap();
-        let inv = rows
-            .iter()
-            .find(|r| r.channel == ch && r.mode == SpecMode::Invisible)
-            .unwrap();
-        row(
-            &format!("{ch:?}"),
-            &[pct1(base.accuracy), pct1(inv.accuracy)],
-        );
-    }
-
-    println!("\n[§IX-B] randomization defenses:");
-    let rf = random_fill_leak(4_000, BENCH_SEED);
-    println!(
-        "  random-fill cache: hit-channel (LRU) flip rate {} — SURVIVES (paper: 'the LRU channel could still work')",
-        pct1(rf.hit_channel_flip_rate)
-    );
-    println!(
-        "  random-fill cache: contention-channel fill rate {} — removed",
-        pct1(rf.miss_channel_fill_rate)
-    );
-    let ir = index_randomization_defeats_eviction(1_000, BENCH_SEED);
-    println!(
-        "  keyed set mapping (RP/CEASER-style): Alg.1 eviction works {} baseline vs {} keyed",
-        pct1(ir.baseline_eviction_rate),
-        pct1(ir.eviction_rate)
-    );
-
-    println!("\n[§VII/§X] miss-rate detector verdicts over the Table VI sender scenarios:");
-    for v in detection_study(Platform::e5_2690(), 200, BENCH_SEED) {
-        println!(
-            "  {:<16} flagged: {:<5}  (L2 {}, LLC {})",
-            v.label,
-            v.flagged,
-            pct1(v.row.rates.l2),
-            pct1(v.row.rates.llc)
-        );
-    }
-    println!("\nshape check: detector flags F+R(mem) only; FIFO/Random kill the channel; DAWG flip rate = 0");
+    bench_harness::run_artifact("ablation_defenses");
 }

@@ -1,42 +1,9 @@
-//! Extension: the multi-set parallel channel of §IV ("several sets
-//! can be used in parallel to increase the transmission rate") —
-//! aggregate rate and accuracy vs the number of sets.
-
-use bench_harness::{header, kbps, pct1, row, BENCH_SEED};
-use lru_channel::multiset::run_parallel_alg1;
-use lru_channel::params::Platform;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+//! Extension: the multi-set parallel channel of §IV — aggregate rate and accuracy vs the number of sets.
+//!
+//! Thin wrapper: the experiment itself is the `ablation_multiset` grid in
+//! `scenario::registry`; `lru-leak run ablation_multiset` executes the same
+//! scenarios.
 
 fn main() {
-    header(
-        "ablation_multiset",
-        "Paper §IV (parallel sets)",
-        "Algorithm 1 over K sets at once, E5-2690 HT: rate scales ~K× while accuracy holds",
-    );
-    let platform = Platform::e5_2690();
-    row("sets", &["agg. rate", "frame acc."]);
-    for k in [1usize, 2, 4, 8, 16] {
-        let sets: Vec<usize> = (0..k).map(|i| i * 3).collect();
-        let mut rng = SmallRng::seed_from_u64(BENCH_SEED ^ k as u64);
-        let frames: Vec<Vec<bool>> = (0..24)
-            .map(|_| (0..k).map(|_| rng.gen_bool(0.5)).collect())
-            .collect();
-        // The receiver sweep grows with K: give it room in Tr/Ts.
-        let (ts, tr) = (4_000 + 2_000 * k as u64, 600 + 200 * k as u64);
-        let run = run_parallel_alg1(platform, &sets, 8, ts, tr, frames.clone(), BENCH_SEED)
-            .expect("valid configuration");
-        let decoded = run.decode_frames(k, ts, frames.len());
-        let total = frames.len() * k;
-        let correct: usize = frames
-            .iter()
-            .zip(&decoded)
-            .map(|(a, b)| a.iter().zip(b).filter(|(x, y)| x == y).count())
-            .sum();
-        row(
-            &k.to_string(),
-            &[kbps(run.rate_bps), pct1(correct as f64 / total as f64)],
-        );
-    }
-    println!("\nshape check: aggregate rate grows with K at near-constant per-frame accuracy");
+    bench_harness::run_artifact("ablation_multiset");
 }

@@ -1,70 +1,9 @@
-//! Ablation (Appendix C): the Spectre + LRU attack with a hardware
-//! prefetcher enabled, with and without the paper's mitigation
-//! (multi-round random-order scans + differential voting).
-
-use attacks::primitive::LruAlg2Primitive;
-use attacks::spectre::{decode_symbols, encode_symbols, SpectreAttack};
-use bench_harness::{header, BENCH_SEED};
-use cache_sim::prefetcher::Prefetcher;
-use cache_sim::profiles::MicroArch;
-use cache_sim::replacement::PolicyKind;
-use exec_sim::machine::Machine;
-use exec_sim::speculation::build_victim;
-use lru_channel::params::Platform;
-
-const SECRET: &str = "prefetchers are noisy";
-
-fn accuracy(prefetcher: Option<Prefetcher>, rounds: usize) -> (f64, String) {
-    let platform = Platform::e5_2690();
-    let mut machine = Machine::new(platform.arch, PolicyKind::TreePlru, BENCH_SEED);
-    if let Some(pf) = prefetcher {
-        *machine.hierarchy_mut() = MicroArch::sandy_bridge_e5_2690()
-            .build_hierarchy(PolicyKind::TreePlru, BENCH_SEED)
-            .with_prefetcher(pf);
-    }
-    let symbols = encode_symbols(SECRET);
-    let (mut victim, off) = build_victim(&mut machine, &symbols, 8);
-    let mut prim = LruAlg2Primitive::new(&mut machine, victim.pid, victim.array2, platform);
-    let attack = SpectreAttack {
-        rounds,
-        seed: BENCH_SEED,
-        ..SpectreAttack::default()
-    };
-    let got = attack.recover(&mut machine, &mut victim, &mut prim, off, symbols.len());
-    let text = decode_symbols(&got);
-    let correct = text
-        .bytes()
-        .zip(SECRET.bytes())
-        .filter(|(a, b)| a == b)
-        .count();
-    (correct as f64 / SECRET.len() as f64, text)
-}
+//! Ablation (Appendix C): the Spectre + LRU attack under prefetcher noise, with and without the paper's mitigation.
+//!
+//! Thin wrapper: the experiment itself is the `ablation_prefetcher` grid in
+//! `scenario::registry`; `lru-leak run ablation_prefetcher` executes the same
+//! scenarios.
 
 fn main() {
-    header(
-        "ablation_prefetcher",
-        "Paper Appendix C",
-        "Spectre + LRU Alg.2 under prefetcher noise: rounds + random-order scans + voting recover the signal",
-    );
-    let configs: [(&str, Option<Prefetcher>, usize); 4] = [
-        ("no prefetcher, 1 round", None, 1),
-        ("no prefetcher, 7 rounds", None, 7),
-        (
-            "next-line prefetcher, 1 round",
-            Some(Prefetcher::next_line()),
-            1,
-        ),
-        (
-            "next-line prefetcher, 11 rounds",
-            Some(Prefetcher::next_line()),
-            11,
-        ),
-    ];
-    for (label, pf, rounds) in configs {
-        let (acc, text) = accuracy(pf, rounds);
-        println!("{label:<34} accuracy {:>5.1}%   {text:?}", acc * 100.0);
-    }
-    println!(
-        "\nshape check: prefetcher + 1 round degrades; the Appendix-C mitigation restores accuracy"
-    );
+    bench_harness::run_artifact("ablation_prefetcher");
 }

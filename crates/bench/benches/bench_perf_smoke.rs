@@ -40,6 +40,10 @@ use rand::{Rng, SeedableRng};
 /// Accesses per timed measurement.
 const ACCESSES: usize = 2_000_000;
 
+/// Samples per percent-ones grid point — the same count the
+/// fig6/fig8/fig15 registry grids default to.
+const GRID_SAMPLES: usize = 150;
+
 /// Timed repetitions per configuration; the best is reported (the
 /// shared CI hosts are noisy).
 const REPS: usize = 3;
@@ -169,7 +173,7 @@ fn run_grid_on(workers: usize, points: &[GridPoint]) -> (f64, Vec<f64>) {
             p.params,
             Variant::SharedMemory,
             p.bit,
-            bench_harness::timesliced::SAMPLES,
+            GRID_SAMPLES,
             p.seed,
         )
         .expect("valid parameters")

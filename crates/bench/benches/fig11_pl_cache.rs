@@ -1,35 +1,9 @@
-//! Fig. 11: the LRU attack against the original and the fixed PL
-//! cache in simulation.
-
-use bench_harness::{header, pct1, sparkline, BENCH_SEED};
-use defense::pl_cache_eval::fig11;
+//! Fig. 11: the LRU attack against the original and the fixed PL cache in simulation.
+//!
+//! Thin wrapper: the experiment itself is the `fig11` grid in
+//! `scenario::registry`; `lru-leak run fig11` executes the same
+//! scenarios.
 
 fn main() {
-    header(
-        "fig11_pl_cache",
-        "Paper Fig. 11 (§IX-B)",
-        "Algorithm 2 vs PL cache with the sender's line locked (paper: original leaks; fixed = receiver always hits)",
-    );
-    let (original, fixed) = fig11(240, 1, BENCH_SEED);
-    for run in [&original, &fixed] {
-        let series: Vec<f64> = run
-            .trace
-            .iter()
-            .take(160)
-            .map(|p| p.latency as f64)
-            .collect();
-        println!("\n{:?} design:", run.design);
-        println!("receiver latency trace: {}", sparkline(&series));
-        let p = |bit: bool| {
-            let of: Vec<_> = run.trace.iter().filter(|t| t.bit == bit).collect();
-            of.iter().filter(|t| t.hit).count() as f64 / of.len().max(1) as f64
-        };
-        println!(
-            "P(hit | sender=0) = {}, P(hit | sender=1) = {}, distinguishability = {}",
-            pct1(p(false)),
-            pct1(p(true)),
-            pct1(run.distinguishability())
-        );
-    }
-    println!("\nshape check: original distinguishability >> 0; fixed = 0 (always hit)");
+    bench_harness::run_artifact("fig11");
 }

@@ -1,52 +1,9 @@
-//! Fig. 13 (Appendix A): a single `rdtscp`-timed load cannot tell an
-//! L1 hit from an L1 miss (L2 hit) — the motivation for the pointer
-//! chase.
-
-use bench_harness::{header, BENCH_SEED};
-use cache_sim::replacement::PolicyKind;
-use exec_sim::machine::Machine;
-use exec_sim::measure::rdtscp_single;
-use lru_channel::analysis::Histogram;
-use lru_channel::params::Platform;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
-
-const N: usize = 10_000;
+//! Fig. 13 (Appendix A): a single rdtscp-timed load cannot tell an L1 hit from an L1 miss — the motivation for the pointer chase.
+//!
+//! Thin wrapper: the experiment itself is the `fig13` grid in
+//! `scenario::registry`; `lru-leak run fig13` executes the same
+//! scenarios.
 
 fn main() {
-    header(
-        "fig13_rdtscp",
-        "Paper Fig. 13 / Appendix A",
-        "single-load rdtscp readouts: L1-hit and L1-miss distributions must coincide",
-    );
-    for platform in [Platform::e5_2690(), Platform::epyc_7571()] {
-        let mut m = Machine::new(platform.arch, PolicyKind::TreePlru, BENCH_SEED);
-        let pid = m.create_process();
-        let mut rng = SmallRng::seed_from_u64(BENCH_SEED);
-        let target = m.alloc_pages(pid, 1);
-        let gang: Vec<_> = (0..8).map(|_| m.alloc_pages(pid, 1)).collect();
-
-        let mut hits = Histogram::new();
-        let mut misses = Histogram::new();
-        for i in 0..N {
-            if i % 2 == 0 {
-                m.access(pid, target);
-                hits.add(rdtscp_single(&mut m, pid, target, &platform.tsc, &mut rng).measured);
-            } else {
-                for &g in &gang {
-                    m.access(pid, g);
-                }
-                misses.add(rdtscp_single(&mut m, pid, target, &platform.tsc, &mut rng).measured);
-            }
-        }
-        println!("\n{}:", platform.arch.model);
-        println!("L1 hit readouts:");
-        print!("{hits}");
-        println!("L1 miss (L2 hit) readouts:");
-        print!("{misses}");
-        println!(
-            "distribution overlap: {:.1}% (paper: 'completely overlap')",
-            hits.overlap(&misses) * 100.0
-        );
-    }
+    bench_harness::run_artifact("fig13");
 }

@@ -1,68 +1,9 @@
-//! Fig. 14 (Appendix B): the Fig. 5 traces on the Intel Xeon
-//! E3-1245 v5.
-
-use bench_harness::{header, sparkline, BENCH_SEED};
-use lru_channel::covert::{CovertConfig, Sharing, Variant};
-use lru_channel::decode::{self, BitConvention};
-use lru_channel::edit_distance::error_rate;
-use lru_channel::params::{ChannelParams, Platform};
-
-fn run(variant: Variant, params: ChannelParams, convention: BitConvention, ratio: f64) {
-    let message: Vec<bool> = (0..20).map(|i| i % 2 == 1).collect();
-    let run = CovertConfig {
-        platform: Platform::e3_1245v5(),
-        params,
-        variant,
-        sharing: Sharing::HyperThreaded,
-        message: message.clone(),
-        seed: BENCH_SEED ^ 0xe3,
-    }
-    .run()
-    .expect("valid parameters");
-    let series: Vec<f64> = run
-        .samples
-        .iter()
-        .take(200)
-        .map(|s| s.measured as f64)
-        .collect();
-    println!(
-        "\n{:?}, d={}, Tr={}, Ts={} (nominal {:.0}Kbps — paper reports 580Kbps wall-clock):",
-        variant,
-        params.d,
-        params.tr,
-        params.ts,
-        run.rate_bps / 1e3
-    );
-    println!("latency trace: {}", sparkline(&series));
-    let bits = decode::bits_by_window_ratio(
-        &run.samples,
-        params.ts,
-        run.hit_threshold,
-        convention,
-        ratio,
-    );
-    println!(
-        "error rate: {:.1}%",
-        error_rate(&message, &bits[..message.len().min(bits.len())]) * 100.0
-    );
-}
+//! Fig. 14 (Appendix B): the Fig. 5 traces on the Intel Xeon E3-1245 v5.
+//!
+//! Thin wrapper: the experiment itself is the `fig14` grid in
+//! `scenario::registry`; `lru-leak run fig14` executes the same
+//! scenarios.
 
 fn main() {
-    header(
-        "fig14_e3_traces",
-        "Paper Fig. 14 (Appendix B)",
-        "E3-1245 v5 hyper-threaded alternating-bit traces (paper: same behaviour as E5-2690)",
-    );
-    run(
-        Variant::SharedMemory,
-        ChannelParams::paper_alg1_default(),
-        BitConvention::HitIsOne,
-        0.5,
-    );
-    run(
-        Variant::NoSharedMemory,
-        ChannelParams::paper_alg2_default(),
-        BitConvention::MissIsOne,
-        0.25,
-    );
+    bench_harness::run_artifact("fig14");
 }

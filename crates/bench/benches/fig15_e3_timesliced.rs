@@ -1,16 +1,9 @@
-//! Fig. 15 (Appendix B): the Fig. 6 experiment on the Intel Xeon
-//! E3-1245 v5 — demonstrating the attack generalizes across Intel
-//! parts.
-
-use bench_harness::{header, timesliced};
-use lru_channel::covert::Variant;
-use lru_channel::params::Platform;
+//! Fig. 15 (Appendix B): the Fig. 6 experiment on the Intel Xeon E3-1245 v5.
+//!
+//! Thin wrapper: the experiment itself is the `fig15` grid in
+//! `scenario::registry`; `lru-leak run fig15` executes the same
+//! scenarios.
 
 fn main() {
-    header(
-        "fig15_e3_timesliced",
-        "Paper Fig. 15 (Appendix B)",
-        "% of 1s received, E3-1245 v5 time-sliced, Alg.1 (paper: similar to E5-2690)",
-    );
-    timesliced::run_grid(Platform::e3_1245v5(), Variant::SharedMemory, &[1, 4, 7, 8]);
+    bench_harness::run_artifact("fig15");
 }

@@ -1,61 +1,9 @@
-//! Fig. 3: histograms of pointer-chase readouts for an L1-hit vs
-//! L1-miss target, on Intel and AMD.
-
-use bench_harness::{header, BENCH_SEED};
-use cache_sim::replacement::PolicyKind;
-use exec_sim::machine::Machine;
-use exec_sim::measure::LatencyProbe;
-use lru_channel::analysis::Histogram;
-use lru_channel::params::Platform;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
-
-const N: usize = 10_000;
-
-fn histograms(platform: Platform) -> (Histogram, Histogram) {
-    let mut m = Machine::new(platform.arch, PolicyKind::TreePlru, BENCH_SEED);
-    let pid = m.create_process();
-    let mut rng = SmallRng::seed_from_u64(BENCH_SEED);
-    let probe = LatencyProbe::new(&mut m, pid, platform.tsc, 63);
-
-    // L1-resident target in set 0; an eviction gang for the misses.
-    let target = m.alloc_pages(pid, 1);
-    let gang: Vec<_> = (0..8).map(|_| m.alloc_pages(pid, 1)).collect();
-    let mut hits = Histogram::new();
-    let mut misses = Histogram::new();
-    for i in 0..N {
-        if i % 2 == 0 {
-            m.access(pid, target); // ensure L1 hit
-            hits.add(probe.measure(&mut m, pid, target, &mut rng).measured);
-        } else {
-            for &g in &gang {
-                m.access(pid, g); // evict target to L2
-            }
-            probe.warm(&mut m, pid);
-            misses.add(probe.measure(&mut m, pid, target, &mut rng).measured);
-        }
-    }
-    (hits, misses)
-}
+//! Fig. 3: pointer-chase readout histograms for an L1-hit vs L1-miss target, on Intel and AMD.
+//!
+//! Thin wrapper: the experiment itself is the `fig3` grid in
+//! `scenario::registry`; `lru-leak run fig3` executes the same
+//! scenarios.
 
 fn main() {
-    header(
-        "fig3_pointer_chase",
-        "Paper Fig. 3 (§IV-D)",
-        "pointer-chase readout histograms: 7 L1 hits + target hit-vs-miss (paper: separable on Intel, overlapping-but-shifted on AMD)",
-    );
-    for platform in [Platform::e5_2690(), Platform::epyc_7571()] {
-        let (hits, misses) = histograms(platform);
-        println!("\n{} — L1 HIT readouts:", platform.arch.model);
-        print!("{hits}");
-        println!("{} — L1 MISS readouts:", platform.arch.model);
-        print!("{misses}");
-        println!(
-            "means: hit {:.1}, miss {:.1}; distribution overlap {:.1}%  (threshold {})",
-            hits.mean(),
-            misses.mean(),
-            hits.overlap(&misses) * 100.0,
-            platform.hit_threshold()
-        );
-    }
+    bench_harness::run_artifact("fig3");
 }

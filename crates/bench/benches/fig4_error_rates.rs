@@ -1,105 +1,9 @@
-//! Fig. 4: transmission error rate (edit distance) vs transmission
-//! rate, for d ∈ 1..=8, Tr ∈ {600, 1000, 3000}, Ts ∈ {4500, 6000,
-//! 12000, 30000}, E5-2690, hyper-threaded, Algorithms 1 and 2.
-
-use bench_harness::{header, kbps, pct1, row, BENCH_SEED};
-use lru_channel::covert::{CovertConfig, Sharing, Variant};
-use lru_channel::decode::{self, BitConvention};
-use lru_channel::edit_distance::error_rate;
-use lru_channel::params::{ChannelParams, Platform};
-use lru_channel::trials::run_trials;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-
-/// How many times the 128-bit string is sent per configuration (the
-/// paper sends it ≥30×; 4× keeps the full grid under a minute while
-/// leaving ~512 bits per point).
-const REPEATS: usize = 4;
-
-fn error_for(variant: Variant, d: usize, tr: u64, ts: u64, seed: u64) -> f64 {
-    let mut rng = SmallRng::seed_from_u64(seed);
-    let string: Vec<bool> = (0..128).map(|_| rng.gen_bool(0.5)).collect();
-    let mut message = Vec::new();
-    for _ in 0..REPEATS {
-        message.extend_from_slice(&string);
-    }
-    let params = ChannelParams {
-        d,
-        target_set: 0,
-        ts,
-        tr,
-    };
-    let run = CovertConfig {
-        platform: Platform::e5_2690(),
-        params,
-        variant,
-        sharing: Sharing::HyperThreaded,
-        message: message.clone(),
-        seed,
-    }
-    .run()
-    .expect("valid parameters");
-    let (conv, ratio) = match variant {
-        Variant::NoSharedMemory => (BitConvention::MissIsOne, 0.25),
-        _ => (BitConvention::HitIsOne, 0.5),
-    };
-    let bits = decode::bits_by_window_ratio(&run.samples, ts, run.hit_threshold, conv, ratio);
-    // Per paper: error of each repetition against the sent string,
-    // averaged.
-    let mut total = 0.0;
-    for r in 0..REPEATS {
-        let lo = r * 128;
-        let hi = ((r + 1) * 128).min(bits.len());
-        if lo >= hi {
-            total += 1.0;
-            continue;
-        }
-        total += error_rate(&string, &bits[lo..hi]);
-    }
-    total / REPEATS as f64
-}
-
-const TRS: [u64; 3] = [600, 1000, 3000];
-const TSS: [u64; 4] = [30000, 12000, 6000, 4500];
+//! Fig. 4: transmission error rate (edit distance) vs transmission rate, E5-2690, hyper-threaded, Algorithms 1 and 2.
+//!
+//! Thin wrapper: the experiment itself is the `fig4` grid in
+//! `scenario::registry`; `lru-leak run fig4` executes the same
+//! scenarios.
 
 fn main() {
-    header(
-        "fig4_error_rates",
-        "Paper Fig. 4 (§V-A)",
-        "error rate vs transmission rate, E5-2690 HT (paper: 0-15%, rising with rate)",
-    );
-    let platform = Platform::e5_2690();
-    for (variant, name) in [
-        (Variant::SharedMemory, "Algorithm 1 (shared memory)"),
-        (Variant::NoSharedMemory, "Algorithm 2 (no shared memory)"),
-    ] {
-        println!("\n--- {name} ---");
-        // The (tr, d, ts) grid points are independent channel runs,
-        // each seeded only by its own coordinates: fan them out over
-        // the cores and print from the index-ordered results.
-        let coords: Vec<(u64, usize, u64)> = TRS
-            .iter()
-            .flat_map(|&tr| (1..=8usize).flat_map(move |d| TSS.iter().map(move |&ts| (tr, d, ts))))
-            .collect();
-        let errors = run_trials(coords.len(), |i| {
-            let (tr, d, ts) = coords[i];
-            error_for(variant, d, tr, ts, BENCH_SEED ^ (d as u64) ^ ts ^ tr)
-        });
-        let mut next = errors.iter();
-        for tr in TRS {
-            println!("\nTr = {tr} cycles:");
-            let mut labels = vec!["d \\ rate".to_string()];
-            for ts in TSS {
-                labels.push(kbps(platform.rate_bps(ts)));
-            }
-            row(&labels[0], &labels[1..]);
-            for d in 1..=8usize {
-                let vals: Vec<String> = TSS
-                    .iter()
-                    .map(|_| pct1(*next.next().expect("grid sized")))
-                    .collect();
-                row(&format!("d={d}"), &vals);
-            }
-        }
-    }
+    bench_harness::run_artifact("fig4");
 }

@@ -1,79 +1,9 @@
-//! Fig. 5: receiver observation sequences while the sender
-//! alternates 0/1 on the Intel Xeon E5-2690, hyper-threaded.
-
-use bench_harness::{header, sparkline, BENCH_SEED};
-use lru_channel::covert::{CovertConfig, Sharing, Variant};
-use lru_channel::decode::{self, BitConvention};
-use lru_channel::edit_distance::error_rate;
-use lru_channel::params::{ChannelParams, Platform};
-
-fn run(variant: Variant, params: ChannelParams, convention: BitConvention, ratio: f64) {
-    let message: Vec<bool> = (0..20).map(|i| i % 2 == 1).collect();
-    let run = CovertConfig {
-        platform: Platform::e5_2690(),
-        params,
-        variant,
-        sharing: Sharing::HyperThreaded,
-        message: message.clone(),
-        seed: BENCH_SEED,
-    }
-    .run()
-    .expect("paper parameters are valid");
-
-    let series: Vec<f64> = run
-        .samples
-        .iter()
-        .take(200)
-        .map(|s| s.measured as f64)
-        .collect();
-    println!(
-        "\n{:?}, d={}, Tr={}, Ts={} (threshold {} cycles, nominal {:.0}Kbps):",
-        variant,
-        params.d,
-        params.tr,
-        params.ts,
-        run.hit_threshold,
-        run.rate_bps / 1e3
-    );
-    println!("latency trace (first 200 obs): {}", sparkline(&series));
-    let bits = decode::bits_by_window_ratio(
-        &run.samples,
-        params.ts,
-        run.hit_threshold,
-        convention,
-        ratio,
-    );
-    let sent: String = message.iter().map(|&b| if b { '1' } else { '0' }).collect();
-    let got: String = bits
-        .iter()
-        .take(message.len())
-        .map(|&b| if b { '1' } else { '0' })
-        .collect();
-    println!("sent bits:    {sent}");
-    println!("decoded bits: {got}");
-    println!(
-        "edit-distance error rate: {:.1}%",
-        error_rate(&message, &bits[..message.len().min(bits.len())]) * 100.0
-    );
-}
+//! Fig. 5: receiver observation sequences while the sender alternates 0/1 on the Intel Xeon E5-2690, hyper-threaded.
+//!
+//! Thin wrapper: the experiment itself is the `fig5` grid in
+//! `scenario::registry`; `lru-leak run fig5` executes the same
+//! scenarios.
 
 fn main() {
-    header(
-        "fig5_traces",
-        "Paper Fig. 5 (§V-A)",
-        "E5-2690 hyper-threaded traces, sender alternating 0/1 at 480Kbps-class rate",
-    );
-    println!("paper: top = Alg.1 (hit ⇒ 1, low latency on 1-bits), bottom = Alg.2 (miss ⇒ 1)");
-    run(
-        Variant::SharedMemory,
-        ChannelParams::paper_alg1_default(),
-        BitConvention::HitIsOne,
-        0.5,
-    );
-    run(
-        Variant::NoSharedMemory,
-        ChannelParams::paper_alg2_default(),
-        BitConvention::MissIsOne,
-        0.25,
-    );
+    bench_harness::run_artifact("fig5");
 }

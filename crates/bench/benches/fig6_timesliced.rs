@@ -1,16 +1,9 @@
-//! Fig. 6: percentage of 1s observed by the receiver under
-//! time-sliced sharing on the E5-2690, sender holding a constant bit,
-//! Algorithm 1.
-
-use bench_harness::{header, timesliced};
-use lru_channel::covert::Variant;
-use lru_channel::params::Platform;
+//! Fig. 6: percentage of 1s observed under time-sliced sharing on the E5-2690, sender holding a constant bit, Algorithm 1.
+//!
+//! Thin wrapper: the experiment itself is the `fig6` grid in
+//! `scenario::registry`; `lru-leak run fig6` executes the same
+//! scenarios.
 
 fn main() {
-    header(
-        "fig6_timesliced",
-        "Paper Fig. 6 (§V-B)",
-        "% of 1s received, E5-2690 time-sliced, Alg.1 (paper: ~0-5% sending 0; ~30% sending 1 at d=8, Tr=1e8)",
-    );
-    timesliced::run_grid(Platform::e5_2690(), Variant::SharedMemory, &[1, 2, 4, 7, 8]);
+    bench_harness::run_artifact("fig6");
 }

@@ -1,71 +1,9 @@
-//! Fig. 7: receiver traces on the AMD EPYC 7571, hyper-threaded,
-//! with the moving-average decoding the coarse timer requires.
-
-use bench_harness::{header, sparkline, BENCH_SEED};
-use lru_channel::covert::{CovertConfig, Sharing, Variant};
-use lru_channel::decode::{self, BitConvention};
-use lru_channel::params::{ChannelParams, Platform};
-
-fn run(variant: Variant, d: usize, convention: BitConvention) {
-    // Paper: Tr = 1000, Ts = 1e5, alternating bits; effective rate
-    // ~22-25 Kbps.
-    let params = ChannelParams {
-        d,
-        target_set: 0,
-        ts: 100_000,
-        tr: 1_000,
-    };
-    let message: Vec<bool> = (0..14).map(|i| i % 2 == 1).collect();
-    let run = CovertConfig {
-        platform: Platform::epyc_7571(),
-        params,
-        variant,
-        sharing: Sharing::HyperThreaded,
-        message: message.clone(),
-        seed: BENCH_SEED,
-    }
-    .run()
-    .expect("valid parameters");
-
-    println!(
-        "\n{:?}, d={d} ({} samples, effective rate ≈ {:.0}Kbps):",
-        variant,
-        run.samples.len(),
-        run.rate_bps / 1e3
-    );
-    let raw: Vec<f64> = run.samples.iter().map(|s| s.measured as f64).collect();
-    println!(
-        "raw readouts (coarse counter): {}",
-        sparkline(&raw[..raw.len().min(160)])
-    );
-    // Samples per bit period ≈ Ts / Tr — the paper's "best fit
-    // period".
-    let period = (params.ts / params.tr) as usize;
-    let avg = decode::moving_average(&run.samples, period.max(3));
-    println!(
-        "moving average ({}-sample window): {}",
-        period,
-        sparkline(&avg[..avg.len().min(160)])
-    );
-    let bits = decode::bits_from_moving_average(&avg, period, convention);
-    let sent: String = message.iter().map(|&b| if b { '1' } else { '0' }).collect();
-    let got: String = bits
-        .iter()
-        .take(message.len())
-        .map(|&b| if b { '1' } else { '0' })
-        .collect();
-    println!("sent:    {sent}");
-    println!("decoded: {got}");
-}
+//! Fig. 7: receiver traces on the AMD EPYC 7571, hyper-threaded, with the moving-average decoding the coarse timer requires.
+//!
+//! Thin wrapper: the experiment itself is the `fig7` grid in
+//! `scenario::registry`; `lru-leak run fig7` executes the same
+//! scenarios.
 
 fn main() {
-    header(
-        "fig7_amd_traces",
-        "Paper Fig. 7 (§VI-B, §VI-C)",
-        "EPYC 7571 hyper-threaded traces: raw readouts are murky, the moving average shows the wave",
-    );
-    println!("paper: top = Alg.1 as two threads of one address space (the µtag way predictor");
-    println!("defeats cross-process Alg.1 on Zen); bottom = Alg.2 across processes");
-    run(Variant::SharedMemoryThreads, 8, BitConvention::HitIsOne);
-    run(Variant::NoSharedMemory, 4, BitConvention::MissIsOne);
+    bench_harness::run_artifact("fig7");
 }

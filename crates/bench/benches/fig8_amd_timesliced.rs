@@ -1,21 +1,9 @@
-//! Fig. 8: percentage of 1s under time-sliced sharing on the AMD
-//! EPYC 7571, Algorithm 1 between threads of one address space.
-
-use bench_harness::{header, timesliced};
-use lru_channel::covert::Variant;
-use lru_channel::params::Platform;
+//! Fig. 8: percentage of 1s under time-sliced sharing on the AMD EPYC 7571, Algorithm 1 between threads of one address space.
+//!
+//! Thin wrapper: the experiment itself is the `fig8` grid in
+//! `scenario::registry`; `lru-leak run fig8` executes the same
+//! scenarios.
 
 fn main() {
-    header(
-        "fig8_amd_timesliced",
-        "Paper Fig. 8 (§VI-B)",
-        "% of 1s received, EPYC 7571 time-sliced, Alg.1 via pthreads (paper: ~70% vs ~77% at Tr=1e8; gap widens with Tr)",
-    );
-    println!("note: the coarse AMD timer pushes both percentages toward the threshold midpoint;");
-    println!("the sign of the 0-vs-1 gap is the reproduced shape");
-    timesliced::run_grid(
-        Platform::epyc_7571(),
-        Variant::SharedMemoryThreads,
-        &[1, 4, 8],
-    );
+    bench_harness::run_artifact("fig8");
 }

@@ -1,55 +1,9 @@
-//! Fig. 9: L1D miss rate and normalized CPI for Tree-PLRU vs FIFO vs
-//! Random on the GEM5-style configuration, over the SPEC-like suite.
-
-use bench_harness::{header, pct, row, BENCH_SEED};
-use defense::policy_eval::{fig9, geomean_normalized_cpi};
-
-const ACCESSES: u64 = 120_000;
+//! Fig. 9: L1D miss rate and normalized CPI for Tree-PLRU vs FIFO vs Random on the GEM5-style configuration.
+//!
+//! Thin wrapper: the experiment itself is the `fig9` grid in
+//! `scenario::registry`; `lru-leak run fig9` executes the same
+//! scenarios.
 
 fn main() {
-    header(
-        "fig9_policy_perf",
-        "Paper Fig. 9 (§IX-A)",
-        "replacement-policy cost on the GEM5 config (paper: CPI changes < 2% overall)",
-    );
-    let rows = fig9(ACCESSES, BENCH_SEED);
-
-    println!("\nL1D miss rate per policy:");
-    row(
-        "benchmark",
-        &["Tree-PLRU", "FIFO", "Random", "FIFO/base", "Rand/base"],
-    );
-    for r in &rows {
-        let n = r.normalized_miss_rates();
-        row(
-            r.name,
-            &[
-                pct(r.results[0].l1d_miss_rate),
-                pct(r.results[1].l1d_miss_rate),
-                pct(r.results[2].l1d_miss_rate),
-                format!("{:.3}", n[1]),
-                format!("{:.3}", n[2]),
-            ],
-        );
-    }
-
-    println!("\nnormalized CPI (Tree-PLRU = 1.0):");
-    row("benchmark", &["Tree-PLRU", "FIFO", "Random"]);
-    for r in &rows {
-        let n = r.normalized_cpi();
-        row(
-            r.name,
-            &[
-                format!("{:.3}", n[0]),
-                format!("{:.3}", n[1]),
-                format!("{:.3}", n[2]),
-            ],
-        );
-    }
-    let geo = geomean_normalized_cpi(&rows);
-    println!(
-        "\ngeomean normalized CPI — Tree-PLRU {:.4}, FIFO {:.4}, Random {:.4}",
-        geo[0], geo[1], geo[2]
-    );
-    println!("paper claim: overall CPI change < 2% — defense is essentially free");
+    bench_harness::run_artifact("fig9");
 }

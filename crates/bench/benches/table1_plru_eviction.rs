@@ -1,38 +1,9 @@
-//! Table I: probability of `line 0` being evicted with PLRU.
-
-use bench_harness::{header, pct1, row, BENCH_SEED};
-use cache_sim::replacement::PolicyKind;
-use lru_channel::plru_study::{eviction_curve, InitCond, SequenceKind, PAPER_TRIALS};
+//! Table I: probability of line 0 being evicted with PLRU.
+//!
+//! Thin wrapper: the experiment itself is the `table1` grid in
+//! `scenario::registry`; `lru-leak run table1` executes the same
+//! scenarios.
 
 fn main() {
-    header(
-        "table1_plru_eviction",
-        "Paper Table I (§IV-C)",
-        "P(line 0 evicted) after k loop iterations, 8-way set, 10,000 trials",
-    );
-    println!(
-        "paper reference rows — LRU: 100% everywhere; Tree-PLRU Seq1 random: 50.4/82.8/99.2/100;\n\
-         Tree-PLRU Seq2: ~62% steady; Bit-PLRU: converges to 100% (Seq1) / ~99% (Seq2)\n"
-    );
-    row(
-        "init/policy/sequence",
-        &["iter 1", "iter 2", "iter 3", ">= 8"],
-    );
-    for init in [InitCond::Random, InitCond::Sequential] {
-        for policy in PolicyKind::TABLE1 {
-            for seq in [SequenceKind::Seq1, SequenceKind::Seq2] {
-                let curve = eviction_curve(policy, seq, init, 12, PAPER_TRIALS, BENCH_SEED);
-                let label = format!("{:?}/{policy}/{:?}", init, seq);
-                row(
-                    &label,
-                    &[
-                        pct1(curve.probabilities[0]),
-                        pct1(curve.probabilities[1]),
-                        pct1(curve.probabilities[2]),
-                        pct1(curve.steady_state()),
-                    ],
-                );
-            }
-        }
-    }
+    bench_harness::run_artifact("table1");
 }

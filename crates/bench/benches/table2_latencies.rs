@@ -1,43 +1,9 @@
-//! Table II: latency of cache accesses — the configured model values
-//! plus measured probe latencies confirming the simulator honours
-//! them.
-
-use bench_harness::{header, row};
-use cache_sim::replacement::PolicyKind;
-use exec_sim::machine::Machine;
-use lru_channel::params::Platform;
+//! Table II: cache access latencies — model values plus measured probe latencies confirming the simulator honours them.
+//!
+//! Thin wrapper: the experiment itself is the `table2` grid in
+//! `scenario::registry`; `lru-leak run table2` executes the same
+//! scenarios.
 
 fn main() {
-    header(
-        "table2_latencies",
-        "Paper Table II (§IV-D)",
-        "L1D and L2 access latency in cycles (paper: SNB 4-5/12, SKL 4-5/12, Zen 4-5/17)",
-    );
-    row(
-        "platform",
-        &["L1D (model)", "L2 (model)", "L1D (meas)", "L2 (meas)"],
-    );
-    for platform in Platform::all() {
-        let mut m = Machine::new(platform.arch, PolicyKind::TreePlru, 1);
-        let pid = m.create_process();
-        let va = m.alloc_pages(pid, 1);
-        m.access(pid, va); // now in L1
-        let l1_meas = m.access(pid, va).cycles;
-        // Evict from L1 only: fill the set with 8 fresh lines.
-        for _ in 0..m.hierarchy().l1().geometry().ways() {
-            let page = m.alloc_pages(pid, 1);
-            m.access(pid, page);
-        }
-        let out = m.access(pid, va);
-        assert_eq!(out.level, cache_sim::hierarchy::HitLevel::L2);
-        row(
-            platform.arch.model,
-            &[
-                platform.arch.latencies.l1.to_string(),
-                platform.arch.latencies.l2.to_string(),
-                l1_meas.to_string(),
-                out.cycles.to_string(),
-            ],
-        );
-    }
+    bench_harness::run_artifact("table2");
 }

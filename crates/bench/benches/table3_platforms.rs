@@ -1,34 +1,9 @@
 //! Table III: specifications of the simulated CPU models.
-
-use bench_harness::{header, row};
-use lru_channel::params::Platform;
+//!
+//! Thin wrapper: the experiment itself is the `table3` grid in
+//! `scenario::registry`; `lru-leak run table3` executes the same
+//! scenarios.
 
 fn main() {
-    header(
-        "table3_platforms",
-        "Paper Table III (§V)",
-        "Simulated platform configurations (paper values: 32KB 8-way 64-set L1D on all three)",
-    );
-    row(
-        "platform",
-        &["uarch", "freq", "L1D", "ways", "sets", "way-pred"],
-    );
-    for platform in Platform::all() {
-        let a = platform.arch;
-        row(
-            a.model,
-            &[
-                a.name.to_string(),
-                format!("{:.1}GHz", a.freq_ghz),
-                format!("{}KB", a.l1d.size_bytes() / 1024),
-                a.l1d.ways().to_string(),
-                a.l1d.num_sets().to_string(),
-                if a.has_way_predictor { "yes" } else { "no" }.into(),
-            ],
-        );
-    }
-    println!(
-        "\ntimer models: Intel granularity 1 cycle; AMD granularity {} cycles (§VI-A)",
-        Platform::epyc_7571().tsc.granularity
-    );
+    bench_harness::run_artifact("table3");
 }

@@ -1,172 +1,9 @@
 //! Table IV: transmission rates of the evaluated LRU channels.
-
-use bench_harness::{header, kbps, row, BENCH_SEED};
-use lru_channel::covert::{percent_ones, percent_ones_with_noise, CovertConfig, Sharing, Variant};
-use lru_channel::decode::{self, BitConvention};
-use lru_channel::edit_distance::error_rate;
-use lru_channel::params::{ChannelParams, Platform};
-use lru_channel::trials::run_trials;
-
-/// Effective hyper-threaded rate: nominal `freq/Ts` scaled by the
-/// fraction of bits that get through (1 − error rate).
-fn ht_rate(
-    platform: Platform,
-    variant: Variant,
-    params: ChannelParams,
-    conv: BitConvention,
-) -> f64 {
-    let message: Vec<bool> = (0..64).map(|i| (i / 3) % 2 == 0).collect();
-    let run = CovertConfig {
-        platform,
-        params,
-        variant,
-        sharing: Sharing::HyperThreaded,
-        message: message.clone(),
-        seed: BENCH_SEED,
-    }
-    .run()
-    .expect("valid parameters");
-    let ratio = if conv == BitConvention::MissIsOne {
-        0.25
-    } else {
-        0.5
-    };
-    let bits =
-        decode::bits_by_window_ratio(&run.samples, params.ts, run.hit_threshold, conv, ratio);
-    let err = error_rate(&message, &bits[..message.len().min(bits.len())]);
-    run.rate_bps * (1.0 - err)
-}
-
-/// Effective time-sliced rate: distinguishing the two constant-bit
-/// percent-of-ones levels needs `k ≈ (z / Δp)²`-ish samples; the
-/// paper assumes 10 measurements at Tr = 1e8 on Intel.
-fn ts_rate(platform: Platform, variant: Variant) -> Option<f64> {
-    let tr = 100_000_000u64;
-    let params = ChannelParams {
-        d: 8,
-        target_set: 0,
-        ts: tr,
-        tr,
-    };
-    // The two constant-bit runs are independent: run them on two
-    // cores via the deterministic trial driver.
-    let ps = run_trials(2, |i| {
-        percent_ones(platform, params, variant, i == 1, 80, BENCH_SEED)
-    });
-    let p0 = *ps[0].as_ref().ok()?;
-    let p1 = *ps[1].as_ref().ok()?;
-    let gap = (p1 - p0).abs();
-    if gap < 0.02 {
-        return None; // indistinguishable — no channel (the paper's "–")
-    }
-    // Measurements needed for ~3-sigma separation of Bernoulli means.
-    let sigma = (p0 * (1.0 - p0) + p1 * (1.0 - p1)).sqrt().max(0.05);
-    let k = ((3.0 * sigma / gap).powi(2)).ceil().max(1.0);
-    let secs_per_meas = platform.arch.cycles_to_seconds(tr);
-    Some(1.0 / (k * secs_per_meas))
-}
+//!
+//! Thin wrapper: the experiment itself is the `table4` grid in
+//! `scenario::registry`; `lru-leak run table4` executes the same
+//! scenarios.
 
 fn main() {
-    header(
-        "table4_rates",
-        "Paper Table IV (§VI-D)",
-        "transmission rates (paper: Intel HT ~500Kbps, AMD HT ~20Kbps, Intel TS ~2bps, AMD TS ~0.2bps, Alg.2 TS: none)",
-    );
-    row("configuration", &["Intel E5-2690", "AMD EPYC 7571"]);
-
-    let intel = Platform::e5_2690();
-    let amd = Platform::epyc_7571();
-    let fast = ChannelParams::paper_alg1_default();
-    let fast2 = ChannelParams::paper_alg2_default();
-    // AMD needs the slower per-bit period of Fig. 7 (Ts = 1e5).
-    let amd_params = ChannelParams {
-        d: 8,
-        target_set: 0,
-        ts: 100_000,
-        tr: 1_000,
-    };
-    let amd_params2 = ChannelParams { d: 4, ..amd_params };
-
-    row(
-        "HT / Algorithm 1",
-        &[
-            kbps(ht_rate(
-                intel,
-                Variant::SharedMemory,
-                fast,
-                BitConvention::HitIsOne,
-            )),
-            kbps(ht_rate(
-                amd,
-                Variant::SharedMemoryThreads,
-                amd_params,
-                BitConvention::HitIsOne,
-            )),
-        ],
-    );
-    row(
-        "HT / Algorithm 2",
-        &[
-            kbps(ht_rate(
-                intel,
-                Variant::NoSharedMemory,
-                fast2,
-                BitConvention::MissIsOne,
-            )),
-            kbps(ht_rate(
-                amd,
-                Variant::NoSharedMemory,
-                amd_params2,
-                BitConvention::MissIsOne,
-            )),
-        ],
-    );
-    let fmt = |r: Option<f64>| r.map(kbps).unwrap_or_else(|| "-".into());
-    row(
-        "Time-sliced / Algorithm 1",
-        &[
-            fmt(ts_rate(intel, Variant::SharedMemory)),
-            fmt(ts_rate(amd, Variant::SharedMemoryThreads)),
-        ],
-    );
-    row(
-        "Time-sliced / Algorithm 2",
-        &[
-            fmt(ts_rate(intel, Variant::NoSharedMemory)),
-            fmt(ts_rate(amd, Variant::NoSharedMemory)),
-        ],
-    );
-    // The paper reports "-" for time-sliced Algorithm 2: other
-    // processes running during the large Tr polluted the set. With a
-    // benign third process in the slice rotation our model agrees.
-    row(
-        "TS / Alg.2 + benign noise",
-        &[
-            fmt(ts_rate_noisy(intel, Variant::NoSharedMemory)),
-            fmt(ts_rate_noisy(amd, Variant::NoSharedMemory)),
-        ],
-    );
-}
-
-/// [`ts_rate`] with a benign co-runner polluting every set (§V-B).
-fn ts_rate_noisy(platform: Platform, variant: Variant) -> Option<f64> {
-    let tr = 100_000_000u64;
-    let params = ChannelParams {
-        d: 8,
-        target_set: 0,
-        ts: tr,
-        tr,
-    };
-    let ps = run_trials(2, |i| {
-        percent_ones_with_noise(platform, params, variant, i == 1, 60, BENCH_SEED)
-    });
-    let p0 = *ps[0].as_ref().ok()?;
-    let p1 = *ps[1].as_ref().ok()?;
-    let gap = (p1 - p0).abs();
-    if gap < 0.1 {
-        return None;
-    }
-    let sigma = (p0 * (1.0 - p0) + p1 * (1.0 - p1)).sqrt().max(0.05);
-    let k = ((3.0 * sigma / gap).powi(2)).ceil().max(1.0);
-    Some(1.0 / (k * platform.arch.cycles_to_seconds(tr)))
+    bench_harness::run_artifact("table4");
 }

@@ -1,29 +1,9 @@
 //! Table V: latency of the sender's encode operation per channel.
-
-use attacks::encoding_time::{table5, EncodedChannel};
-use bench_harness::{header, row};
+//!
+//! Thin wrapper: the experiment itself is the `table5` grid in
+//! `scenario::registry`; `lru-leak run table5` executes the same
+//! scenarios.
 
 fn main() {
-    header(
-        "table5_encoding",
-        "Paper Table V (§VII)",
-        "encode latency in cycles (paper: E5-2690 336/35/31, E3-1245v5 288/40/35, EPYC 232/56/52)",
-    );
-    let table = table5();
-    let platforms: Vec<String> = table[0]
-        .1
-        .iter()
-        .map(|(p, _)| p.arch.model.to_string())
-        .collect();
-    row("channel", &platforms);
-    for (channel, cols) in &table {
-        let vals: Vec<String> = cols.iter().map(|(_, c)| c.to_string()).collect();
-        row(channel.label(), &vals);
-    }
-    println!(
-        "\nshape check: {} < {} < {} on every platform (LRU encodes with a cache hit)",
-        EncodedChannel::LruChannel.label(),
-        EncodedChannel::FlushReloadL1.label(),
-        EncodedChannel::FlushReloadMem.label()
-    );
+    bench_harness::run_artifact("table5");
 }

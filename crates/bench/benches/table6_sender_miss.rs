@@ -1,32 +1,9 @@
 //! Table VI: cache miss rates of the sender process.
-
-use attacks::miss_rates::table6;
-use bench_harness::{header, pct, row, BENCH_SEED};
-use lru_channel::params::Platform;
+//!
+//! Thin wrapper: the experiment itself is the `table6` grid in
+//! `scenario::registry`; `lru-leak run table6` executes the same
+//! scenarios.
 
 fn main() {
-    header(
-        "table6_sender_miss",
-        "Paper Table VI (§VII)",
-        "sender-process miss rates (paper E5-2690: F+R(mem) L2 62% LLC 88%; LRU Alg.1 L2 9.6% LLC 0.7%; all L1D < 0.1%)",
-    );
-    for platform in [Platform::e5_2690(), Platform::e3_1245v5()] {
-        println!("\n{}:", platform.arch.model);
-        row("scenario", &["L1D", "L2", "LLC", "L2 accesses"]);
-        for r in table6(platform, 400, BENCH_SEED) {
-            row(
-                r.label,
-                &[
-                    pct(r.rates.l1d),
-                    pct(r.rates.l2),
-                    pct(r.rates.llc),
-                    r.counters.l2_accesses.to_string(),
-                ],
-            );
-        }
-    }
-    println!("\nshape check: the LRU senders' beyond-L1 traffic is tiny and their L1D rate");
-    println!(
-        "is within the benign-cosched band — a miss-rate detector cannot separate them (§VII)"
-    );
+    bench_harness::run_artifact("table6");
 }

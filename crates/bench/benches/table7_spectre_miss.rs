@@ -1,79 +1,9 @@
-//! Table VII: cache miss rates of the whole Spectre-v1 attack
-//! (victim + attacker), per disclosure channel — plus the secret
-//! recovery itself.
-
-use attacks::miss_rates::table7;
-use attacks::primitive::{FlushReloadPrimitive, LruAlg1Primitive, LruAlg2Primitive};
-use attacks::spectre::{decode_symbols, encode_symbols, SpectreAttack};
-use bench_harness::{header, pct, row, BENCH_SEED};
-use cache_sim::replacement::PolicyKind;
-use exec_sim::machine::Machine;
-use exec_sim::speculation::build_victim;
-use lru_channel::params::Platform;
-
-const SECRET: &str = "The Magic Words are Squeamish Ossifrage";
-
-fn demo_recovery() {
-    println!("\nSpectre-v1 secret recovery demo (§VIII), E5-2690 model:");
-    let platform = Platform::e5_2690();
-    let symbols = encode_symbols(SECRET);
-    for which in ["F+R (mem)", "L1 LRU Alg.1", "L1 LRU Alg.2"] {
-        let mut machine = Machine::new(platform.arch, PolicyKind::TreePlru, BENCH_SEED);
-        let (mut victim, off) = build_victim(&mut machine, &symbols, 8);
-        let attack = SpectreAttack {
-            seed: BENCH_SEED,
-            ..SpectreAttack::default()
-        };
-        let got = match which {
-            "F+R (mem)" => {
-                let mut p = FlushReloadPrimitive::new(victim.pid, victim.array2, platform);
-                attack.recover(&mut machine, &mut victim, &mut p, off, symbols.len())
-            }
-            "L1 LRU Alg.1" => {
-                let mut p =
-                    LruAlg1Primitive::new(&mut machine, victim.pid, victim.array2, platform);
-                attack.recover(&mut machine, &mut victim, &mut p, off, symbols.len())
-            }
-            _ => {
-                let mut p =
-                    LruAlg2Primitive::new(&mut machine, victim.pid, victim.array2, platform);
-                attack.recover(&mut machine, &mut victim, &mut p, off, symbols.len())
-            }
-        };
-        let text = decode_symbols(&got);
-        let correct = text
-            .bytes()
-            .zip(SECRET.bytes())
-            .filter(|(a, b)| a == b)
-            .count();
-        println!(
-            "  {which:<14} recovered: {text:?}  ({}/{} symbols)",
-            correct,
-            SECRET.len()
-        );
-    }
-}
+//! Table VII: cache miss rates of the whole Spectre-v1 attack, per disclosure channel — plus the secret recovery itself.
+//!
+//! Thin wrapper: the experiment itself is the `table7` grid in
+//! `scenario::registry`; `lru-leak run table7` executes the same
+//! scenarios.
 
 fn main() {
-    header(
-        "table7_spectre_miss",
-        "Paper Table VII (§VIII)",
-        "miss rates during Spectre v1 (paper E5-2690: F+R(mem) LLC 98%; LRU channels LLC < 1%, L2 ~0.1%)",
-    );
-    for platform in [Platform::e5_2690(), Platform::e3_1245v5()] {
-        println!("\n{}:", platform.arch.model);
-        row("channel", &["L1D", "L2", "LLC", "LLC accesses"]);
-        for r in table7(platform, "secret", BENCH_SEED) {
-            row(
-                r.label,
-                &[
-                    pct(r.rates.l1d),
-                    pct(r.rates.l2),
-                    pct(r.rates.llc),
-                    r.counters.llc_accesses.to_string(),
-                ],
-            );
-        }
-    }
-    demo_recovery();
+    bench_harness::run_artifact("table7");
 }

@@ -3,9 +3,15 @@
 //! Each bench target (`harness = false`) reruns one experiment of
 //! *"Leaking Information Through Cache LRU States"* (HPCA 2020) on
 //! the simulated platforms and prints the same rows/series the paper
-//! reports, next to the paper's own numbers where the paper states
-//! them. Run everything with `cargo bench --workspace`, or one
+//! reports. Run everything with `cargo bench --workspace`, or one
 //! experiment with `cargo bench -p bench-harness --bench <name>`.
+//!
+//! Since the scenario redesign the targets are thin wrappers: every
+//! experiment lives in [`scenario::registry`] as a declarative grid,
+//! and a bench target just fetches its artifact and prints the
+//! report ([`run_artifact`]). The `lru-leak` CLI runs the *same*
+//! grids, so `lru-leak run fig6 --json` emits exactly the numbers
+//! `cargo bench --bench fig6_timesliced` prints, for the same seed.
 //!
 //! The absolute numbers come from a simulator, not the authors'
 //! testbed; EXPERIMENTS.md records, per experiment, which *shape*
@@ -15,154 +21,37 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::fmt::Display;
+pub use scenario::fmt::{kbps, pct, pct1, sparkline, BENCH_SEED};
+use scenario::registry::{self, RunOpts};
 
-/// Prints the standard experiment header.
+/// Prints the standard experiment header (used by the perf smoke
+/// bench, which is not a paper artifact).
 pub fn header(id: &str, paper_ref: &str, what: &str) {
-    println!();
-    println!("================================================================");
-    println!("{id} — {paper_ref}");
-    println!("{what}");
-    println!("================================================================");
+    let mut buf = String::new();
+    scenario::fmt::header(&mut buf, id, paper_ref, what);
+    print!("{buf}");
 }
 
-/// Prints one labelled row of values.
-pub fn row<V: Display>(label: &str, values: &[V]) {
-    print!("{label:<28}");
-    for v in values {
-        print!(" {v:>12}");
-    }
-    println!();
-}
-
-/// Formats a fraction as a percentage with 2 decimals.
-pub fn pct(x: f64) -> String {
-    format!("{:.2}%", x * 100.0)
-}
-
-/// Formats a fraction as a percentage with 1 decimal.
-pub fn pct1(x: f64) -> String {
-    format!("{:.1}%", x * 100.0)
-}
-
-/// Formats a rate in bits/s in the paper's Kbps style.
-pub fn kbps(bps: f64) -> String {
-    if bps >= 1_000.0 {
-        format!("{:.0}Kbps", bps / 1_000.0)
-    } else {
-        format!("{bps:.1}bps")
-    }
-}
-
-/// Renders an ASCII sparkline of a series (one char per point).
-pub fn sparkline(values: &[f64]) -> String {
-    const GLYPHS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
-    if values.is_empty() {
-        return String::new();
-    }
-    let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
-    let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-    let span = (max - min).max(1e-12);
-    values
-        .iter()
-        .map(|&v| {
-            let idx = (((v - min) / span) * 7.0).round() as usize;
-            GLYPHS[idx.min(7)]
-        })
-        .collect()
-}
-
-/// A fixed seed so `cargo bench` output is reproducible run to run.
-pub const BENCH_SEED: u64 = 0x11ca_c4e5;
-
-/// Shared driver for the time-sliced percent-of-ones figures
-/// (Figs. 6, 8 and 15).
+/// Runs a registered paper artifact and prints its report — the
+/// whole body of every figure/table bench target.
 ///
-/// The grid points are independent simulator runs, so they are
-/// evaluated through the deterministic parallel trial driver
-/// ([`lru_channel::trials`]): wall-clock scales with core count
-/// while every fraction stays bit-identical to a sequential sweep
-/// (each point is seeded only by its own `(d, Tr, bit)` tuple).
-pub mod timesliced {
-    use super::{pct1, row, BENCH_SEED};
-    use lru_channel::covert::{percent_ones_grid, GridPoint, Variant};
-    use lru_channel::params::{ChannelParams, Platform};
-
-    /// Samples per data point (paper: 1000; reduced to keep the grid
-    /// fast — the fractions stabilize well before that).
-    pub const SAMPLES: usize = 150;
-
-    /// The Tr grid in cycles (paper x-axis: up to ~5×10⁸).
-    pub const TRS: [u64; 4] = [50_000_000, 100_000_000, 200_000_000, 400_000_000];
-
-    /// The full `(bit, d, Tr)` grid for one platform, in print order.
-    pub fn grid_points(ds: &[usize]) -> Vec<GridPoint> {
-        let mut points = Vec::with_capacity(2 * ds.len() * TRS.len());
-        for bit in [false, true] {
-            for &d in ds {
-                for tr in TRS {
-                    points.push(GridPoint {
-                        params: ChannelParams {
-                            d,
-                            target_set: 0,
-                            ts: tr,
-                            tr,
-                        },
-                        bit,
-                        seed: BENCH_SEED ^ tr ^ d as u64 ^ u64::from(bit),
-                    });
-                }
-            }
-        }
-        points
-    }
-
-    /// Runs and prints the constant-bit grid for one platform.
-    pub fn run_grid(platform: Platform, variant: Variant, ds: &[usize]) {
-        let points = grid_points(ds);
-        let fractions =
-            percent_ones_grid(platform, variant, &points, SAMPLES).expect("valid parameters");
-        let mut next = fractions.iter();
-        for bit in [false, true] {
-            println!("\nSending {}:", u8::from(bit));
-            let mut labels = vec!["d \\ Tr".to_string()];
-            for tr in TRS {
-                labels.push(format!("{:.0e}", tr as f64));
-            }
-            row(&labels[0], &labels[1..]);
-            for &d in ds {
-                let vals: Vec<String> = TRS
-                    .iter()
-                    .map(|_| pct1(*next.next().expect("grid sized")))
-                    .collect();
-                row(&format!("d={d}"), &vals);
-            }
-        }
-    }
+/// # Panics
+///
+/// Panics if `id` is not in the registry (a bench target naming a
+/// missing artifact is a build-time bug, and the registry
+/// completeness test pins the mapping).
+pub fn run_artifact(id: &str) {
+    let artifact = registry::get(id)
+        .unwrap_or_else(|| panic!("bench target references unknown artifact {id:?}"));
+    print!("{}", artifact.run(&RunOpts::default()).text);
 }
 
 #[cfg(test)]
 mod tests {
-    use super::*;
-
     #[test]
-    fn pct_formats() {
-        assert_eq!(pct(0.1234), "12.34%");
-        assert_eq!(pct1(0.5), "50.0%");
-    }
-
-    #[test]
-    fn kbps_formats() {
-        assert_eq!(kbps(480_000.0), "480Kbps");
-        assert_eq!(kbps(2.4), "2.4bps");
-    }
-
-    #[test]
-    fn sparkline_spans_range() {
-        let s = sparkline(&[0.0, 1.0]);
-        assert_eq!(s.chars().count(), 2);
-        assert!(s.starts_with('▁'));
-        assert!(s.ends_with('█'));
-        assert_eq!(sparkline(&[]), "");
+    fn formatting_reexports_are_live() {
+        assert_eq!(super::pct(0.5), "50.00%");
+        assert_eq!(super::kbps(2_000.0), "2Kbps");
+        assert!(!super::sparkline(&[1.0, 2.0]).is_empty());
     }
 }

@@ -1,0 +1,305 @@
+//! # lru-leak-cli — the command-line face of the scenario registry
+//!
+//! ```text
+//! lru-leak list
+//! lru-leak run <artifact> [--trials N] [--threads K] [--seed S] [--json]
+//! lru-leak show <artifact> [--trials N] [--seed S]
+//! lru-leak adhoc <scenario-json | @file.json> [--trials N] [--threads K] [--json]
+//! ```
+//!
+//! Everything is a thin veneer over [`scenario::registry`]: `run`
+//! executes the same grid the matching `cargo bench` target runs, so
+//! for a fixed seed the CLI's numbers *are* the bench numbers. With
+//! `--json` the report's metrics tree is pretty-printed; the writer
+//! is deterministic, so repeated runs with the same seed are
+//! bit-identical.
+//!
+//! The core is [`run_cli`], which returns the output instead of
+//! printing — the binary is three lines, and the test suite drives
+//! the CLI in-process.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Write;
+
+use scenario::registry::{self, RunOpts};
+use scenario::spec::Scenario;
+use scenario::Value;
+
+/// A CLI failure: the message to print on stderr and the exit code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError {
+    /// Human-readable description.
+    pub message: String,
+    /// Process exit code (2 = usage, 1 = execution).
+    pub code: i32,
+}
+
+impl CliError {
+    fn usage(message: impl Into<String>) -> CliError {
+        CliError {
+            message: format!("{}\n\n{USAGE}", message.into()),
+            code: 2,
+        }
+    }
+
+    fn run(message: impl Into<String>) -> CliError {
+        CliError {
+            message: message.into(),
+            code: 1,
+        }
+    }
+}
+
+/// The help text.
+pub const USAGE: &str = "\
+lru-leak — run the paper's experiments from one declarative surface
+
+USAGE:
+    lru-leak list
+    lru-leak run <artifact> [--trials N] [--threads K] [--seed S] [--json]
+    lru-leak show <artifact> [--trials N] [--seed S]
+    lru-leak adhoc <scenario-json | @file.json> [--trials N] [--threads K] [--json]
+    lru-leak help
+
+ARTIFACTS:
+    fig3..fig15, table1..table7, ablation_* — see `lru-leak list`.
+    Bench-target names (e.g. fig6_timesliced) are accepted too.
+
+OPTIONS:
+    --trials N    Override the artifact's natural per-point trial /
+                  sample count (artifacts without a trial axis ignore it)
+    --threads K   Pin the parallel trial driver to K workers
+                  (results are bit-identical for any K; 1 = sequential)
+    --seed S      Master seed (default: the fixed bench seed)
+    --json        Emit the deterministic JSON metrics instead of tables";
+
+#[derive(Debug, Default)]
+struct Flags {
+    trials: Option<usize>,
+    threads: Option<usize>,
+    seed: Option<u64>,
+    json: bool,
+}
+
+fn parse_flags(args: &[String]) -> Result<Flags, CliError> {
+    let mut flags = Flags::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value_of = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| CliError::usage(format!("{name} needs a value")))
+        };
+        match arg.as_str() {
+            "--trials" => {
+                let v = value_of("--trials")?;
+                flags.trials = Some(v.parse().map_err(|_| {
+                    CliError::usage(format!("--trials needs a positive integer, got {v:?}"))
+                })?);
+            }
+            "--threads" => {
+                let v = value_of("--threads")?;
+                let n: usize = v.parse().map_err(|_| {
+                    CliError::usage(format!("--threads needs a positive integer, got {v:?}"))
+                })?;
+                if n == 0 {
+                    return Err(CliError::usage("--threads must be >= 1"));
+                }
+                flags.threads = Some(n);
+            }
+            "--seed" => {
+                let v = value_of("--seed")?;
+                flags.seed = Some(v.parse().map_err(|_| {
+                    CliError::usage(format!("--seed needs a non-negative integer, got {v:?}"))
+                })?);
+            }
+            "--json" => flags.json = true,
+            other => {
+                return Err(CliError::usage(format!("unknown option {other:?}")));
+            }
+        }
+    }
+    Ok(flags)
+}
+
+fn opts_from(flags: &Flags) -> RunOpts {
+    let defaults = RunOpts::default();
+    RunOpts {
+        trials: flags.trials,
+        seed: flags.seed.unwrap_or(defaults.seed),
+    }
+}
+
+fn apply_threads(flags: &Flags) {
+    if let Some(threads) = flags.threads {
+        lru_channel::trials::set_worker_count(threads);
+    }
+}
+
+fn list() -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{:<22} {:<28} WHAT", "ARTIFACT", "PAPER");
+    for id in registry::ids() {
+        let a = registry::get(id).expect("listed id resolves");
+        let _ = writeln!(out, "{:<22} {:<28} {}", a.id, a.paper_ref, a.what);
+    }
+    let _ = writeln!(
+        out,
+        "\n{} artifacts. Run one with `lru-leak run <artifact> [--json]`.",
+        registry::ids().len()
+    );
+    out
+}
+
+fn artifact(id: &str) -> Result<&'static registry::Artifact, CliError> {
+    registry::get(id).ok_or_else(|| {
+        CliError::run(format!(
+            "unknown artifact {id:?} — `lru-leak list` shows the registry"
+        ))
+    })
+}
+
+fn load_scenario(text: &str) -> Result<Scenario, CliError> {
+    let body = if let Some(path) = text.strip_prefix('@') {
+        std::fs::read_to_string(path)
+            .map_err(|e| CliError::run(format!("cannot read {path:?}: {e}")))?
+    } else {
+        text.to_string()
+    };
+    Scenario::from_json_str(&body).map_err(|e| CliError::run(e.to_string()))
+}
+
+/// Runs the CLI with `args` (not including the binary name) and
+/// returns what it would print on stdout.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] with the stderr message and exit code.
+pub fn run_cli(args: &[String]) -> Result<String, CliError> {
+    let Some(command) = args.first() else {
+        return Err(CliError::usage("missing command"));
+    };
+    match command.as_str() {
+        "help" | "--help" | "-h" => Ok(format!("{USAGE}\n")),
+        "list" => {
+            if args.len() > 1 {
+                return Err(CliError::usage("list takes no arguments"));
+            }
+            Ok(list())
+        }
+        "run" => {
+            let id = args
+                .get(1)
+                .filter(|a| !a.starts_with("--"))
+                .ok_or_else(|| CliError::usage("run needs an artifact ID"))?;
+            let flags = parse_flags(&args[2..])?;
+            apply_threads(&flags);
+            let report = artifact(id)?.run(&opts_from(&flags));
+            if flags.json {
+                Ok(format!("{}\n", report.metrics.pretty()))
+            } else {
+                Ok(report.text)
+            }
+        }
+        "show" => {
+            let id = args
+                .get(1)
+                .filter(|a| !a.starts_with("--"))
+                .ok_or_else(|| CliError::usage("show needs an artifact ID"))?;
+            let flags = parse_flags(&args[2..])?;
+            let grid = artifact(id)?.scenarios(&opts_from(&flags));
+            let json = Value::Arr(grid.iter().map(Scenario::to_json).collect());
+            Ok(format!("{}\n", json.pretty()))
+        }
+        "adhoc" => {
+            let spec = args
+                .get(1)
+                .filter(|a| !a.starts_with("--"))
+                .ok_or_else(|| CliError::usage("adhoc needs a scenario (JSON or @file)"))?;
+            let flags = parse_flags(&args[2..])?;
+            apply_threads(&flags);
+            let mut sc = load_scenario(spec)?;
+            if let Some(trials) = flags.trials {
+                sc.trials = trials.max(1);
+            }
+            if let Some(seed) = flags.seed {
+                sc.seed = seed;
+            }
+            let outcome = sc.run();
+            let result = Value::obj()
+                .with("scenario", sc.to_json())
+                .with("outcome", outcome);
+            if flags.json {
+                Ok(format!("{}\n", result.pretty()))
+            } else {
+                let mut out = String::new();
+                let _ = writeln!(out, "scenario: {}", sc.to_json());
+                let _ = writeln!(out, "outcome:  {}", result.get("outcome").unwrap());
+                Ok(out)
+            }
+        }
+        other => Err(CliError::usage(format!("unknown command {other:?}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn list_names_every_artifact() {
+        let out = run_cli(&args(&["list"])).unwrap();
+        for id in registry::ids() {
+            assert!(out.contains(id), "list output missing {id}");
+        }
+    }
+
+    #[test]
+    fn usage_errors_exit_2() {
+        assert_eq!(run_cli(&args(&[])).unwrap_err().code, 2);
+        assert_eq!(run_cli(&args(&["frobnicate"])).unwrap_err().code, 2);
+        assert_eq!(run_cli(&args(&["run"])).unwrap_err().code, 2);
+        assert_eq!(
+            run_cli(&args(&["run", "fig5", "--trials", "zero"]))
+                .unwrap_err()
+                .code,
+            2
+        );
+    }
+
+    #[test]
+    fn unknown_artifact_exits_1() {
+        let err = run_cli(&args(&["run", "fig99"])).unwrap_err();
+        assert_eq!(err.code, 1);
+        assert!(err.message.contains("fig99"));
+    }
+
+    #[test]
+    fn show_emits_a_parsable_grid() {
+        let out = run_cli(&args(&["show", "fig5"])).unwrap();
+        let v = Value::parse(out.trim()).unwrap();
+        let arr = v.as_arr().unwrap();
+        assert_eq!(arr.len(), 2);
+        for sc in arr {
+            Scenario::from_json(sc).unwrap();
+        }
+    }
+
+    #[test]
+    fn adhoc_round_trips_a_scenario() {
+        let sc = Scenario::builder()
+            .message(scenario::MessageSource::Alternating { bits: 8 })
+            .seed(3)
+            .build()
+            .unwrap();
+        let out = run_cli(&args(&["adhoc", &sc.to_json().to_string(), "--json"])).unwrap();
+        let v = Value::parse(out.trim()).unwrap();
+        assert!(v.get("outcome").unwrap().get("error_rate").is_some());
+    }
+}

@@ -1,0 +1,13 @@
+//! The `lru-leak` binary: parse argv, delegate to the library,
+//! print.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match lru_leak_cli::run_cli(&args) {
+        Ok(out) => print!("{out}"),
+        Err(e) => {
+            eprintln!("{}", e.message);
+            std::process::exit(e.code);
+        }
+    }
+}

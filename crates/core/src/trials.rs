@@ -19,8 +19,13 @@
 //! The worker count defaults to the host's available parallelism,
 //! clamped by the `LRU_LEAK_THREADS` environment variable
 //! (`LRU_LEAK_THREADS=1` forces sequential execution, e.g. for
-//! debugging or timing baselines).
+//! debugging or timing baselines). The environment is consulted once
+//! and cached; embedders such as the `lru-leak` CLI can override the
+//! count explicitly with [`set_worker_count`] instead of mutating
+//! the environment.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
 use std::thread;
 
 /// Derives the seed of trial `index` from the experiment's master
@@ -33,19 +38,42 @@ pub fn derive_seed(master: u64, index: u64) -> u64 {
     z ^ (z >> 31)
 }
 
-/// Worker count used by [`run_trials`]: available parallelism,
-/// clamped by `LRU_LEAK_THREADS` when set.
+/// Explicit worker-count override (0 = none). Takes precedence over
+/// both the environment and the hardware default.
+static WORKER_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Cached parse of `LRU_LEAK_THREADS`, read from the environment at
+/// most once per process.
+static ENV_WORKERS: OnceLock<Option<usize>> = OnceLock::new();
+
+/// Explicitly pins the worker count used by [`run_trials`]
+/// (`1` = sequential). Passing `0` clears the override, falling back
+/// to `LRU_LEAK_THREADS` / the hardware default. This is how the
+/// `lru-leak` CLI implements `--threads` — no environment mutation.
+pub fn set_worker_count(workers: usize) {
+    WORKER_OVERRIDE.store(workers, Ordering::SeqCst);
+}
+
+/// Worker count used by [`run_trials`]: an explicit
+/// [`set_worker_count`] override if one is set, else available
+/// parallelism clamped by `LRU_LEAK_THREADS` (parsed once, then
+/// cached — later changes to the environment are not observed).
 pub fn worker_count() -> usize {
-    let hw = thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
-    match std::env::var("LRU_LEAK_THREADS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-    {
-        Some(n) if n > 0 => n,
-        _ => hw,
+    let forced = WORKER_OVERRIDE.load(Ordering::SeqCst);
+    if forced > 0 {
+        return forced;
     }
+    let env = ENV_WORKERS.get_or_init(|| {
+        std::env::var("LRU_LEAK_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+    });
+    env.unwrap_or_else(|| {
+        thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
 }
 
 /// Runs `n` independent trials of `f` and returns their results in
@@ -139,6 +167,15 @@ mod tests {
 
     #[test]
     fn worker_count_is_positive() {
+        assert!(worker_count() >= 1);
+    }
+
+    #[test]
+    fn explicit_override_beats_environment() {
+        // Tests share the process: restore the default afterwards.
+        set_worker_count(3);
+        assert_eq!(worker_count(), 3);
+        set_worker_count(0);
         assert!(worker_count() >= 1);
     }
 }

@@ -1,0 +1,1056 @@
+//! Executing scenarios: the [`Experiment`] trait and one
+//! implementation per [`ExperimentKind`].
+//!
+//! An experiment is a pure function of its seed: `run(seed)` builds
+//! every simulator object it needs from scratch, so experiments fan
+//! out over host cores through [`lru_channel::trials`] with
+//! bit-identical results to a sequential sweep. The returned
+//! [`Outcome`] carries a deterministic JSON metrics tree — the same
+//! numbers whether they end up in a bench table or in
+//! `lru-leak … --json` output.
+
+use attacks::encoding_time::{encoding_latency, EncodedChannel};
+use attacks::flush_reload::{EvictionMethod, FlushReloadReceiver};
+use attacks::miss_rates::{self, MissRateRow, SenderScenario, SpectreChannel};
+use attacks::prime_probe::PrimeProbeReceiver;
+use attacks::primitive::{FlushReloadPrimitive, LruAlg1Primitive, LruAlg2Primitive};
+use attacks::spectre::{decode_symbols, encode_symbols, SpectreAttack};
+use cache_sim::hierarchy::HitLevel;
+use cache_sim::plcache::PlDesign;
+use cache_sim::prefetcher::Prefetcher;
+use cache_sim::profiles::MicroArch;
+use cache_sim::replacement::PolicyKind;
+use defense::delayed_update;
+use defense::detection::detection_study;
+use defense::partition_eval::{dawg_partitioned_leak, shared_plru_leak};
+use defense::pl_cache_eval::pl_cache_alg2_trace;
+use defense::policy_eval::fig9_row;
+use defense::randomization::{index_randomization_defeats_eviction, random_fill_leak};
+use exec_sim::machine::Machine;
+use exec_sim::measure::{rdtscp_single, LatencyProbe};
+use exec_sim::sched::{HyperThreaded, ThreadHandle};
+use exec_sim::speculation::{build_victim, SpecMode};
+use lru_channel::analysis::Histogram;
+use lru_channel::covert::{percent_ones, percent_ones_with_noise, CovertConfig, Variant};
+use lru_channel::decode::{self, BitConvention};
+use lru_channel::edit_distance::error_rate;
+use lru_channel::multiset::run_parallel_alg1;
+use lru_channel::plru_study::{eviction_curve, InitCond, SequenceKind};
+use lru_channel::protocol::LruSender;
+use lru_channel::setup;
+use lru_channel::trials::{derive_seed, run_trials};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use workloads::spec_like::Benchmark;
+
+use crate::json::Value;
+use crate::spec::{
+    ChannelId, DefenseId, ExperimentKind, InitId, MessageSource, Scenario, SequenceId, WorkloadId,
+};
+
+/// What running an experiment once produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Outcome {
+    /// Deterministic, machine-readable metrics.
+    pub metrics: Value,
+}
+
+/// One runnable experiment. Implementations must derive everything
+/// from `seed`, so a run is reproducible and safely parallel.
+pub trait Experiment {
+    /// Runs the experiment once.
+    fn run(&self, seed: u64) -> Outcome;
+}
+
+impl Scenario {
+    /// The experiment this scenario describes.
+    pub fn experiment(&self) -> Box<dyn Experiment + Send + Sync> {
+        match self.kind {
+            ExperimentKind::Covert => Box::new(CovertExperiment(self.clone())),
+            ExperimentKind::PercentOnes { .. } => Box::new(PercentOnesExperiment(self.clone())),
+            ExperimentKind::PrimeProbe { .. } => Box::new(PrimeProbeExperiment(self.clone())),
+            ExperimentKind::FlushReload { .. } => Box::new(FlushReloadExperiment(self.clone())),
+            ExperimentKind::Spectre { .. } => Box::new(SpectreExperiment(self.clone())),
+            ExperimentKind::DefenseEval { .. } => Box::new(DefenseEvalExperiment(self.clone())),
+            ExperimentKind::PlruEviction { .. } => Box::new(PlruEvictionExperiment(self.clone())),
+            ExperimentKind::LatencyCheck => Box::new(LatencyCheckExperiment(self.clone())),
+            ExperimentKind::PlatformSpec => Box::new(PlatformSpecExperiment(self.clone())),
+            ExperimentKind::EncodingLatency { .. } => {
+                Box::new(EncodingLatencyExperiment(self.clone()))
+            }
+            ExperimentKind::SenderMissRates { .. } => {
+                Box::new(SenderMissRatesExperiment(self.clone()))
+            }
+            ExperimentKind::SpectreMissRates { .. } => {
+                Box::new(SpectreMissRatesExperiment(self.clone()))
+            }
+            ExperimentKind::ProbeHistogram { .. } => {
+                Box::new(ProbeHistogramExperiment(self.clone()))
+            }
+            ExperimentKind::PolicyPerf { .. } => Box::new(PolicyPerfExperiment(self.clone())),
+            ExperimentKind::MultiSet { .. } => Box::new(MultiSetExperiment(self.clone())),
+        }
+    }
+
+    /// Runs the experiment once with an explicit seed.
+    pub fn run_once(&self, seed: u64) -> Outcome {
+        self.experiment().run(seed)
+    }
+
+    /// Runs the scenario's `trials` independent repetitions (seeded
+    /// by [`derive_seed`] when `trials > 1`, the master seed
+    /// directly when `trials == 1`) and returns the metrics — a
+    /// single tree for one trial, an array for several.
+    pub fn run(&self) -> Value {
+        if self.trials <= 1 {
+            return self.run_once(self.seed).metrics;
+        }
+        let outs = run_trials(self.trials, |i| {
+            self.run_once(derive_seed(self.seed, i as u64)).metrics
+        });
+        Value::Arr(outs)
+    }
+}
+
+fn bitstring(bits: &[bool], cap: usize) -> String {
+    bits.iter()
+        .take(cap)
+        .map(|&b| if b { '1' } else { '0' })
+        .collect()
+}
+
+/// Decode convention + window ratio for a protocol variant.
+fn convention_for(variant: Variant) -> (BitConvention, f64) {
+    match variant {
+        Variant::NoSharedMemory => (BitConvention::MissIsOne, 0.25),
+        _ => (BitConvention::HitIsOne, 0.5),
+    }
+}
+
+/// An end-to-end covert run: transmit, decode, score.
+pub struct CovertExperiment(pub Scenario);
+
+impl Experiment for CovertExperiment {
+    fn run(&self, seed: u64) -> Outcome {
+        let s = &self.0;
+        let platform = s.platform.platform();
+        let base = s.message.base_bits(seed);
+        let message = s.message.bits(seed);
+        let cfg = CovertConfig {
+            platform,
+            params: s.params,
+            variant: s.variant,
+            sharing: s.sharing,
+            message: message.clone(),
+            seed,
+        };
+        let mut machine = Machine::new(platform.arch, s.policy, seed);
+        let run = cfg.run_on(&mut machine).expect("validated at build");
+
+        let (conv, ratio) = convention_for(s.variant);
+        let coarse = platform.tsc.granularity > 1;
+        let (bits, avg) = if coarse {
+            // The coarse AMD counter cannot be thresholded per
+            // sample; average over one bit period (§VI-A, Fig. 7).
+            let period = ((s.params.ts / s.params.tr.max(1)) as usize).max(3);
+            let avg = decode::moving_average(&run.samples, period);
+            (decode::bits_from_moving_average(&avg, period, conv), avg)
+        } else {
+            (
+                decode::bits_by_window_ratio(
+                    &run.samples,
+                    s.params.ts,
+                    run.hit_threshold,
+                    conv,
+                    ratio,
+                ),
+                Vec::new(),
+            )
+        };
+
+        // Error metric: mean per-repetition edit distance against
+        // the base string (Fig. 4), which for one repetition is the
+        // plain edit-distance error rate.
+        let repeats = message.len() / base.len().max(1);
+        let mut total = 0.0;
+        for r in 0..repeats.max(1) {
+            let lo = r * base.len();
+            let hi = ((r + 1) * base.len()).min(bits.len());
+            if lo >= hi {
+                total += 1.0;
+                continue;
+            }
+            total += error_rate(&base, &bits[lo..hi]);
+        }
+        let err = total / repeats.max(1) as f64;
+
+        // Traces are for the trace-style artifacts (Figs. 5/7/14);
+        // sweep-style grids with long messages (Fig. 4) skip them to
+        // keep --json output compact.
+        let trace: Vec<Value> = if message.len() <= 64 {
+            run.samples
+                .iter()
+                .take(200)
+                .map(|x| Value::from(x.measured))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let mut metrics = Value::obj()
+            .with("samples", run.samples.len())
+            .with("hit_threshold", run.hit_threshold)
+            .with("rate_bps", run.rate_bps)
+            .with("error_rate", err)
+            .with("effective_bps", run.rate_bps * (1.0 - err))
+            .with("sent", bitstring(&message, 512))
+            .with("decoded", bitstring(&bits, 512))
+            .with("trace", Value::Arr(trace));
+        if coarse {
+            let avg_trace: Vec<Value> = avg.iter().take(160).map(|&v| Value::from(v)).collect();
+            metrics = metrics.with("avg_trace", Value::Arr(avg_trace));
+        }
+        Outcome { metrics }
+    }
+}
+
+/// The time-sliced constant-bit fraction (Figs. 6/8/15).
+pub struct PercentOnesExperiment(pub Scenario);
+
+impl Experiment for PercentOnesExperiment {
+    fn run(&self, seed: u64) -> Outcome {
+        let s = &self.0;
+        let ExperimentKind::PercentOnes { samples } = s.kind else {
+            unreachable!("kind checked at build");
+        };
+        let MessageSource::Constant { bit, .. } = s.message else {
+            unreachable!("message checked at build");
+        };
+        let platform = s.platform.platform();
+        let fraction = if s.workload == WorkloadId::BenignNoise {
+            percent_ones_with_noise(platform, s.params, s.variant, bit, samples, seed)
+        } else {
+            percent_ones(platform, s.params, s.variant, bit, samples, seed)
+        }
+        .expect("validated at build");
+        Outcome {
+            metrics: Value::obj()
+                .with("bit", bit)
+                .with("samples", samples)
+                .with("fraction", fraction),
+        }
+    }
+}
+
+/// The Prime+Probe baseline: receiver primes/probes the whole target
+/// set while the LRU-style sender transmits.
+pub struct PrimeProbeExperiment(pub Scenario);
+
+impl Experiment for PrimeProbeExperiment {
+    fn run(&self, seed: u64) -> Outcome {
+        let s = &self.0;
+        let ExperimentKind::PrimeProbe { samples } = s.kind else {
+            unreachable!("kind checked at build");
+        };
+        let platform = s.platform.platform();
+        let message = s.message.bits(seed);
+        let mut machine = Machine::new(platform.arch, s.policy, seed);
+        let sender_pid = machine.create_process();
+        let receiver_pid = machine.create_process();
+        let endpoints = setup::alg2(&mut machine, sender_pid, receiver_pid, s.params.target_set);
+        let ways = machine.hierarchy().l1().geometry().ways();
+        let prime_lines: Vec<_> = endpoints
+            .receiver_lines
+            .iter()
+            .copied()
+            .take(ways)
+            .collect();
+        let mut sender = LruSender::new(endpoints.sender_line, message.clone(), s.params.ts);
+        let mut receiver =
+            PrimeProbeReceiver::new(prime_lines, s.params.tr).with_max_samples(samples);
+        let probe = LatencyProbe::new(&mut machine, receiver_pid, platform.tsc, 63);
+        let limit = (message.len() as u64 + 1) * s.params.ts;
+        HyperThreaded::new(seed ^ 0x5eed).run(
+            &mut machine,
+            &mut [
+                ThreadHandle::new(sender_pid, &mut sender),
+                ThreadHandle::with_probe(receiver_pid, &mut receiver, probe),
+            ],
+            limit,
+        );
+
+        // A sweep that missed anywhere means someone displaced a
+        // primed line: windows where that keeps happening carry a 1.
+        let sweeps = receiver.into_samples();
+        let windows = message.len();
+        let mut hits = vec![0u32; windows];
+        let mut totals = vec![0u32; windows];
+        for sw in &sweeps {
+            let w = (sw.at / s.params.ts) as usize;
+            if w < windows {
+                totals[w] += 1;
+                if sw.misses > 0 {
+                    hits[w] += 1;
+                }
+            }
+        }
+        let bits: Vec<bool> = (0..windows)
+            .map(|w| totals[w] > 0 && f64::from(hits[w]) / f64::from(totals[w]) >= 0.25)
+            .collect();
+        let err = error_rate(&message, &bits);
+        let missy = sweeps.iter().filter(|x| x.misses > 0).count();
+        Outcome {
+            metrics: Value::obj()
+                .with("sweeps", sweeps.len())
+                .with("timed_loads_per_observation", ways)
+                .with(
+                    "miss_sweep_fraction",
+                    missy as f64 / sweeps.len().max(1) as f64,
+                )
+                .with("error_rate", err)
+                .with("sent", bitstring(&message, 512))
+                .with("decoded", bitstring(&bits, 512)),
+        }
+    }
+}
+
+/// The Flush+Reload baseline, `clflush` or L1-eviction-set flavor.
+pub struct FlushReloadExperiment(pub Scenario);
+
+impl Experiment for FlushReloadExperiment {
+    fn run(&self, seed: u64) -> Outcome {
+        let s = &self.0;
+        let ExperimentKind::FlushReload { samples, to_mem } = s.kind else {
+            unreachable!("kind checked at build");
+        };
+        let platform = s.platform.platform();
+        let message = s.message.bits(seed);
+        let mut machine = Machine::new(platform.arch, s.policy, seed);
+        let sender_pid = machine.create_process();
+        let receiver_pid = machine.create_process();
+        // Flush+Reload needs the shared line of Algorithm 1's setup.
+        let endpoints = setup::alg1(&mut machine, sender_pid, receiver_pid, s.params.target_set);
+        let eviction = if to_mem {
+            EvictionMethod::Clflush
+        } else {
+            EvictionMethod::L1EvictionSet(endpoints.receiver_lines[1..9].to_vec())
+        };
+        let mut sender = LruSender::new(endpoints.sender_line, message.clone(), s.params.ts);
+        let mut receiver =
+            FlushReloadReceiver::new(endpoints.receiver_lines[0], eviction, s.params.tr)
+                .with_max_samples(samples);
+        let probe = LatencyProbe::new(&mut machine, receiver_pid, platform.tsc, 63);
+        let limit = (message.len() as u64 + 1) * s.params.ts;
+        HyperThreaded::new(seed ^ 0x5eed).run(
+            &mut machine,
+            &mut [
+                ThreadHandle::new(sender_pid, &mut sender),
+                ThreadHandle::with_probe(receiver_pid, &mut receiver, probe),
+            ],
+            limit,
+        );
+        let observations = receiver.into_samples();
+        let threshold = platform.hit_threshold();
+        let bits = decode::bits_by_window(
+            &observations,
+            s.params.ts,
+            threshold,
+            BitConvention::HitIsOne,
+        );
+        let err = error_rate(&message, &bits[..message.len().min(bits.len())]);
+        Outcome {
+            metrics: Value::obj()
+                .with("samples", observations.len())
+                .with("to_mem", to_mem)
+                .with("error_rate", err)
+                .with("sent", bitstring(&message, 512))
+                .with("decoded", bitstring(&bits, 512)),
+        }
+    }
+}
+
+fn spectre_recover(
+    machine: &mut Machine,
+    platform: lru_channel::params::Platform,
+    channel: ChannelId,
+    attack: &SpectreAttack,
+    secret: &str,
+    warm: bool,
+) -> (String, f64) {
+    let symbols = encode_symbols(secret);
+    let (mut victim, off) = build_victim(machine, &symbols, 8);
+    let got = match channel {
+        ChannelId::FlushReloadMem | ChannelId::FlushReloadL1 => {
+            let mut p = FlushReloadPrimitive::new(victim.pid, victim.array2, platform);
+            if warm {
+                attack.recover(machine, &mut victim, &mut p, off, 1);
+                machine.reset_counters();
+            }
+            attack.recover(machine, &mut victim, &mut p, off, symbols.len())
+        }
+        ChannelId::LruAlg1 => {
+            let mut p = LruAlg1Primitive::new(machine, victim.pid, victim.array2, platform);
+            if warm {
+                attack.recover(machine, &mut victim, &mut p, off, 1);
+                machine.reset_counters();
+            }
+            attack.recover(machine, &mut victim, &mut p, off, symbols.len())
+        }
+        ChannelId::LruAlg2 => {
+            let mut p = LruAlg2Primitive::new(machine, victim.pid, victim.array2, platform);
+            if warm {
+                attack.recover(machine, &mut victim, &mut p, off, 1);
+                machine.reset_counters();
+            }
+            attack.recover(machine, &mut victim, &mut p, off, symbols.len())
+        }
+    };
+    let text = decode_symbols(&got);
+    let correct = text
+        .bytes()
+        .zip(secret.bytes())
+        .filter(|(a, b)| a == b)
+        .count();
+    (text, correct as f64 / secret.len().max(1) as f64)
+}
+
+/// Spectre-v1 secret recovery through a disclosure channel (§VIII,
+/// Appendix C).
+pub struct SpectreExperiment(pub Scenario);
+
+impl Experiment for SpectreExperiment {
+    fn run(&self, seed: u64) -> Outcome {
+        let s = &self.0;
+        let ExperimentKind::Spectre {
+            channel,
+            rounds,
+            prefetcher,
+        } = s.kind
+        else {
+            unreachable!("kind checked at build");
+        };
+        let secret = s.message.text().expect("checked at build");
+        let platform = s.platform.platform();
+        let mut machine = Machine::new(platform.arch, s.policy, seed);
+        if prefetcher {
+            *machine.hierarchy_mut() = platform
+                .arch
+                .build_hierarchy(s.policy, seed)
+                .with_prefetcher(Prefetcher::next_line());
+        }
+        let attack = SpectreAttack {
+            rounds,
+            seed,
+            ..SpectreAttack::default()
+        };
+        let (text, accuracy) =
+            spectre_recover(&mut machine, platform, channel, &attack, secret, true);
+        Outcome {
+            metrics: Value::obj()
+                .with("channel", channel.name())
+                .with("rounds", rounds)
+                .with("prefetcher", prefetcher)
+                .with("recovered", text)
+                .with("accuracy", accuracy),
+        }
+    }
+}
+
+fn leak_metrics(label: &str, flip: f64) -> Value {
+    Value::obj()
+        .with("defense", label)
+        .with("victim_flip_rate", flip)
+}
+
+/// Evaluates the scenario's `defense` axis (§IX).
+pub struct DefenseEvalExperiment(pub Scenario);
+
+impl Experiment for DefenseEvalExperiment {
+    fn run(&self, seed: u64) -> Outcome {
+        let s = &self.0;
+        let ExperimentKind::DefenseEval { trials } = s.kind else {
+            unreachable!("kind checked at build");
+        };
+        let metrics = match s.defense {
+            DefenseId::PlCacheOriginal | DefenseId::PlCacheFixed => {
+                let design = if s.defense == DefenseId::PlCacheOriginal {
+                    PlDesign::Original
+                } else {
+                    PlDesign::Fixed
+                };
+                let bits: Vec<bool> = (0..trials).map(|i| i % 2 == 1).collect();
+                let run = pl_cache_alg2_trace(design, &bits, s.params.d, seed);
+                let p = |bit: bool| {
+                    let of: Vec<_> = run.trace.iter().filter(|t| t.bit == bit).collect();
+                    of.iter().filter(|t| t.hit).count() as f64 / of.len().max(1) as f64
+                };
+                let trace: Vec<Value> = run
+                    .trace
+                    .iter()
+                    .take(160)
+                    .map(|t| Value::from(t.latency))
+                    .collect();
+                Value::obj()
+                    .with("defense", s.defense.name())
+                    .with("iterations", trials)
+                    .with("trace", Value::Arr(trace))
+                    .with("p_hit_given_0", p(false))
+                    .with("p_hit_given_1", p(true))
+                    .with("distinguishability", run.distinguishability())
+            }
+            DefenseId::SharedPartition => leak_metrics(
+                s.defense.name(),
+                shared_plru_leak(trials, seed).victim_flip_rate,
+            ),
+            DefenseId::DawgPartition => leak_metrics(
+                s.defense.name(),
+                dawg_partitioned_leak(trials, seed).victim_flip_rate,
+            ),
+            DefenseId::RandomFill => {
+                let r = random_fill_leak(trials, seed);
+                Value::obj()
+                    .with("defense", s.defense.name())
+                    .with("hit_channel_flip_rate", r.hit_channel_flip_rate)
+                    .with("miss_channel_fill_rate", r.miss_channel_fill_rate)
+            }
+            DefenseId::IndexRandomization => {
+                let r = index_randomization_defeats_eviction(trials, seed);
+                Value::obj()
+                    .with("defense", s.defense.name())
+                    .with("baseline_eviction_rate", r.baseline_eviction_rate)
+                    .with("eviction_rate", r.eviction_rate)
+            }
+            DefenseId::InvisibleSpeculation => {
+                let secret = s.message.text().expect("checked at build");
+                let rows = delayed_update::ablation(secret, seed);
+                let rows_json: Vec<Value> = rows
+                    .iter()
+                    .map(|r| {
+                        Value::obj()
+                            .with("channel", format!("{:?}", r.channel))
+                            .with(
+                                "mode",
+                                if r.mode == SpecMode::Baseline {
+                                    "baseline"
+                                } else {
+                                    "invisible"
+                                },
+                            )
+                            .with("accuracy", r.accuracy)
+                    })
+                    .collect();
+                Value::obj()
+                    .with("defense", s.defense.name())
+                    .with("rows", Value::Arr(rows_json))
+            }
+            DefenseId::MissRateDetector => {
+                let verdicts = detection_study(s.platform.platform(), trials, seed);
+                let rows: Vec<Value> = verdicts
+                    .iter()
+                    .map(|v| {
+                        Value::obj()
+                            .with("label", v.label)
+                            .with("flagged", v.flagged)
+                            .with("l2_miss_rate", v.row.rates.l2)
+                            .with("llc_miss_rate", v.row.rates.llc)
+                    })
+                    .collect();
+                Value::obj()
+                    .with("defense", s.defense.name())
+                    .with("rows", Value::Arr(rows))
+            }
+            DefenseId::None => unreachable!("checked at build"),
+        };
+        Outcome { metrics }
+    }
+}
+
+/// The Table I eviction-probability study.
+pub struct PlruEvictionExperiment(pub Scenario);
+
+impl Experiment for PlruEvictionExperiment {
+    fn run(&self, seed: u64) -> Outcome {
+        let s = &self.0;
+        let ExperimentKind::PlruEviction {
+            sequence,
+            init,
+            iterations,
+            trials,
+        } = s.kind
+        else {
+            unreachable!("kind checked at build");
+        };
+        let sequence = match sequence {
+            SequenceId::Seq1 => SequenceKind::Seq1,
+            SequenceId::Seq2 => SequenceKind::Seq2,
+        };
+        let init = match init {
+            InitId::Random => InitCond::Random,
+            InitId::Sequential => InitCond::Sequential,
+        };
+        let curve = eviction_curve(s.policy, sequence, init, iterations, trials, seed);
+        let probs: Vec<Value> = curve
+            .probabilities
+            .iter()
+            .map(|&p| Value::from(p))
+            .collect();
+        Outcome {
+            metrics: Value::obj()
+                .with("policy", crate::spec::policy_name(s.policy))
+                .with("probabilities", Value::Arr(probs))
+                .with("steady_state", curve.steady_state()),
+        }
+    }
+}
+
+/// Table II: model vs measured L1/L2 latencies.
+pub struct LatencyCheckExperiment(pub Scenario);
+
+impl Experiment for LatencyCheckExperiment {
+    fn run(&self, seed: u64) -> Outcome {
+        let s = &self.0;
+        let platform = s.platform.platform();
+        let mut m = Machine::new(platform.arch, s.policy, seed);
+        let pid = m.create_process();
+        let va = m.alloc_pages(pid, 1);
+        m.access(pid, va); // now in L1
+        let l1_meas = m.access(pid, va).cycles;
+        // Evict from L1 only: fill the set with fresh lines.
+        for _ in 0..m.hierarchy().l1().geometry().ways() {
+            let page = m.alloc_pages(pid, 1);
+            m.access(pid, page);
+        }
+        let out = m.access(pid, va);
+        assert_eq!(out.level, HitLevel::L2, "eviction must stop at L2");
+        Outcome {
+            metrics: Value::obj()
+                .with("model", platform.arch.model)
+                .with("l1_model", platform.arch.latencies.l1)
+                .with("l2_model", platform.arch.latencies.l2)
+                .with("l1_measured", l1_meas)
+                .with("l2_measured", out.cycles),
+        }
+    }
+}
+
+/// Table III: the simulated platform's configuration.
+pub struct PlatformSpecExperiment(pub Scenario);
+
+impl Experiment for PlatformSpecExperiment {
+    fn run(&self, _seed: u64) -> Outcome {
+        let a = self.0.platform.platform().arch;
+        let tsc = self.0.platform.platform().tsc;
+        Outcome {
+            metrics: Value::obj()
+                .with("model", a.model)
+                .with("uarch", a.name)
+                .with("freq_ghz", a.freq_ghz)
+                .with("l1d_kb", a.l1d.size_bytes() / 1024)
+                .with("ways", a.l1d.ways())
+                .with("sets", a.l1d.num_sets())
+                .with("way_predictor", a.has_way_predictor)
+                .with("tsc_granularity", tsc.granularity),
+        }
+    }
+}
+
+/// Table V: encode latency of one channel.
+pub struct EncodingLatencyExperiment(pub Scenario);
+
+impl Experiment for EncodingLatencyExperiment {
+    fn run(&self, _seed: u64) -> Outcome {
+        let s = &self.0;
+        let ExperimentKind::EncodingLatency { channel } = s.kind else {
+            unreachable!("kind checked at build");
+        };
+        let encoded = match channel {
+            ChannelId::FlushReloadMem => EncodedChannel::FlushReloadMem,
+            ChannelId::FlushReloadL1 => EncodedChannel::FlushReloadL1,
+            ChannelId::LruAlg1 | ChannelId::LruAlg2 => EncodedChannel::LruChannel,
+        };
+        Outcome {
+            metrics: Value::obj()
+                .with("label", encoded.label())
+                .with("cycles", encoding_latency(s.platform.platform(), encoded)),
+        }
+    }
+}
+
+fn miss_rate_row_metrics(row: &MissRateRow) -> Value {
+    Value::obj()
+        .with("label", row.label)
+        .with("l1d_miss_rate", row.rates.l1d)
+        .with("l2_miss_rate", row.rates.l2)
+        .with("llc_miss_rate", row.rates.llc)
+        .with("l1d_accesses", row.counters.l1d_accesses)
+        .with("l2_accesses", row.counters.l2_accesses)
+        .with("llc_accesses", row.counters.llc_accesses)
+}
+
+/// Table VI: sender-process miss rates in one co-run scenario.
+pub struct SenderMissRatesExperiment(pub Scenario);
+
+impl Experiment for SenderMissRatesExperiment {
+    fn run(&self, seed: u64) -> Outcome {
+        let s = &self.0;
+        let ExperimentKind::SenderMissRates { sender, bits } = s.kind else {
+            unreachable!("kind checked at build");
+        };
+        let row = miss_rates::sender_miss_rates(
+            s.platform.platform(),
+            SenderScenario::ALL[sender],
+            bits,
+            seed,
+        );
+        Outcome {
+            metrics: miss_rate_row_metrics(&row),
+        }
+    }
+}
+
+/// Table VII: whole-attack miss rates through one channel.
+pub struct SpectreMissRatesExperiment(pub Scenario);
+
+impl Experiment for SpectreMissRatesExperiment {
+    fn run(&self, seed: u64) -> Outcome {
+        let s = &self.0;
+        let ExperimentKind::SpectreMissRates { channel } = s.kind else {
+            unreachable!("kind checked at build");
+        };
+        let spectre_channel = match channel {
+            ChannelId::FlushReloadMem | ChannelId::FlushReloadL1 => SpectreChannel::FlushReloadMem,
+            ChannelId::LruAlg1 => SpectreChannel::LruAlg1,
+            ChannelId::LruAlg2 => SpectreChannel::LruAlg2,
+        };
+        let row = miss_rates::spectre_miss_rates(
+            s.platform.platform(),
+            spectre_channel,
+            s.message.text().expect("checked at build"),
+            seed,
+        );
+        Outcome {
+            metrics: miss_rate_row_metrics(&row),
+        }
+    }
+}
+
+fn histogram_rows(h: &Histogram) -> Value {
+    Value::Arr(
+        h.rows()
+            .into_iter()
+            .map(|(v, f)| Value::Arr(vec![Value::from(v), Value::from(f)]))
+            .collect(),
+    )
+}
+
+/// Figs. 3/13: L1-hit vs L1-miss readout histograms.
+pub struct ProbeHistogramExperiment(pub Scenario);
+
+impl Experiment for ProbeHistogramExperiment {
+    fn run(&self, seed: u64) -> Outcome {
+        let s = &self.0;
+        let ExperimentKind::ProbeHistogram {
+            samples,
+            single_load,
+        } = s.kind
+        else {
+            unreachable!("kind checked at build");
+        };
+        let platform = s.platform.platform();
+        let mut m = Machine::new(platform.arch, s.policy, seed);
+        let pid = m.create_process();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let probe = if single_load {
+            None
+        } else {
+            Some(LatencyProbe::new(&mut m, pid, platform.tsc, 63))
+        };
+
+        // L1-resident target in the target set; an eviction gang for
+        // the misses.
+        let target = m.alloc_pages(pid, 1);
+        let ways = m.hierarchy().l1().geometry().ways();
+        let gang: Vec<_> = (0..ways).map(|_| m.alloc_pages(pid, 1)).collect();
+        let mut hits = Histogram::new();
+        let mut misses = Histogram::new();
+        for i in 0..samples {
+            if i % 2 == 0 {
+                m.access(pid, target); // ensure L1 hit
+                let measured = match &probe {
+                    Some(p) => p.measure(&mut m, pid, target, &mut rng).measured,
+                    None => rdtscp_single(&mut m, pid, target, &platform.tsc, &mut rng).measured,
+                };
+                hits.add(measured);
+            } else {
+                for &g in &gang {
+                    m.access(pid, g); // evict target to L2
+                }
+                let measured = match &probe {
+                    Some(p) => {
+                        p.warm(&mut m, pid);
+                        p.measure(&mut m, pid, target, &mut rng).measured
+                    }
+                    None => rdtscp_single(&mut m, pid, target, &platform.tsc, &mut rng).measured,
+                };
+                misses.add(measured);
+            }
+        }
+        Outcome {
+            metrics: Value::obj()
+                .with("single_load", single_load)
+                .with("hit_rows", histogram_rows(&hits))
+                .with("miss_rows", histogram_rows(&misses))
+                .with("hit_mean", hits.mean())
+                .with("miss_mean", misses.mean())
+                .with("overlap", hits.overlap(&misses))
+                .with("threshold", platform.hit_threshold()),
+        }
+    }
+}
+
+/// Fig. 9: one benchmark under the Tree-PLRU / FIFO / Random family.
+pub struct PolicyPerfExperiment(pub Scenario);
+
+impl Experiment for PolicyPerfExperiment {
+    fn run(&self, seed: u64) -> Outcome {
+        let s = &self.0;
+        let ExperimentKind::PolicyPerf { accesses } = s.kind else {
+            unreachable!("kind checked at build");
+        };
+        let WorkloadId::Benchmark(name) = &s.workload else {
+            unreachable!("workload checked at build");
+        };
+        let bench = Benchmark::by_name(name).expect("checked at build");
+        let arch = MicroArch::gem5_fig9();
+        let row = fig9_row(bench, &arch, accesses, seed);
+        let floats = |xs: [f64; 3]| Value::Arr(xs.iter().map(|&x| Value::from(x)).collect());
+        Outcome {
+            metrics: Value::obj()
+                .with("benchmark", row.name)
+                .with(
+                    "policies",
+                    Value::Arr(
+                        PolicyKind::FIG9
+                            .iter()
+                            .map(|&p| Value::from(crate::spec::policy_name(p)))
+                            .collect(),
+                    ),
+                )
+                .with(
+                    "l1d_miss_rates",
+                    floats([
+                        row.results[0].l1d_miss_rate,
+                        row.results[1].l1d_miss_rate,
+                        row.results[2].l1d_miss_rate,
+                    ]),
+                )
+                .with(
+                    "cpi",
+                    floats([row.results[0].cpi, row.results[1].cpi, row.results[2].cpi]),
+                )
+                .with("normalized_miss_rates", floats(row.normalized_miss_rates()))
+                .with("normalized_cpi", floats(row.normalized_cpi())),
+        }
+    }
+}
+
+/// The §IV multi-set parallel channel.
+pub struct MultiSetExperiment(pub Scenario);
+
+impl Experiment for MultiSetExperiment {
+    fn run(&self, seed: u64) -> Outcome {
+        let s = &self.0;
+        let ExperimentKind::MultiSet { sets, frames } = s.kind else {
+            unreachable!("kind checked at build");
+        };
+        let platform = s.platform.platform();
+        let target_sets: Vec<usize> = (0..sets).map(|i| i * 3).collect();
+        // Text payloads ride one byte per frame, bit i on set i
+        // (build() guarantees sets == 8 for text); otherwise send
+        // seed-derived random frames.
+        let frame_bits: Vec<Vec<bool>> = match &s.message {
+            MessageSource::Text(payload) => payload
+                .bytes()
+                .map(|b| (0..8).map(|i| (b >> (7 - i)) & 1 == 1).collect())
+                .collect(),
+            _ => {
+                use rand::Rng;
+                let mut rng = SmallRng::seed_from_u64(seed);
+                (0..frames)
+                    .map(|_| (0..sets).map(|_| rng.gen_bool(0.5)).collect())
+                    .collect()
+            }
+        };
+        let run = run_parallel_alg1(
+            platform,
+            &target_sets,
+            s.params.d,
+            s.params.ts,
+            s.params.tr,
+            frame_bits.clone(),
+            seed,
+        )
+        .expect("validated at build");
+        let decoded = run.decode_frames(sets, s.params.ts, frame_bits.len());
+        let total = frame_bits.len() * sets;
+        let correct: usize = frame_bits
+            .iter()
+            .zip(&decoded)
+            .map(|(a, b)| a.iter().zip(b).filter(|(x, y)| x == y).count())
+            .sum();
+        let mut metrics = Value::obj()
+            .with("sets", sets)
+            .with("frames", frame_bits.len())
+            .with("samples", run.samples.len())
+            .with("rate_bps", run.rate_bps)
+            .with("accuracy", correct as f64 / total.max(1) as f64);
+        if s.message.text().is_some() {
+            let bytes: Vec<u8> = decoded
+                .iter()
+                .map(|f| f.iter().fold(0u8, |acc, &b| (acc << 1) | u8::from(b)))
+                .collect();
+            metrics = metrics.with("decoded_text", String::from_utf8_lossy(&bytes).into_owned());
+        }
+        Outcome { metrics }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::PlatformId;
+
+    #[test]
+    fn covert_default_recovers_alternating_bits() {
+        let s = Scenario::builder()
+            .message(MessageSource::Alternating { bits: 16 })
+            .seed(1)
+            .build()
+            .unwrap();
+        let m = s.run_once(s.seed).metrics;
+        let err = m.get("error_rate").unwrap().as_f64().unwrap();
+        assert!(err < 0.2, "headline channel should mostly work, got {err}");
+        assert_eq!(m.get("sent").unwrap().as_str().unwrap().len(), 16);
+    }
+
+    #[test]
+    fn outcomes_are_deterministic() {
+        let s = Scenario::builder()
+            .message(MessageSource::Random {
+                bits: 24,
+                repeats: 1,
+            })
+            .seed(9)
+            .build()
+            .unwrap();
+        assert_eq!(s.run_once(9).metrics, s.run_once(9).metrics);
+    }
+
+    #[test]
+    fn trials_fan_out_in_index_order() {
+        let s = Scenario::builder()
+            .kind(ExperimentKind::PlruEviction {
+                sequence: SequenceId::Seq1,
+                init: InitId::Random,
+                iterations: 4,
+                trials: 50,
+            })
+            .trials(3)
+            .seed(5)
+            .build()
+            .unwrap();
+        let all = s.run();
+        let arr = all.as_arr().unwrap();
+        assert_eq!(arr.len(), 3);
+        // Same grid evaluated sequentially must agree (determinism
+        // across worker counts is pinned by the trials driver).
+        let again = s.run();
+        assert_eq!(all, again);
+    }
+
+    #[test]
+    fn percent_ones_distinguishes_constant_bits() {
+        let mk = |bit| {
+            Scenario::builder()
+                .sharing(lru_channel::covert::Sharing::TimeSliced)
+                .params(lru_channel::params::ChannelParams {
+                    d: 8,
+                    target_set: 0,
+                    ts: 100_000_000,
+                    tr: 100_000_000,
+                })
+                .message(MessageSource::Constant { bit, bits: 1 })
+                .kind(ExperimentKind::PercentOnes { samples: 60 })
+                .seed(5)
+                .build()
+                .unwrap()
+        };
+        let p0 = mk(false)
+            .run_once(5)
+            .metrics
+            .get("fraction")
+            .unwrap()
+            .as_f64()
+            .unwrap();
+        let p1 = mk(true)
+            .run_once(5)
+            .metrics
+            .get("fraction")
+            .unwrap()
+            .as_f64()
+            .unwrap();
+        assert!(p1 > p0 + 0.1, "got p0={p0:.2}, p1={p1:.2}");
+    }
+
+    #[test]
+    fn flush_reload_baseline_transfers_bits() {
+        let s = Scenario::builder()
+            .message(MessageSource::Alternating { bits: 12 })
+            .kind(ExperimentKind::FlushReload {
+                samples: 10_000,
+                to_mem: true,
+            })
+            .seed(3)
+            .build()
+            .unwrap();
+        let m = s.run_once(3).metrics;
+        let err = m.get("error_rate").unwrap().as_f64().unwrap();
+        assert!(err < 0.35, "F+R baseline should carry bits, got {err}");
+    }
+
+    #[test]
+    fn prime_probe_baseline_produces_sweeps() {
+        let s = Scenario::builder()
+            .variant(Variant::NoSharedMemory)
+            .params(lru_channel::params::ChannelParams {
+                d: 8,
+                target_set: 0,
+                ts: 6_000,
+                tr: 600,
+            })
+            .message(MessageSource::Alternating { bits: 12 })
+            .kind(ExperimentKind::PrimeProbe { samples: 10_000 })
+            .seed(4)
+            .build()
+            .unwrap();
+        let m = s.run_once(4).metrics;
+        assert!(m.get("sweeps").unwrap().as_u64().unwrap() > 20);
+        assert!(
+            m.get("miss_sweep_fraction").unwrap().as_f64().unwrap() > 0.0,
+            "the sender must displace primed lines sometimes"
+        );
+    }
+
+    #[test]
+    fn platform_spec_reports_the_paper_geometry() {
+        for p in PlatformId::ALL {
+            let s = Scenario::builder()
+                .platform(p)
+                .kind(ExperimentKind::PlatformSpec)
+                .build()
+                .unwrap();
+            let m = s.run_once(0).metrics;
+            assert_eq!(m.get("ways").unwrap().as_u64(), Some(8));
+            assert_eq!(m.get("sets").unwrap().as_u64(), Some(64));
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! Table/figure text formatting shared by the registry renderers,
+//! the bench targets and the CLI.
+//!
+//! All writers append to a `String` buffer so a whole report can be
+//! built, compared and reprinted deterministically (the bench
+//! targets print it; the CLI returns it).
+
+use std::fmt::{Display, Write};
+
+/// A fixed seed so `cargo bench` / CLI output is reproducible run to
+/// run.
+pub const BENCH_SEED: u64 = 0x11ca_c4e5;
+
+/// Appends the standard experiment header.
+pub fn header(buf: &mut String, id: &str, paper_ref: &str, what: &str) {
+    buf.push('\n');
+    buf.push_str("================================================================\n");
+    let _ = writeln!(buf, "{id} — {paper_ref}");
+    let _ = writeln!(buf, "{what}");
+    buf.push_str("================================================================\n");
+}
+
+/// Appends one labelled row of values.
+pub fn row<V: Display>(buf: &mut String, label: &str, values: &[V]) {
+    let _ = write!(buf, "{label:<28}");
+    for v in values {
+        let _ = write!(buf, " {v:>12}");
+    }
+    buf.push('\n');
+}
+
+/// Formats a fraction as a percentage with 2 decimals.
+pub fn pct(x: f64) -> String {
+    format!("{:.2}%", x * 100.0)
+}
+
+/// Formats a fraction as a percentage with 1 decimal.
+pub fn pct1(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+/// Formats a rate in bits/s in the paper's Kbps style.
+pub fn kbps(bps: f64) -> String {
+    if bps >= 1_000.0 {
+        format!("{:.0}Kbps", bps / 1_000.0)
+    } else {
+        format!("{bps:.1}bps")
+    }
+}
+
+/// Geometric mean of a series (values clamped away from zero) — the
+/// Fig. 9 "overall CPI change" aggregation, shared by the registry
+/// renderer and the `secure_cache` example.
+pub fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 1.0;
+    }
+    (values.iter().map(|v| v.max(1e-12).ln()).sum::<f64>() / values.len() as f64).exp()
+}
+
+/// Renders an ASCII sparkline of a series (one char per point).
+pub fn sparkline(values: &[f64]) -> String {
+    const GLYPHS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    if values.is_empty() {
+        return String::new();
+    }
+    let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let span = (max - min).max(1e-12);
+    values
+        .iter()
+        .map(|&v| {
+            let idx = (((v - min) / span) * 7.0).round() as usize;
+            GLYPHS[idx.min(7)]
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.1234), "12.34%");
+        assert_eq!(pct1(0.5), "50.0%");
+    }
+
+    #[test]
+    fn kbps_formats() {
+        assert_eq!(kbps(480_000.0), "480Kbps");
+        assert_eq!(kbps(2.4), "2.4bps");
+    }
+
+    #[test]
+    fn sparkline_spans_range() {
+        let s = sparkline(&[0.0, 1.0]);
+        assert_eq!(s.chars().count(), 2);
+        assert!(s.starts_with('▁'));
+        assert!(s.ends_with('█'));
+        assert_eq!(sparkline(&[]), "");
+    }
+
+    #[test]
+    fn header_and_row_append() {
+        let mut buf = String::new();
+        header(&mut buf, "id", "ref", "what");
+        row(&mut buf, "label", &[1, 2]);
+        assert!(buf.contains("id — ref"));
+        assert!(buf.contains("label"));
+    }
+}

@@ -1,0 +1,75 @@
+//! # scenario — one declarative surface for every experiment
+//!
+//! The unified experiment API of the *"Leaking Information Through
+//! Cache LRU States"* (HPCA 2020) reproduction. Instead of N bespoke
+//! bench mains each re-wiring platforms, parameters and attacks, an
+//! experiment is **described** as a [`spec::Scenario`] value —
+//! platform × replacement policy × protocol variant × core sharing ×
+//! defense × workload × message source × trial count × master seed —
+//! and **executed** through the [`experiment::Experiment`] trait,
+//! with every repetition fanned out deterministically over the
+//! host's cores by [`lru_channel::trials`].
+//!
+//! * [`spec`] — the serializable [`spec::Scenario`] type, its
+//!   validating builder (geometry violations reuse
+//!   [`lru_channel::params::ParamError`]) and lossless JSON
+//!   round-trip.
+//! * [`experiment`] — `run(seed) -> Outcome` implementations for
+//!   covert runs, the time-sliced percent-of-ones study, the
+//!   Prime+Probe and Flush+Reload baselines, the Spectre attack,
+//!   the §IX defense evaluations, and the table/figure substrate
+//!   checks.
+//! * [`registry`] — paper artifact IDs (`fig3`…`fig15`,
+//!   `table1`…`table7`, ablations) resolved to scenario grids plus
+//!   renderers; bench targets and the `lru-leak` CLI both run
+//!   artifacts through [`registry::Artifact::run`].
+//! * [`json`] — the dependency-free JSON tree both layers serialize
+//!   through (deterministic writer, so `--json` output is
+//!   bit-identical for a fixed seed).
+//! * [`fmt`] — the table/sparkline text helpers the renderers and
+//!   bench targets share.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use scenario::spec::{MessageSource, Scenario};
+//!
+//! // Describe: the paper's headline configuration, 16 bits.
+//! let s = Scenario::builder()
+//!     .message(MessageSource::Alternating { bits: 16 })
+//!     .seed(7)
+//!     .build()?;
+//! // Execute: one deterministic run.
+//! let metrics = s.run();
+//! let err = metrics.get("error_rate").unwrap().as_f64().unwrap();
+//! assert!(err < 0.2);
+//! // Every scenario serializes losslessly.
+//! let same = Scenario::from_json_str(&s.to_json().to_string())?;
+//! assert_eq!(same, s);
+//! # Ok::<(), scenario::spec::ScenarioError>(())
+//! ```
+//!
+//! ## Running a paper artifact
+//!
+//! ```no_run
+//! use scenario::registry::{self, RunOpts};
+//!
+//! let report = registry::get("fig6").unwrap().run(&RunOpts::default());
+//! print!("{}", report.text);           // the bench table
+//! println!("{}", report.metrics);      // the same numbers as JSON
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiment;
+pub mod fmt;
+pub mod json;
+pub mod registry;
+pub mod spec;
+
+pub use experiment::{Experiment, Outcome};
+pub use fmt::BENCH_SEED;
+pub use json::Value;
+pub use registry::{Artifact, Report, RunOpts};
+pub use spec::{ExperimentKind, MessageSource, PlatformId, Scenario, ScenarioError};

@@ -1,16 +1,17 @@
 //! The AMD µtag way predictor (paper §VI-B): why cross-process
 //! Algorithm 1 degrades on Zen while the same-address-space variant
-//! works.
+//! works. The mechanism demo drives the machine directly (it shows
+//! single accesses, below the experiment surface); the channel
+//! comparison is two scenarios differing only in the variant axis.
 //!
 //! Run with `cargo run --release --example amd_way_predictor`.
 
 use lru_leak::cache_sim::hierarchy::HitLevel;
 use lru_leak::cache_sim::replacement::PolicyKind;
 use lru_leak::exec_sim::machine::Machine;
-use lru_leak::lru_channel::covert::{CovertConfig, Sharing, Variant};
-use lru_leak::lru_channel::decode::{self, BitConvention};
-use lru_leak::lru_channel::edit_distance::error_rate;
+use lru_leak::lru_channel::covert::Variant;
 use lru_leak::lru_channel::params::{ChannelParams, Platform};
+use lru_leak::scenario::spec::{MessageSource, PlatformId, Scenario};
 
 fn mechanism_demo() {
     println!("== Mechanism: one shared physical line, two linear addresses ==\n");
@@ -46,14 +47,6 @@ fn mechanism_demo() {
 
 fn channel_comparison() -> Result<(), Box<dyn std::error::Error>> {
     println!("== Channel impact on the EPYC 7571 (Ts = 1e5, Tr = 1e3) ==\n");
-    let platform = Platform::epyc_7571();
-    let params = ChannelParams {
-        d: 8,
-        target_set: 0,
-        ts: 100_000,
-        tr: 1_000,
-    };
-    let message: Vec<bool> = (0..32).map(|i| i % 2 == 1).collect();
     for (label, variant) in [
         (
             "Alg.1, two threads of one address space",
@@ -61,22 +54,26 @@ fn channel_comparison() -> Result<(), Box<dyn std::error::Error>> {
         ),
         ("Alg.1, two separate processes", Variant::SharedMemory),
     ] {
-        let run = CovertConfig {
-            platform,
-            params,
-            variant,
-            sharing: Sharing::HyperThreaded,
-            message: message.clone(),
-            seed: 3,
-        }
-        .run()?;
-        // Moving-average decoding, as the coarse AMD counter
-        // requires (§VI-A).
-        let period = (run.samples.len() / message.len()).max(1);
-        let avg = decode::moving_average(&run.samples, period);
-        let bits = decode::bits_from_moving_average(&avg, period, BitConvention::HitIsOne);
-        let err = error_rate(&message, &bits[..message.len().min(bits.len())]);
-        println!("{label:<42} error rate {:>5.1}%", err * 100.0);
+        // Identical scenarios except the variant axis; the
+        // experiment applies the moving-average decoding the coarse
+        // AMD counter requires (§VI-A).
+        let outcome = Scenario::builder()
+            .platform(PlatformId::Epyc7571)
+            .variant(variant)
+            .params(ChannelParams {
+                d: 8,
+                target_set: 0,
+                ts: 100_000,
+                tr: 1_000,
+            })
+            .message(MessageSource::Alternating { bits: 32 })
+            .seed(3)
+            .build()?
+            .run();
+        println!(
+            "{label:<42} error rate {:>5.1}%",
+            outcome.get("error_rate").unwrap().as_f64().unwrap() * 100.0
+        );
     }
     println!("\n→ same-address-space threads keep the channel (paper Fig. 7 top); across");
     println!("  processes the µtag thrash destroys the hit/miss signal (§VI-B).");

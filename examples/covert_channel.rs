@@ -1,56 +1,37 @@
 //! Cross-platform covert-channel tour: both algorithms on all three
-//! simulated CPUs, with the error metric of the paper (§V, §VI).
+//! simulated CPUs, with the error metric of the paper (§V, §VI) —
+//! one scenario per configuration, no hand-wired setup.
 //!
 //! Run with `cargo run --release --example covert_channel`.
 
-use lru_leak::lru_channel::covert::{CovertConfig, Sharing, Variant};
-use lru_leak::lru_channel::decode::{self, BitConvention};
-use lru_leak::lru_channel::edit_distance::error_rate;
-use lru_leak::lru_channel::params::{ChannelParams, Platform};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use lru_leak::lru_channel::covert::Variant;
+use lru_leak::lru_channel::params::ChannelParams;
+use lru_leak::scenario::spec::{MessageSource, PlatformId, Scenario};
 
 fn run(
     name: &str,
-    platform: Platform,
+    platform: PlatformId,
     variant: Variant,
     params: ChannelParams,
 ) -> Result<(), Box<dyn std::error::Error>> {
-    let mut rng = SmallRng::seed_from_u64(0xc0de);
-    let message: Vec<bool> = (0..128).map(|_| rng.gen_bool(0.5)).collect();
-    let run = CovertConfig {
-        platform,
-        params,
-        variant,
-        sharing: Sharing::HyperThreaded,
-        message: message.clone(),
-        seed: 9,
-    }
-    .run()?;
-    let conv = match variant {
-        Variant::NoSharedMemory => BitConvention::MissIsOne,
-        _ => BitConvention::HitIsOne,
-    };
-    // The coarse AMD counter cannot be thresholded per sample; the
-    // receiver averages (paper §VI-A / Fig. 7). Intel readouts can
-    // be classified one by one.
-    let bits = if platform.tsc.granularity > 1 {
-        let period = (run.samples.len() / message.len()).max(1);
-        let avg = decode::moving_average(&run.samples, period);
-        decode::bits_from_moving_average(&avg, period, conv)
-    } else {
-        let ratio = if conv == BitConvention::MissIsOne {
-            0.25
-        } else {
-            0.5
-        };
-        decode::bits_by_window_ratio(&run.samples, params.ts, run.hit_threshold, conv, ratio)
-    };
-    let err = error_rate(&message, &bits[..message.len().min(bits.len())]);
+    // 128 seed-derived random bits; the experiment decodes with the
+    // platform's convention (per-window threshold on Intel, moving
+    // average over the coarse AMD counter — §VI-A / Fig. 7).
+    let scenario = Scenario::builder()
+        .platform(platform)
+        .variant(variant)
+        .params(params)
+        .message(MessageSource::Random {
+            bits: 128,
+            repeats: 1,
+        })
+        .seed(9)
+        .build()?;
+    let outcome = scenario.run();
     println!(
         "{name:<46} rate ≈ {:>7.1} Kbps   error {:>5.1}%",
-        run.rate_bps / 1e3,
-        err * 100.0
+        outcome.get("rate_bps").unwrap().as_f64().unwrap() / 1e3,
+        outcome.get("error_rate").unwrap().as_f64().unwrap() * 100.0
     );
     Ok(())
 }
@@ -74,37 +55,37 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     run(
         "E5-2690  / Alg.1 (shared memory)",
-        Platform::e5_2690(),
+        PlatformId::E5_2690,
         Variant::SharedMemory,
         fast1,
     )?;
     run(
         "E5-2690  / Alg.2 (no shared memory)",
-        Platform::e5_2690(),
+        PlatformId::E5_2690,
         Variant::NoSharedMemory,
         fast2,
     )?;
     run(
         "E3-1245v5/ Alg.1 (shared memory)",
-        Platform::e3_1245v5(),
+        PlatformId::E3_1245V5,
         Variant::SharedMemory,
         fast1,
     )?;
     run(
         "E3-1245v5/ Alg.2 (no shared memory)",
-        Platform::e3_1245v5(),
+        PlatformId::E3_1245V5,
         Variant::NoSharedMemory,
         fast2,
     )?;
     run(
         "EPYC 7571/ Alg.1 (threads, shared AS)",
-        Platform::epyc_7571(),
+        PlatformId::Epyc7571,
         Variant::SharedMemoryThreads,
         amd1,
     )?;
     run(
         "EPYC 7571/ Alg.2 (no shared memory)",
-        Platform::epyc_7571(),
+        PlatformId::Epyc7571,
         Variant::NoSharedMemory,
         amd2,
     )?;

@@ -1,39 +1,42 @@
 //! Parallel multi-set exfiltration (§IV: "several sets can be used
 //! in parallel to increase the transmission rate"): ship a whole
-//! string through 8 cache sets at once.
+//! string through 8 cache sets at once, as one multi-set scenario.
 //!
 //! Run with `cargo run --release --example parallel_exfil`.
 
-use lru_leak::lru_channel::multiset::run_parallel_alg1;
-use lru_leak::lru_channel::params::Platform;
+use lru_leak::lru_channel::params::ChannelParams;
+use lru_leak::scenario::spec::{ExperimentKind, MessageSource, Scenario};
 
 const PAYLOAD: &str = "LRU metadata is a bus.";
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let platform = Platform::e5_2690();
-    let sets: Vec<usize> = (0..8).collect();
-
-    // One byte per frame: bit i of the byte rides set i.
-    let frames: Vec<Vec<bool>> = PAYLOAD
-        .bytes()
-        .map(|b| (0..8).map(|i| (b >> (7 - i)) & 1 == 1).collect())
-        .collect();
-
+    // One byte per frame: bit i of each byte rides set i. The text
+    // message source is all the experiment needs — frame splitting
+    // and decoding live behind the scenario surface.
     let (ts, tr) = (20_000, 2_400);
-    let run = run_parallel_alg1(platform, &sets, 8, ts, tr, frames.clone(), 0xf00d)?;
+    let scenario = Scenario::builder()
+        .params(ChannelParams {
+            d: 8,
+            target_set: 0,
+            ts,
+            tr,
+        })
+        .message(MessageSource::Text(PAYLOAD.into()))
+        .kind(ExperimentKind::MultiSet {
+            sets: 8,
+            frames: PAYLOAD.len(),
+        })
+        .seed(0xf00d)
+        .build()?;
+
+    let outcome = scenario.run();
     println!(
-        "aggregate nominal rate: {:.2} Mbps over {} sets ({} samples)",
-        run.rate_bps / 1e6,
-        sets.len(),
-        run.samples.len()
+        "aggregate nominal rate: {:.2} Mbps over 8 sets ({} samples)",
+        outcome.get("rate_bps").unwrap().as_f64().unwrap() / 1e6,
+        outcome.get("samples").unwrap().as_u64().unwrap()
     );
 
-    let decoded = run.decode_frames(sets.len(), ts, frames.len());
-    let bytes: Vec<u8> = decoded
-        .iter()
-        .map(|f| f.iter().fold(0u8, |acc, &b| (acc << 1) | u8::from(b)))
-        .collect();
-    let text = String::from_utf8_lossy(&bytes);
+    let text = outcome.get("decoded_text").unwrap().as_str().unwrap();
     println!("sent:      {PAYLOAD:?}");
     println!("recovered: {text:?}");
     assert_eq!(text, PAYLOAD);

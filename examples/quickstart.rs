@@ -1,51 +1,44 @@
 //! Quickstart: send one byte through the LRU state of a single cache
-//! set, exactly as in §IV-A of the paper.
+//! set, exactly as in §IV-A of the paper — described as a
+//! [`Scenario`], the workspace's one experiment surface.
 //!
 //! Run with `cargo run --release --example quickstart`.
 
-use lru_leak::lru_channel::covert::{CovertConfig, Sharing, Variant};
-use lru_leak::lru_channel::decode::{self, BitConvention};
-use lru_leak::lru_channel::params::{ChannelParams, Platform};
+use lru_leak::scenario::spec::{MessageSource, Scenario};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The byte to exfiltrate.
     let secret: u8 = 0b1011_0010;
     let message: Vec<bool> = (0..8).rev().map(|i| (secret >> i) & 1 == 1).collect();
 
-    // Paper Fig. 5 (top) configuration: shared-memory Algorithm 1 on
-    // a simulated Xeon E5-2690, both parties hyper-threaded on one
-    // core, d = 8, Ts = 6000 cycles per bit, receiver samples every
-    // Tr = 600 cycles.
-    let platform = Platform::e5_2690();
-    let params = ChannelParams::paper_alg1_default();
-    let run = CovertConfig {
-        platform,
-        params,
-        variant: Variant::SharedMemory,
-        sharing: Sharing::HyperThreaded,
-        message: message.clone(),
-        seed: 42,
-    }
-    .run()?;
+    // Paper Fig. 5 (top) configuration — the builder's defaults:
+    // shared-memory Algorithm 1 on a simulated Xeon E5-2690, both
+    // parties hyper-threaded on one core, d = 8, Ts = 6000 cycles
+    // per bit, receiver samples every Tr = 600 cycles.
+    let scenario = Scenario::builder()
+        .message(MessageSource::Bits(message))
+        .seed(42)
+        .build()?;
 
+    // The scenario serializes losslessly — this exact experiment can
+    // be replayed with `lru-leak adhoc '<json>'`.
+    println!("scenario: {}", scenario.to_json());
+
+    let outcome = scenario.run();
     println!(
-        "receiver took {} timed observations (threshold: {} cycles, rate ≈ {:.0} Kbit/s)",
-        run.samples.len(),
-        run.hit_threshold,
-        run.rate_bps / 1e3
+        "\nreceiver took {} timed observations (threshold: {} cycles, rate ≈ {:.0} Kbit/s)",
+        outcome.get("samples").unwrap().as_u64().unwrap(),
+        outcome.get("hit_threshold").unwrap().as_u64().unwrap(),
+        outcome.get("rate_bps").unwrap().as_f64().unwrap() / 1e3
     );
 
     // Decode: a fast (L1-hit) observation means the sender touched
-    // line 0 during that bit period ⇒ bit 1.
-    let bits = decode::bits_by_window(
-        &run.samples,
-        params.ts,
-        run.hit_threshold,
-        BitConvention::HitIsOne,
-    );
+    // line 0 during that bit period ⇒ bit 1. The experiment already
+    // ran the decoder; read the bits back.
+    let decoded = outcome.get("decoded").unwrap().as_str().unwrap();
     let mut recovered: u8 = 0;
-    for &b in bits.iter().take(8) {
-        recovered = (recovered << 1) | u8::from(b);
+    for b in decoded.chars().take(8) {
+        recovered = (recovered << 1) | u8::from(b == '1');
     }
     println!("sent      {secret:#010b}");
     println!("recovered {recovered:#010b}");

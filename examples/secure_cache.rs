@@ -1,63 +1,89 @@
 //! Break and fix the Partition-Locked (PL) cache (paper §IX-B,
-//! Figs. 10/11), then tour the other defenses.
+//! Figs. 10/11), then tour the other defenses — each one a
+//! defense-eval scenario on the same declarative surface.
 //!
 //! Run with `cargo run --release --example secure_cache`.
 
-use lru_leak::cache_sim::plcache::PlDesign;
-use lru_leak::cache_sim::profiles::MicroArch;
-use lru_leak::cache_sim::replacement::PolicyKind;
-use lru_leak::defense::partition_eval::{dawg_partitioned_leak, shared_plru_leak};
-use lru_leak::defense::pl_cache_eval::fig11;
-use lru_leak::defense::policy_eval::{fig9_row, geomean_normalized_cpi};
-use lru_leak::workloads::spec_like::Benchmark;
+use lru_leak::scenario::spec::{DefenseId, ExperimentKind, Scenario, WorkloadId};
+use lru_leak::scenario::Value;
 
-fn main() {
+fn eval(defense: DefenseId, trials: usize, seed: u64) -> Result<Value, Box<dyn std::error::Error>> {
+    let mut b = Scenario::builder()
+        .defense(defense)
+        .kind(ExperimentKind::DefenseEval { trials })
+        .seed(seed);
+    if defense == DefenseId::PlCacheOriginal || defense == DefenseId::PlCacheFixed {
+        b = b.d(1); // the Fig. 11 configuration
+    }
+    Ok(b.build()?.run())
+}
+
+fn num(v: &Value, key: &str) -> f64 {
+    v.get(key).and_then(Value::as_f64).unwrap_or_default()
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("== PL cache (locked lines are never evicted) ==\n");
-    let (original, fixed) = fig11(300, 1, 77);
-    for run in [&original, &fixed] {
+    for (defense, verdict) in [
+        (
+            DefenseId::PlCacheOriginal,
+            "→ the sender's hits on its LOCKED line still steer the Tree-PLRU: leak",
+        ),
+        (
+            DefenseId::PlCacheFixed,
+            "→ locked lines frozen out of the LRU state: receiver always hits",
+        ),
+    ] {
+        let out = eval(defense, 300, 77)?;
         println!(
             "{:?} design: receiver distinguishability = {:.1}%  {}",
-            run.design,
-            run.distinguishability() * 100.0,
-            match run.design {
-                PlDesign::Original =>
-                    "→ the sender's hits on its LOCKED line still steer the Tree-PLRU: leak",
-                PlDesign::Fixed =>
-                    "→ locked lines frozen out of the LRU state: receiver always hits",
-            }
+            defense,
+            num(&out, "distinguishability") * 100.0,
+            verdict
         );
     }
 
     println!("\n== Partitioning the replacement state (DAWG) ==\n");
-    let shared = shared_plru_leak(5_000, 1);
-    let dawg = dawg_partitioned_leak(5_000, 1);
+    let shared = eval(DefenseId::SharedPartition, 5_000, 1)?;
+    let dawg = eval(DefenseId::DawgPartition, 5_000, 1)?;
     println!(
         "way-partitioned set, shared Tree-PLRU: sender flips the victim {:.1}% of the time",
-        shared.victim_flip_rate * 100.0
+        num(&shared, "victim_flip_rate") * 100.0
     );
     println!(
         "DAWG-partitioned Tree-PLRU state:      sender flips the victim {:.1}% of the time",
-        dawg.victim_flip_rate * 100.0
+        num(&dawg, "victim_flip_rate") * 100.0
     );
 
     println!("\n== Removing the state: FIFO / Random in the L1D (Fig. 9) ==\n");
-    let arch = MicroArch::gem5_fig9();
-    let rows: Vec<_> = ["gcc", "mcf", "hmmer", "libquantum"]
-        .iter()
-        .map(|n| fig9_row(Benchmark::by_name(n).unwrap(), &arch, 60_000, 5))
-        .collect();
-    for r in &rows {
-        let n = r.normalized_cpi();
+    let mut norms = Vec::new();
+    for name in ["gcc", "mcf", "hmmer", "libquantum"] {
+        let out = Scenario::builder()
+            .workload(WorkloadId::Benchmark(name.into()))
+            .kind(ExperimentKind::PolicyPerf { accesses: 60_000 })
+            .seed(5)
+            .build()?
+            .run();
+        let n: Vec<f64> = out
+            .get("normalized_cpi")
+            .and_then(Value::as_arr)
+            .unwrap()
+            .iter()
+            .filter_map(Value::as_f64)
+            .collect();
         println!(
-            "{:<12} normalized CPI — Tree-PLRU 1.000, FIFO {:.3}, Random {:.3}",
-            r.name, n[1], n[2]
+            "{name:<12} normalized CPI — Tree-PLRU 1.000, FIFO {:.3}, Random {:.3}",
+            n[1], n[2]
         );
+        norms.push(n);
     }
-    let geo = geomean_normalized_cpi(&rows);
+    let geo = |idx: usize| {
+        lru_leak::scenario::fmt::geomean(&norms.iter().map(|n| n[idx]).collect::<Vec<_>>())
+    };
     println!(
         "\ngeomean CPI cost of the defense: FIFO {:+.2}%, Random {:+.2}%  (paper: < 2%)",
-        (geo[1] - 1.0) * 100.0,
-        (geo[2] - 1.0) * 100.0
+        (geo(1) - 1.0) * 100.0,
+        (geo(2) - 1.0) * 100.0
     );
-    let _ = PolicyKind::Fifo; // (the policies under test)
+    Ok(())
 }

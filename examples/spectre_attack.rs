@@ -1,84 +1,61 @@
 //! Spectre v1 with the LRU channel as the disclosure primitive
 //! (paper §VIII): recover a secret string the victim never
-//! architecturally reads out of bounds.
+//! architecturally reads out of bounds — one spectre scenario per
+//! disclosure channel, plus the Table VII miss-rate footprints.
 //!
 //! Run with `cargo run --release --example spectre_attack`.
 
-use lru_leak::attacks::primitive::{FlushReloadPrimitive, LruAlg1Primitive, LruAlg2Primitive};
-use lru_leak::attacks::spectre::{decode_symbols, encode_symbols, SpectreAttack};
-use lru_leak::cache_sim::replacement::PolicyKind;
-use lru_leak::exec_sim::machine::Machine;
-use lru_leak::exec_sim::speculation::build_victim;
-use lru_leak::lru_channel::params::Platform;
+use lru_leak::scenario::spec::{ChannelId, ExperimentKind, MessageSource, Scenario};
+use lru_leak::scenario::Value;
 
 const SECRET: &str = "The Magic Words are Squeamish Ossifrage";
 
-fn main() {
-    let platform = Platform::e5_2690();
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("victim secret: {SECRET:?}\n");
 
-    for which in ["F+R (mem)", "LRU Alg.1", "LRU Alg.2"] {
-        let mut machine = Machine::new(platform.arch, PolicyKind::TreePlru, 0xfeed);
-        let symbols = encode_symbols(SECRET);
-        let (mut victim, secret_offset) = build_victim(&mut machine, &symbols, 8);
-        let attack = SpectreAttack::default();
+    for channel in [
+        ChannelId::FlushReloadMem,
+        ChannelId::LruAlg1,
+        ChannelId::LruAlg2,
+    ] {
+        // Recovery through this channel…
+        let recovery = Scenario::builder()
+            .message(MessageSource::Text(SECRET.into()))
+            .kind(ExperimentKind::Spectre {
+                channel,
+                rounds: 7,
+                prefetcher: false,
+            })
+            .seed(0xfeed)
+            .build()?
+            .run();
+        // …and the attack's performance-counter footprint over the
+        // same secret (Table VII: what `perf` would see).
+        let footprint = Scenario::builder()
+            .message(MessageSource::Text(SECRET.into()))
+            .kind(ExperimentKind::SpectreMissRates { channel })
+            .seed(0xfeed)
+            .build()?
+            .run();
 
-        // Warm up on the first symbol, then reset the counters so
-        // the miss profile reflects the steady-state attack (the
-        // view `perf` would give over a long run), as in Table VII.
-        let recovered = match which {
-            "F+R (mem)" => {
-                let mut p = FlushReloadPrimitive::new(victim.pid, victim.array2, platform);
-                attack.recover(&mut machine, &mut victim, &mut p, secret_offset, 1);
-                machine.reset_counters();
-                attack.recover(
-                    &mut machine,
-                    &mut victim,
-                    &mut p,
-                    secret_offset,
-                    symbols.len(),
-                )
-            }
-            "LRU Alg.1" => {
-                // The stealthy variant: the victim's transient probe
-                // access *hits* in L1 — only the Tree-PLRU bits move.
-                let mut p =
-                    LruAlg1Primitive::new(&mut machine, victim.pid, victim.array2, platform);
-                attack.recover(&mut machine, &mut victim, &mut p, secret_offset, 1);
-                machine.reset_counters();
-                attack.recover(
-                    &mut machine,
-                    &mut victim,
-                    &mut p,
-                    secret_offset,
-                    symbols.len(),
-                )
-            }
-            _ => {
-                let mut p =
-                    LruAlg2Primitive::new(&mut machine, victim.pid, victim.array2, platform);
-                attack.recover(&mut machine, &mut victim, &mut p, secret_offset, 1);
-                machine.reset_counters();
-                attack.recover(
-                    &mut machine,
-                    &mut victim,
-                    &mut p,
-                    secret_offset,
-                    symbols.len(),
-                )
-            }
-        };
-        let text = decode_symbols(&recovered);
-        let c = machine.counters(victim.pid);
-        let rates = c.miss_rates();
-        println!("{which:<10} recovered: {text:?}");
+        let pct = |key: &str| footprint.get(key).and_then(Value::as_f64).unwrap() * 100.0;
         println!(
-            "{:<10} attack miss profile: {rates}  ({} L1D / {} L2 / {} LLC accesses)\n",
-            "", c.l1d_accesses, c.l2_accesses, c.llc_accesses
+            "{:<12} recovered: {:?}",
+            channel.label(),
+            recovery.get("recovered").unwrap().as_str().unwrap()
+        );
+        println!(
+            "{:<12} attack miss profile: L1D {:.2}% / L2 {:.2}% / LLC {:.2}%  ({} LLC accesses)\n",
+            "",
+            pct("l1d_miss_rate"),
+            pct("l2_miss_rate"),
+            pct("llc_miss_rate"),
+            footprint.get("llc_accesses").unwrap().as_u64().unwrap()
         );
     }
     println!("note the Table VII shape: Flush+Reload misses beyond the L2 *constantly*");
     println!("(every probe reload comes from memory), while the LRU-channel attacks make");
     println!("almost no traffic beyond the L1 at all — their non-zero LLC percentages sit");
     println!("on a few dozen compulsory accesses, invisible to a rate-based detector.");
+    Ok(())
 }

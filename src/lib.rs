@@ -6,49 +6,55 @@
 //! line presence. Every access — *hit or miss* — updates that state;
 //! a later replacement decision reveals it.
 //!
-//! This facade re-exports the workspace crates:
+//! ## The primary entry point: [`scenario`]
+//!
+//! Every experiment in the workspace — covert runs, the Prime+Probe
+//! and Flush+Reload baselines, the Spectre attack, the §IX defense
+//! evaluations, every figure and table — is described by one
+//! declarative, serializable [`scenario::spec::Scenario`] value and
+//! executed through the [`scenario::experiment::Experiment`] trait.
+//! Paper artifacts are registered by ID in [`scenario::registry`]
+//! (`fig3`…`fig15`, `table1`…`table7`, ablations); the bench targets
+//! and the `lru-leak` CLI are both thin wrappers over that registry,
+//! so for a fixed seed `cargo bench --bench fig6_timesliced` and
+//! `lru-leak run fig6 --json` report the same numbers.
+//!
+//! ```
+//! use lru_leak::scenario::spec::{MessageSource, Scenario};
+//!
+//! // Describe the paper's headline configuration (E5-2690,
+//! // Tree-PLRU, shared-memory Algorithm 1, hyper-threaded)…
+//! let s = Scenario::builder()
+//!     .message(MessageSource::Alternating { bits: 16 })
+//!     .seed(7)
+//!     .build()?;
+//! // …execute it, and read the decoded outcome.
+//! let metrics = s.run();
+//! assert!(metrics.get("error_rate").unwrap().as_f64().unwrap() < 0.2);
+//! # Ok::<(), lru_leak::scenario::spec::ScenarioError>(())
+//! ```
+//!
+//! ## The substrate crates
 //!
 //! | crate | contents |
 //! |---|---|
+//! | [`scenario`] | **the public API**: declarative scenarios, the `Experiment` trait, the paper-artifact registry, deterministic JSON |
 //! | [`cache_sim`] | set-associative caches with observable replacement state, PL cache, AMD µtag way predictor, prefetchers, perf counters |
 //! | [`exec_sim`] | processes/page tables, timestamp-counter models, pointer-chase measurement, SMT & time-sliced schedulers, Spectre-v1 speculation |
-//! | [`lru_channel`] | **the paper's contribution**: Algorithms 1–3, decoders, the Table I PLRU study, Wagner–Fischer error analysis |
+//! | [`lru_channel`] | **the paper's contribution**: Algorithms 1–3, decoders, the Table I PLRU study, Wagner–Fischer error analysis, the parallel trial driver |
 //! | [`attacks`] | Flush+Reload / Prime+Probe baselines, Spectre-v1 with pluggable disclosure primitives, Tables V–VII experiments |
 //! | [`defense`] | §IX defenses: FIFO/Random substitution (Fig. 9), fixed PL cache (Fig. 11), DAWG-style partitioning, invisible speculation, detection |
 //! | [`workloads`] | synthetic SPEC-like benchmark suite and CPI model for the defense study |
 //!
-//! ## Quickstart: transfer bits through LRU states
+//! Reaching below [`scenario`] into [`lru_channel`]'s
+//! `CovertConfig`/`percent_ones` is still supported for programmatic
+//! composition, but new experiments should be expressed as
+//! scenarios so they serialize, register and run from the CLI.
 //!
-//! ```
-//! use lru_leak::lru_channel::covert::{CovertConfig, Sharing, Variant};
-//! use lru_leak::lru_channel::params::{ChannelParams, Platform};
-//! use lru_leak::lru_channel::decode::{self, BitConvention};
-//!
-//! let message = vec![true, false, true, true, false, true, false, false];
-//! let run = CovertConfig {
-//!     platform: Platform::e5_2690(),
-//!     params: ChannelParams::paper_alg1_default(),
-//!     variant: Variant::SharedMemory,
-//!     sharing: Sharing::HyperThreaded,
-//!     message: message.clone(),
-//!     seed: 7,
-//! }
-//! .run()?;
-//! let bits = decode::bits_by_window(
-//!     &run.samples,
-//!     6_000,
-//!     run.hit_threshold,
-//!     BitConvention::HitIsOne,
-//! );
-//! assert_eq!(&bits[..message.len()], &message[..]);
-//! # Ok::<(), lru_leak::lru_channel::params::ParamError>(())
-//! ```
-//!
-//! See `examples/` for runnable demonstrations (covert channels on
-//! all three simulated CPUs, the Spectre attack, the PL-cache break
-//! and fix, and the AMD way-predictor effect), and
-//! `cargo bench --workspace` to regenerate every table and figure of
-//! the paper.
+//! See `examples/` for runnable demonstrations (all driven through
+//! the scenario API), `cargo bench --workspace` to regenerate every
+//! table and figure of the paper, and
+//! `cargo run --release -p lru-leak-cli -- list` for the registry.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -58,4 +64,5 @@ pub use cache_sim;
 pub use defense;
 pub use exec_sim;
 pub use lru_channel;
+pub use scenario;
 pub use workloads;

@@ -1,0 +1,172 @@
+//! Integration tests of the unified scenario surface: the builder's
+//! validation, lossless serialization, registry completeness, and
+//! the CLI contract (deterministic JSON, registry-equivalent text).
+
+use lru_leak::lru_channel::params::ParamError;
+use lru_leak::scenario::registry::{self, RunOpts};
+use lru_leak::scenario::spec::{ExperimentKind, MessageSource, PlatformId, Scenario};
+use lru_leak::scenario::{ScenarioError, Value};
+
+/// Every paper-artifact bench target in `crates/bench/benches/`
+/// (`micro` and `bench_perf_smoke` measure the library itself, not a
+/// paper artifact, and are deliberately absent).
+const BENCH_TARGETS: [&str; 21] = [
+    "fig3_pointer_chase",
+    "fig4_error_rates",
+    "fig5_traces",
+    "fig6_timesliced",
+    "fig7_amd_traces",
+    "fig8_amd_timesliced",
+    "fig9_policy_perf",
+    "fig11_pl_cache",
+    "fig13_rdtscp",
+    "fig14_e3_traces",
+    "fig15_e3_timesliced",
+    "table1_plru_eviction",
+    "table2_latencies",
+    "table3_platforms",
+    "table4_rates",
+    "table5_encoding",
+    "table6_sender_miss",
+    "table7_spectre_miss",
+    "ablation_defenses",
+    "ablation_multiset",
+    "ablation_prefetcher",
+];
+
+#[test]
+fn registry_resolves_every_bench_artifact() {
+    for bench in BENCH_TARGETS {
+        let artifact = registry::get(bench)
+            .unwrap_or_else(|| panic!("bench target {bench} has no registry artifact"));
+        assert_eq!(artifact.bench, bench);
+        // The short ID resolves to the same artifact.
+        assert!(std::ptr::eq(registry::get(artifact.id).unwrap(), artifact));
+        // And its grid is non-empty with pre-validated scenarios.
+        let grid = artifact.scenarios(&RunOpts {
+            trials: Some(2),
+            ..RunOpts::default()
+        });
+        assert!(!grid.is_empty(), "{bench} grid is empty");
+    }
+    assert_eq!(
+        registry::ids().len(),
+        BENCH_TARGETS.len(),
+        "registry and bench-target list must stay in sync"
+    );
+}
+
+#[test]
+fn builder_rejects_geometry_incompatible_params_via_param_error() {
+    // d beyond the 8 ways of every simulated L1.
+    let err = Scenario::builder().d(9).build().unwrap_err();
+    assert!(matches!(
+        err,
+        ScenarioError::Param(ParamError::BadD { d: 9, ways: 8 })
+    ));
+    // Set index beyond the 64 sets.
+    let err = Scenario::builder()
+        .platform(PlatformId::Epyc7571)
+        .target_set(1_000)
+        .build()
+        .unwrap_err();
+    assert!(matches!(
+        err,
+        ScenarioError::Param(ParamError::BadTargetSet {
+            set: 1_000,
+            num_sets: 64
+        })
+    ));
+    // Receiver period longer than the sender period.
+    let err = Scenario::builder().ts(500).tr(600).build().unwrap_err();
+    assert!(matches!(
+        err,
+        ScenarioError::Param(ParamError::BadTiming { ts: 500, tr: 600 })
+    ));
+}
+
+#[test]
+fn scenarios_round_trip_losslessly_through_json() {
+    // Every scenario of every registered grid survives
+    // serialize → parse → revalidate, and re-serializes to the
+    // same bytes.
+    let opts = RunOpts {
+        trials: Some(2),
+        ..RunOpts::default()
+    };
+    for id in registry::ids() {
+        for sc in registry::get(id).unwrap().scenarios(&opts) {
+            let text = sc.to_json().to_string();
+            let back = Scenario::from_json_str(&text)
+                .unwrap_or_else(|e| panic!("{id}: {e}\nscenario: {text}"));
+            assert_eq!(back, sc, "{id} round trip");
+            assert_eq!(back.to_json().to_string(), text, "{id} fixed point");
+        }
+    }
+}
+
+#[test]
+fn cli_json_is_bit_identical_across_runs() {
+    let args: Vec<String> = ["run", "table3", "--json", "--seed", "7"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let first = lru_leak_cli::run_cli(&args).expect("CLI run succeeds");
+    let second = lru_leak_cli::run_cli(&args).expect("CLI run succeeds");
+    assert_eq!(first, second, "JSON output must be byte-identical");
+    let parsed = Value::parse(first.trim()).expect("CLI emits valid JSON");
+    assert_eq!(parsed.get("id").and_then(Value::as_str), Some("table3"));
+    assert_eq!(parsed.get("seed").and_then(Value::as_u64), Some(7));
+    assert!(parsed.get("scenarios").and_then(Value::as_arr).is_some());
+}
+
+#[test]
+fn cli_text_matches_the_registry_report() {
+    let report = registry::get("table3").unwrap().run(&RunOpts::default());
+    let args: Vec<String> = ["run", "table3"].iter().map(|s| s.to_string()).collect();
+    let cli = lru_leak_cli::run_cli(&args).unwrap();
+    assert_eq!(cli, report.text, "CLI `run` must print the bench text");
+}
+
+#[test]
+fn cli_adhoc_runs_a_serialized_scenario_deterministically() {
+    let sc = Scenario::builder()
+        .kind(ExperimentKind::PlruEviction {
+            sequence: lru_leak::scenario::spec::SequenceId::Seq1,
+            init: lru_leak::scenario::spec::InitId::Random,
+            iterations: 8,
+            trials: 200,
+        })
+        .message(MessageSource::Alternating { bits: 1 })
+        .seed(11)
+        .build()
+        .unwrap();
+    let args: Vec<String> = ["adhoc", &sc.to_json().to_string(), "--json"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let first = lru_leak_cli::run_cli(&args).unwrap();
+    let second = lru_leak_cli::run_cli(&args).unwrap();
+    assert_eq!(first, second);
+    let parsed = Value::parse(first.trim()).unwrap();
+    let steady = parsed
+        .get("outcome")
+        .and_then(|o| o.get("steady_state"))
+        .and_then(Value::as_f64)
+        .expect("outcome carries the eviction curve");
+    assert!(
+        steady > 0.9,
+        "Tree-PLRU Seq1 reaches eviction, got {steady}"
+    );
+}
+
+#[test]
+fn trials_override_scales_grids() {
+    let small = registry::get("fig6").unwrap().scenarios(&RunOpts {
+        trials: Some(3),
+        ..RunOpts::default()
+    });
+    for sc in &small {
+        assert_eq!(sc.kind, ExperimentKind::PercentOnes { samples: 3 });
+    }
+}
