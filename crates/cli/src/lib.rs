@@ -2,26 +2,32 @@
 //!
 //! ```text
 //! lru-leak list
-//! lru-leak run <artifact> [--trials N] [--threads K] [--seed S] [--json]
+//! lru-leak run <artifact> [--trials N] [--threads K] [--seed S] [--json] [--progress]
+//! lru-leak run-all [--trials N] [--threads K] [--seed S] [--json] [--progress]
 //! lru-leak show <artifact> [--trials N] [--seed S]
-//! lru-leak adhoc <scenario-json | @file.json> [--trials N] [--threads K] [--json]
+//! lru-leak adhoc <scenario-json | @file.json> [--trials N] [--threads K] [--json] [--summary]
 //! ```
 //!
 //! Everything is a thin veneer over [`scenario::registry`]: `run`
 //! executes the same grid the matching `cargo bench` target runs, so
-//! for a fixed seed the CLI's numbers *are* the bench numbers. With
-//! `--json` the report's metrics tree is pretty-printed; the writer
-//! is deterministic, so repeated runs with the same seed are
-//! bit-identical.
+//! for a fixed seed the CLI's numbers *are* the bench numbers, and
+//! `run-all` executes the entire 21-artifact registry as one batch
+//! job. With `--json` the report's metrics tree is pretty-printed;
+//! the writer is deterministic, so repeated runs with the same seed
+//! (and any `--threads` value) are bit-identical. `--progress`
+//! streams completion counts — and, for `run-all`, per-artifact wall
+//! times — to stderr, keeping stdout deterministic.
 //!
 //! The core is [`run_cli`], which returns the output instead of
 //! printing — the binary is three lines, and the test suite drives
-//! the CLI in-process.
+//! the CLI in-process ([`run_cli_with`] additionally captures the
+//! progress stream).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::fmt::Write;
+use std::time::Instant;
 
 use scenario::registry::{self, RunOpts};
 use scenario::spec::Scenario;
@@ -58,22 +64,36 @@ lru-leak — run the paper's experiments from one declarative surface
 
 USAGE:
     lru-leak list
-    lru-leak run <artifact> [--trials N] [--threads K] [--seed S] [--json]
+    lru-leak run <artifact> [--trials N] [--threads K] [--seed S] [--json] [--progress]
+    lru-leak run-all [--trials N] [--threads K] [--seed S] [--json] [--progress]
     lru-leak show <artifact> [--trials N] [--seed S]
-    lru-leak adhoc <scenario-json | @file.json> [--trials N] [--threads K] [--json]
+    lru-leak adhoc <scenario-json | @file.json> [--trials N] [--threads K] [--json] [--summary]
     lru-leak help
 
 ARTIFACTS:
     fig3..fig15, table1..table7, ablation_* — see `lru-leak list`.
     Bench-target names (e.g. fig6_timesliced) are accepted too.
+    `run-all` executes every registered artifact as one batch job.
 
 OPTIONS:
     --trials N    Override the artifact's natural per-point trial /
                   sample count (artifacts without a trial axis ignore it)
     --threads K   Pin the parallel trial driver to K workers
-                  (results are bit-identical for any K; 1 = sequential)
+                  (results are bit-identical for any K; 1 = sequential;
+                  takes precedence over LRU_LEAK_THREADS)
     --seed S      Master seed (default: the fixed bench seed)
-    --json        Emit the deterministic JSON metrics instead of tables";
+    --json        Emit the deterministic JSON metrics instead of tables
+    --progress    Report completion counts (and per-artifact wall times
+                  for run-all) on stderr; stdout stays deterministic
+    --summary     adhoc only: stream the trials through the experiment
+                  kind's default constant-memory aggregate instead of
+                  collecting every per-trial metrics tree (platform-spec
+                  and policy-perf have no scalar metrics and still
+                  collect — see scenario::aggregate)";
+
+/// Where `--progress` lines go. The binary passes an
+/// `eprintln!`-backed sink; tests pass a collector.
+pub type ProgressSink<'a> = &'a (dyn Fn(&str) + Sync);
 
 #[derive(Debug, Default)]
 struct Flags {
@@ -81,6 +101,8 @@ struct Flags {
     threads: Option<usize>,
     seed: Option<u64>,
     json: bool,
+    progress: bool,
+    summary: bool,
 }
 
 fn parse_flags(args: &[String]) -> Result<Flags, CliError> {
@@ -116,6 +138,8 @@ fn parse_flags(args: &[String]) -> Result<Flags, CliError> {
                 })?);
             }
             "--json" => flags.json = true,
+            "--progress" => flags.progress = true,
+            "--summary" => flags.summary = true,
             other => {
                 return Err(CliError::usage(format!("unknown option {other:?}")));
             }
@@ -171,13 +195,47 @@ fn load_scenario(text: &str) -> Result<Scenario, CliError> {
     Scenario::from_json_str(&body).map_err(|e| CliError::run(e.to_string()))
 }
 
+/// Emits one throttled progress line (~20 per sweep) to `sink`.
+fn emit_progress(sink: ProgressSink, what: &str, unit: &str, done: usize, total: usize) {
+    let step = (total / 20).max(1);
+    if done == total || done.is_multiple_of(step) {
+        sink(&format!("  {what}: {done}/{total} {unit}"));
+    }
+}
+
+/// Runs one artifact, streaming throttled per-cell progress to
+/// `sink` when requested.
+fn run_artifact_report(
+    a: &'static registry::Artifact,
+    opts: &RunOpts,
+    progress: bool,
+    sink: ProgressSink,
+) -> registry::Report {
+    if !progress {
+        return a.run(opts);
+    }
+    let cb = move |done: usize, total: usize| emit_progress(sink, a.id, "scenarios", done, total);
+    a.run_with(opts, Some(&cb))
+}
+
 /// Runs the CLI with `args` (not including the binary name) and
-/// returns what it would print on stdout.
+/// returns what it would print on stdout. `--progress` output goes
+/// to stderr.
 ///
 /// # Errors
 ///
 /// Returns a [`CliError`] with the stderr message and exit code.
 pub fn run_cli(args: &[String]) -> Result<String, CliError> {
+    run_cli_with(args, &|line: &str| eprintln!("{line}"))
+}
+
+/// [`run_cli`] with an explicit `--progress` sink, so tests can
+/// capture the progress stream in-process.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] with the stderr message and exit code.
+pub fn run_cli_with(args: &[String], sink: ProgressSink) -> Result<String, CliError> {
     let Some(command) = args.first() else {
         return Err(CliError::usage("missing command"));
     };
@@ -195,12 +253,73 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
                 .filter(|a| !a.starts_with("--"))
                 .ok_or_else(|| CliError::usage("run needs an artifact ID"))?;
             let flags = parse_flags(&args[2..])?;
+            if flags.summary {
+                return Err(CliError::usage("--summary only applies to adhoc"));
+            }
             apply_threads(&flags);
-            let report = artifact(id)?.run(&opts_from(&flags));
+            let report =
+                run_artifact_report(artifact(id)?, &opts_from(&flags), flags.progress, sink);
             if flags.json {
                 Ok(format!("{}\n", report.metrics.pretty()))
             } else {
                 Ok(report.text)
+            }
+        }
+        "run-all" => {
+            if args.get(1).is_some_and(|a| !a.starts_with("--")) {
+                return Err(CliError::usage(
+                    "run-all takes no artifact ID — it runs the whole registry",
+                ));
+            }
+            let flags = parse_flags(&args[1..])?;
+            if flags.summary {
+                return Err(CliError::usage("--summary only applies to adhoc"));
+            }
+            apply_threads(&flags);
+            let opts = opts_from(&flags);
+            let ids = registry::ids();
+            let total = ids.len();
+            let batch_start = Instant::now();
+            let mut artifacts_json = Vec::with_capacity(total);
+            let mut text = String::new();
+            for (k, id) in ids.iter().enumerate() {
+                let a = artifact(id)?;
+                if flags.progress {
+                    sink(&format!("[{}/{total}] {} — {}", k + 1, a.id, a.paper_ref));
+                }
+                let t0 = Instant::now();
+                let report = run_artifact_report(a, &opts, flags.progress, sink);
+                if flags.progress {
+                    sink(&format!(
+                        "[{}/{total}] {} done in {:.3}s",
+                        k + 1,
+                        a.id,
+                        t0.elapsed().as_secs_f64()
+                    ));
+                }
+                if flags.json {
+                    artifacts_json.push(report.metrics);
+                } else {
+                    text.push_str(&report.text);
+                    text.push('\n');
+                }
+            }
+            if flags.progress {
+                sink(&format!(
+                    "run-all: {total} artifacts in {:.3}s",
+                    batch_start.elapsed().as_secs_f64()
+                ));
+            }
+            if flags.json {
+                let batch = Value::obj()
+                    .with("command", "run-all")
+                    .with("seed", opts.seed)
+                    .with("artifact_count", total)
+                    .with("artifacts", Value::Arr(artifacts_json));
+                Ok(format!("{}\n", batch.pretty()))
+            } else {
+                let _ = writeln!(text, "run-all: {total} artifacts (seed {})", opts.seed);
+                Ok(text)
             }
         }
         "show" => {
@@ -209,6 +328,14 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
                 .filter(|a| !a.starts_with("--"))
                 .ok_or_else(|| CliError::usage("show needs an artifact ID"))?;
             let flags = parse_flags(&args[2..])?;
+            if flags.summary {
+                return Err(CliError::usage("--summary only applies to adhoc"));
+            }
+            if flags.progress {
+                return Err(CliError::usage(
+                    "show only prints the grid — nothing runs, so there is no progress",
+                ));
+            }
             let grid = artifact(id)?.scenarios(&opts_from(&flags));
             let json = Value::Arr(grid.iter().map(Scenario::to_json).collect());
             Ok(format!("{}\n", json.pretty()))
@@ -227,7 +354,23 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
             if let Some(seed) = flags.seed {
                 sc.seed = seed;
             }
-            let outcome = sc.run();
+            let cb =
+                |done: usize, total: usize| emit_progress(sink, "adhoc", "trials", done, total);
+            let progress: Option<scenario::ProgressFn> =
+                if flags.progress { Some(&cb) } else { None };
+            let outcome = if flags.summary {
+                // Stream through the kind's constant-memory default
+                // aggregate: O(workers × chunk) memory even for
+                // million-trial sweeps.
+                scenario::Aggregate::for_kind(&sc.kind).reduce(&sc, progress)
+            } else if sc.trials > 1 {
+                // Identical output to sc.run(), with the progress
+                // callback threaded through.
+                sc.run_reduced_with(&scenario::CollectMetrics, progress)
+            } else {
+                // A single trial has no progress to report.
+                sc.run()
+            };
             let result = Value::obj()
                 .with("scenario", sc.to_json())
                 .with("outcome", outcome);

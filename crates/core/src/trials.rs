@@ -8,13 +8,28 @@
 //! many cores as the host offers — *provided the results do not
 //! depend on execution order*.
 //!
-//! [`run_trials`] guarantees exactly that: trial `i` always receives
-//! index `i` (derive its seed with [`derive_seed`]), and the result
-//! vector is ordered by index regardless of which worker finished
-//! first. Parallel and sequential execution are therefore
-//! bit-identical — the `trial_driver_determinism` suite asserts it —
-//! and the two-phase "compute independently, then combine in a fixed
-//! order" shape keeps it so even when callers fold the results.
+//! Two entry points share one scheduler:
+//!
+//! * [`run_trials`] maps `f` over `0..n` and returns the results in
+//!   index order (memory `O(n)` — you asked for every result).
+//! * [`run_trials_fold`] *streams*: trial results are folded into
+//!   per-chunk accumulators as they are produced and the chunk
+//!   accumulators are combined **in fixed chunk order**, so live
+//!   memory stays `O(workers × chunk)` no matter how many trials run.
+//!   Million-trial sweeps reduce to a few counters.
+//!
+//! The scheduler claims *chunks* of consecutive indices from a shared
+//! atomic counter — work-stealing in its simplest form. A worker that
+//! drew a long trial simply claims fewer chunks; nothing piles up on
+//! a statically chosen thread the way it did under the old
+//! round-robin split. Determinism survives because scheduling only
+//! decides *who* computes a chunk, never *how* results combine: the
+//! chunk layout is a function of `n` alone ([`fold_chunk_size`]), each
+//! chunk folds its indices in ascending order, and chunk accumulators
+//! merge in ascending chunk order. Sequential execution uses the
+//! *same* chunk/merge structure, so parallel and sequential runs are
+//! bit-identical even for non-associative (floating-point)
+//! reductions — the `trial_driver_determinism` suite asserts it.
 //!
 //! The worker count defaults to the host's available parallelism,
 //! clamped by the `LRU_LEAK_THREADS` environment variable
@@ -22,10 +37,11 @@
 //! debugging or timing baselines). The environment is consulted once
 //! and cached; embedders such as the `lru-leak` CLI can override the
 //! count explicitly with [`set_worker_count`] instead of mutating
-//! the environment.
+//! the environment (`--threads` therefore beats `LRU_LEAK_THREADS`).
 
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::OnceLock;
+use std::sync::{Condvar, Mutex, OnceLock};
 use std::thread;
 
 /// Derives the seed of trial `index` from the experiment's master
@@ -76,13 +92,32 @@ pub fn worker_count() -> usize {
     })
 }
 
+/// Chunk size the schedulers use for `n` trials.
+///
+/// A function of `n` **only** — never the worker count — so the
+/// chunk/merge structure (and with it the floating-point combination
+/// order of [`run_trials_fold`]) is identical for any `--threads`
+/// value. Small sweeps get chunk 1 (every index steals
+/// independently); large sweeps cap at 64 indices per chunk so the
+/// claim counter is touched ~once per 64 trials while plenty of
+/// chunks remain for balancing.
+pub fn fold_chunk_size(n: usize) -> usize {
+    (n / 64).clamp(1, 64)
+}
+
+/// How many completed-but-unmerged chunk accumulators may exist
+/// before workers pause claiming (per worker). Bounds live memory at
+/// `(PENDING_PER_WORKER + 1) × workers` accumulators plus one
+/// in-flight chunk per worker.
+const PENDING_PER_WORKER: usize = 2;
+
 /// Runs `n` independent trials of `f` and returns their results in
 /// index order.
 ///
 /// `f(i)` must depend only on `i` (derive randomness via
 /// [`derive_seed`]); then the output is identical whether the trials
-/// run on one thread or many. Workers take indices round-robin, so
-/// long and short trials interleave evenly.
+/// run on one thread or many. Workers claim chunks of indices from a
+/// shared counter, so long and short trials balance dynamically.
 pub fn run_trials<T, F>(n: usize, f: F) -> Vec<T>
 where
     T: Send,
@@ -98,36 +133,172 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
-    let workers = workers.max(1).min(n.max(1));
-    if workers <= 1 || n <= 1 {
-        return (0..n).map(f).collect();
+    // Collecting materializes all n results anyway, so the streaming
+    // path's pending-buffer backpressure would cap nothing — run
+    // unbounded and let workers race past a slow frontier chunk.
+    fold_impl(
+        workers,
+        n,
+        usize::MAX,
+        f,
+        Vec::new,
+        |acc, _i, v| acc.push(v),
+        |acc, mut part| acc.append(&mut part),
+    )
+}
+
+/// Streams `n` independent trials through a chunked fold:
+/// [`run_trials_fold_on`] with the default [`worker_count`].
+pub fn run_trials_fold<T, A, F, I, Fo, M>(n: usize, trial: F, init: I, fold: Fo, merge: M) -> A
+where
+    T: Send,
+    A: Send,
+    F: Fn(usize) -> T + Sync,
+    I: Fn() -> A + Sync,
+    Fo: Fn(&mut A, usize, T) + Sync,
+    M: Fn(&mut A, A) + Sync,
+{
+    run_trials_fold_on(worker_count(), n, trial, init, fold, merge)
+}
+
+/// The streaming reduce pipeline: runs `trial(i)` for `i in 0..n` on
+/// `workers` threads and folds the results into one accumulator
+/// without ever materializing all `n` of them.
+///
+/// The index range is cut into chunks of [`fold_chunk_size`]`(n)`
+/// consecutive indices. Workers claim chunks from an atomic counter;
+/// each claimed chunk folds its trials **in ascending index order**
+/// into a fresh `init()` accumulator, and finished chunk accumulators
+/// are `merge`d into the global one **in ascending chunk order**
+/// (out-of-order chunks wait in a bounded buffer; claiming pauses
+/// when the buffer is full). Live memory is therefore
+/// `O(workers × chunk)` trial results plus `O(workers)` accumulators,
+/// regardless of `n`.
+///
+/// Sequential execution (`workers == 1`) walks the *same*
+/// chunk/merge structure, so the result is bit-identical for every
+/// worker count even when `merge` is only left-to-right deterministic
+/// (floating-point sums), not truly associative.
+pub fn run_trials_fold_on<T, A, F, I, Fo, M>(
+    workers: usize,
+    n: usize,
+    trial: F,
+    init: I,
+    fold: Fo,
+    merge: M,
+) -> A
+where
+    T: Send,
+    A: Send,
+    F: Fn(usize) -> T + Sync,
+    I: Fn() -> A + Sync,
+    Fo: Fn(&mut A, usize, T) + Sync,
+    M: Fn(&mut A, A) + Sync,
+{
+    let cap = PENDING_PER_WORKER * workers.max(1);
+    fold_impl(workers, n, cap, trial, init, fold, merge)
+}
+
+/// Shared scheduler body: `pending_cap` bounds the
+/// completed-but-unmerged buffer (streaming callers) or is
+/// `usize::MAX` to let workers race past a slow frontier chunk
+/// (collecting callers, whose output is `O(n)` regardless).
+fn fold_impl<T, A, F, I, Fo, M>(
+    workers: usize,
+    n: usize,
+    pending_cap: usize,
+    trial: F,
+    init: I,
+    fold: Fo,
+    merge: M,
+) -> A
+where
+    T: Send,
+    A: Send,
+    F: Fn(usize) -> T + Sync,
+    I: Fn() -> A + Sync,
+    Fo: Fn(&mut A, usize, T) + Sync,
+    M: Fn(&mut A, A) + Sync,
+{
+    let chunk = fold_chunk_size(n);
+    let chunks = n.div_ceil(chunk);
+    let workers = workers.max(1).min(chunks.max(1));
+    let run_chunk = |c: usize| {
+        let mut part = init();
+        let lo = c * chunk;
+        let hi = (lo + chunk).min(n);
+        for i in lo..hi {
+            fold(&mut part, i, trial(i));
+        }
+        part
+    };
+    if workers <= 1 || chunks <= 1 {
+        let mut acc = init();
+        for c in 0..chunks {
+            merge(&mut acc, run_chunk(c));
+        }
+        return acc;
     }
-    let f = &f;
-    let mut slots: Vec<Option<T>> = Vec::with_capacity(n);
-    slots.resize_with(n, || None);
+
+    /// In-order merge frontier shared by the workers.
+    struct FoldState<A> {
+        /// Next chunk index the global accumulator is waiting for.
+        next_merge: usize,
+        /// Finished chunks that ran ahead of the frontier.
+        pending: BTreeMap<usize, A>,
+        /// The global accumulator (`None` only while a worker merges).
+        acc: Option<A>,
+    }
+
+    let claim = AtomicUsize::new(0);
+    let state = Mutex::new(FoldState {
+        next_merge: 0,
+        pending: BTreeMap::new(),
+        acc: Some(init()),
+    });
+    let drained = Condvar::new();
     thread::scope(|scope| {
         let mut handles = Vec::with_capacity(workers);
-        for w in 0..workers {
-            handles.push(scope.spawn(move || {
-                let mut out = Vec::new();
-                let mut i = w;
-                while i < n {
-                    out.push((i, f(i)));
-                    i += workers;
+        for _ in 0..workers {
+            handles.push(scope.spawn(|| loop {
+                // Backpressure: don't run further ahead of the merge
+                // frontier than the pending buffer allows.
+                {
+                    let mut st = state.lock().expect("fold state poisoned");
+                    while st.pending.len() >= pending_cap {
+                        st = drained.wait(st).expect("fold state poisoned");
+                    }
                 }
-                out
+                let c = claim.fetch_add(1, Ordering::Relaxed);
+                if c >= chunks {
+                    return;
+                }
+                let part = run_chunk(c);
+                let mut st = state.lock().expect("fold state poisoned");
+                st.pending.insert(c, part);
+                // Merge the ready in-order prefix; strictly ascending
+                // chunk order keeps the reduction deterministic.
+                let mut acc = st.acc.take().expect("accumulator present");
+                loop {
+                    let frontier = st.next_merge;
+                    let Some(ready) = st.pending.remove(&frontier) else {
+                        break;
+                    };
+                    merge(&mut acc, ready);
+                    st.next_merge += 1;
+                }
+                st.acc = Some(acc);
+                drop(st);
+                drained.notify_all();
             }));
         }
         for h in handles {
-            for (i, v) in h.join().expect("trial worker panicked") {
-                slots[i] = Some(v);
-            }
+            h.join().expect("trial worker panicked");
         }
     });
-    slots
-        .into_iter()
-        .map(|s| s.expect("every index filled"))
-        .collect()
+    let mut st = state.into_inner().expect("fold state poisoned");
+    debug_assert_eq!(st.next_merge, chunks, "every chunk merged");
+    st.acc.take().expect("accumulator present")
 }
 
 #[cfg(test)]
@@ -168,6 +339,109 @@ mod tests {
     #[test]
     fn worker_count_is_positive() {
         assert!(worker_count() >= 1);
+    }
+
+    #[test]
+    fn chunk_size_depends_on_n_only() {
+        assert_eq!(fold_chunk_size(0), 1);
+        assert_eq!(fold_chunk_size(63), 1);
+        assert_eq!(fold_chunk_size(256), 4);
+        assert_eq!(fold_chunk_size(1_000_000), 64);
+    }
+
+    #[test]
+    fn fold_streams_a_float_sum_identically_on_any_worker_count() {
+        // A deliberately non-associative reduction: floating-point
+        // sums only reproduce if the combination order is fixed.
+        let sum_on = |workers: usize| {
+            run_trials_fold_on(
+                workers,
+                10_000,
+                |i| (derive_seed(0xf0, i as u64) % 1_000) as f64 / 7.0,
+                || 0.0f64,
+                |acc, _i, x| *acc += x,
+                |acc, part| *acc += part,
+            )
+        };
+        let seq = sum_on(1);
+        for workers in [2, 3, 4, 8] {
+            assert_eq!(
+                seq.to_bits(),
+                sum_on(workers).to_bits(),
+                "workers={workers}"
+            );
+        }
+    }
+
+    #[test]
+    fn fold_handles_zero_and_one_trials() {
+        let count = |n: usize| {
+            run_trials_fold_on(
+                4,
+                n,
+                |i| i,
+                || 0usize,
+                |acc, _i, _v| *acc += 1,
+                |acc, part| *acc += part,
+            )
+        };
+        assert_eq!(count(0), 0);
+        assert_eq!(count(1), 1);
+    }
+
+    #[test]
+    fn fold_live_accumulators_stay_bounded() {
+        use std::sync::atomic::AtomicIsize;
+        // init() births an accumulator, merge() consumes one: the
+        // difference is how many are alive. The backpressured
+        // scheduler must keep that number O(workers), far below the
+        // chunk count of a large sweep.
+        let live = AtomicIsize::new(0);
+        let max_live = AtomicIsize::new(0);
+        let workers = 4;
+        let n = 40_000; // chunk 64 → 625 chunks
+        let total: u64 = run_trials_fold_on(
+            workers,
+            n,
+            |i| i as u64,
+            || {
+                let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+                max_live.fetch_max(now, Ordering::SeqCst);
+                0u64
+            },
+            |acc, _i, v| *acc += v,
+            |acc, part| {
+                live.fetch_sub(1, Ordering::SeqCst);
+                *acc += part;
+            },
+        );
+        assert_eq!(total, (n as u64 - 1) * n as u64 / 2);
+        let bound = (1 + PENDING_PER_WORKER * workers + 2 * workers) as isize;
+        let seen = max_live.load(Ordering::SeqCst);
+        assert!(
+            seen <= bound,
+            "live accumulators {seen} exceed the O(workers) bound {bound}"
+        );
+    }
+
+    #[test]
+    fn skewed_trial_lengths_still_give_index_ordered_results() {
+        // Trial 0 is ~1000× the others: under the old round-robin
+        // split one worker owned it plus every 4th index; chunked
+        // claiming lets the other workers drain the rest. Either way
+        // the output must stay index-ordered and bit-identical.
+        let f = |i: usize| {
+            let spins = if i == 0 { 200_000 } else { 200 };
+            let mut acc = derive_seed(0xbeef, i as u64);
+            for _ in 0..spins {
+                acc = acc.rotate_left(9) ^ acc.wrapping_mul(0x2545_f491_4f6c_dd1d);
+            }
+            (i, acc)
+        };
+        let seq = run_trials_on(1, 200, f);
+        let par = run_trials_on(4, 200, f);
+        assert_eq!(seq, par);
+        assert!(par.iter().enumerate().all(|(i, &(j, _))| i == j));
     }
 
     #[test]

@@ -38,11 +38,13 @@ use lru_channel::multiset::run_parallel_alg1;
 use lru_channel::plru_study::{eviction_curve, InitCond, SequenceKind};
 use lru_channel::protocol::LruSender;
 use lru_channel::setup;
-use lru_channel::trials::{derive_seed, run_trials};
+use lru_channel::trials::{derive_seed, run_trials_fold};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use workloads::spec_like::Benchmark;
 
+use crate::aggregate::{Aggregate, CollectMetrics, ProgressFn, Reducer};
 use crate::json::Value;
 use crate::spec::{
     ChannelId, DefenseId, ExperimentKind, InitId, MessageSource, Scenario, SequenceId, WorkloadId,
@@ -101,14 +103,82 @@ impl Scenario {
     /// by [`derive_seed`] when `trials > 1`, the master seed
     /// directly when `trials == 1`) and returns the metrics — a
     /// single tree for one trial, an array for several.
+    ///
+    /// Since the streaming refactor this is [`Scenario::run_reduced`]
+    /// with the [`CollectMetrics`] compatibility reducer: the output
+    /// is byte-identical to the old buffered path (pinned by
+    /// `tests/streaming_equivalence.rs`), but the trials flow through
+    /// the chunked work-stealing scheduler. For large `trials`,
+    /// prefer [`Scenario::run_summary`] or a constant-memory
+    /// [`Reducer`] of your own.
     pub fn run(&self) -> Value {
         if self.trials <= 1 {
             return self.run_once(self.seed).metrics;
         }
-        let outs = run_trials(self.trials, |i| {
-            self.run_once(derive_seed(self.seed, i as u64)).metrics
-        });
+        self.run_reduced(&CollectMetrics)
+    }
+
+    /// The pre-refactor buffered reference: run every trial
+    /// sequentially, collect all metrics into a `Vec`, wrap.
+    /// `O(trials)` memory by construction — kept as the oracle the
+    /// streaming path is tested against, not for production sweeps.
+    pub fn run_buffered(&self) -> Value {
+        if self.trials <= 1 {
+            return self.run_once(self.seed).metrics;
+        }
+        let outs = (0..self.trials)
+            .map(|i| self.run_once(derive_seed(self.seed, i as u64)).metrics)
+            .collect();
         Value::Arr(outs)
+    }
+
+    /// Streams the scenario's trials through `reducer`. The result
+    /// is bit-identical for any worker count, and the driver keeps
+    /// only `O(workers)` live accumulators plus `O(workers × chunk)`
+    /// in-flight trial results — so with a constant-size accumulator
+    /// ([`ScalarStats`](crate::aggregate::ScalarStats),
+    /// [`KeyHistogram`](crate::aggregate::KeyHistogram)) total memory
+    /// is independent of the trial count. The bound covers the
+    /// *number* of accumulators, not their size: a reducer whose
+    /// accumulator grows per trial ([`CollectMetrics`]) still ends up
+    /// `O(trials)`.
+    pub fn run_reduced<R: Reducer>(&self, reducer: &R) -> Value {
+        self.run_reduced_with(reducer, None)
+    }
+
+    /// [`Scenario::run_reduced`] with a progress callback, invoked
+    /// from worker threads as `(completed, total)` after each trial.
+    pub fn run_reduced_with<R: Reducer>(&self, reducer: &R, progress: Option<ProgressFn>) -> Value {
+        let experiment = self.experiment();
+        let n = self.trials.max(1);
+        let single = self.trials <= 1;
+        let done = AtomicUsize::new(0);
+        let acc = run_trials_fold(
+            n,
+            |i| {
+                let seed = if single {
+                    self.seed
+                } else {
+                    derive_seed(self.seed, i as u64)
+                };
+                let outcome = experiment.run(seed);
+                if let Some(p) = progress {
+                    p(done.fetch_add(1, Ordering::Relaxed) + 1, n);
+                }
+                outcome
+            },
+            || reducer.init(),
+            |acc, i, outcome| reducer.fold(acc, i, outcome),
+            |acc, other| reducer.merge(acc, other),
+        );
+        reducer.finish(acc)
+    }
+
+    /// Streams the trials through the kind's default
+    /// [`Aggregate::for_kind`] summary — the constant-memory way to
+    /// run a million-trial sweep.
+    pub fn run_summary(&self) -> Value {
+        Aggregate::for_kind(&self.kind).reduce(self, None)
     }
 }
 

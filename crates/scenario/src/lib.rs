@@ -19,6 +19,15 @@
 //!   Prime+Probe and Flush+Reload baselines, the Spectre attack,
 //!   the §IX defense evaluations, and the table/figure substrate
 //!   checks.
+//! * [`aggregate`] — streaming reduction of trial outcomes: the
+//!   [`aggregate::Reducer`] trait, constant-memory
+//!   [`aggregate::ScalarStats`] / [`aggregate::KeyHistogram`]
+//!   reducers, the [`aggregate::CollectMetrics`] compatibility
+//!   reducer, and [`aggregate::Aggregate::for_kind`] defaults.
+//!   Trials stream through the chunked work-stealing scheduler of
+//!   [`lru_channel::trials`], so a million-trial sweep needs
+//!   `O(workers × chunk)` memory, not `O(trials)`, and stays
+//!   bit-identical across worker counts.
 //! * [`registry`] — paper artifact IDs (`fig3`…`fig15`,
 //!   `table1`…`table7`, ablations) resolved to scenario grids plus
 //!   renderers; bench targets and the `lru-leak` CLI both run
@@ -62,12 +71,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod aggregate;
 pub mod experiment;
 pub mod fmt;
 pub mod json;
 pub mod registry;
 pub mod spec;
 
+pub use aggregate::{Aggregate, CollectMetrics, KeyHistogram, ProgressFn, Reducer, ScalarStats};
 pub use experiment::{Experiment, Outcome};
 pub use fmt::BENCH_SEED;
 pub use json::Value;

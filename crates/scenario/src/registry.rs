@@ -8,13 +8,15 @@
 //! the same grid run through the deterministic trial driver.
 
 use std::fmt::Write;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use cache_sim::replacement::PolicyKind;
 use lru_channel::covert::{Sharing, Variant};
 use lru_channel::params::ChannelParams;
-use lru_channel::trials::run_trials;
+use lru_channel::trials::run_trials_fold;
 use workloads::spec_like::SUITE;
 
+use crate::aggregate::ProgressFn;
 use crate::fmt::{geomean, header, kbps, pct, pct1, row, sparkline, BENCH_SEED};
 use crate::json::Value;
 use crate::spec::{
@@ -84,17 +86,52 @@ impl Artifact {
     }
 
     /// Runs the whole grid (fanned out over the host's cores through
-    /// the deterministic trial driver) and renders the report.
+    /// the work-stealing trial scheduler) and renders the report.
     pub fn run(&self, opts: &RunOpts) -> Report {
+        self.run_with(opts, None)
+    }
+
+    /// [`Artifact::run`] with a progress callback, invoked from
+    /// worker threads as `(completed, total)` after each grid cell.
+    pub fn run_with(&self, opts: &RunOpts, progress: Option<ProgressFn>) -> Report {
         let grid = self.scenarios(opts);
-        let outcomes = run_trials(grid.len(), |i| grid[i].run());
-        let (body, summary) = (self.render)(opts, &grid, &outcomes);
+        let total = grid.len();
+        let done = AtomicUsize::new(0);
+        let outcomes = run_trials_fold(
+            total,
+            |i| {
+                let v = grid[i].run();
+                if let Some(p) = progress {
+                    p(done.fetch_add(1, Ordering::Relaxed) + 1, total);
+                }
+                v
+            },
+            Vec::new,
+            |acc: &mut Vec<Value>, _i, v| acc.push(v),
+            |acc, mut part| acc.append(&mut part),
+        );
+        self.render_report(opts, &grid, &outcomes)
+    }
+
+    /// The pre-refactor buffered reference: every grid cell runs
+    /// sequentially through [`Scenario::run_buffered`], all outcomes
+    /// are collected, then rendered. Kept as the oracle
+    /// `tests/streaming_equivalence.rs` pins [`Artifact::run`]
+    /// against.
+    pub fn run_buffered(&self, opts: &RunOpts) -> Report {
+        let grid = self.scenarios(opts);
+        let outcomes: Vec<Value> = grid.iter().map(Scenario::run_buffered).collect();
+        self.render_report(opts, &grid, &outcomes)
+    }
+
+    fn render_report(&self, opts: &RunOpts, grid: &[Scenario], outcomes: &[Value]) -> Report {
+        let (body, summary) = (self.render)(opts, grid, outcomes);
         let mut text = String::new();
         header(&mut text, self.bench, self.paper_ref, self.what);
         text.push_str(&body);
         let scenarios: Vec<Value> = grid
             .iter()
-            .zip(&outcomes)
+            .zip(outcomes)
             .map(|(s, o)| {
                 Value::obj()
                     .with("scenario", s.to_json())

@@ -160,6 +160,145 @@ fn cli_adhoc_runs_a_serialized_scenario_deterministically() {
     );
 }
 
+// ---- CLI robustness: bad input must exit non-zero with a message,
+// ---- never panic ----
+
+fn cli(args: &[&str]) -> Result<String, lru_leak_cli::CliError> {
+    let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+    lru_leak_cli::run_cli(&args)
+}
+
+#[test]
+fn unknown_artifact_ids_exit_nonzero_with_a_message() {
+    for cmd in ["run", "show"] {
+        let err = cli(&[cmd, "fig99"]).unwrap_err();
+        assert_eq!(err.code, 1, "{cmd} fig99 must exit 1");
+        assert!(
+            err.message.contains("fig99") && err.message.contains("list"),
+            "{cmd}: message should name the artifact and point at `list`, got {:?}",
+            err.message
+        );
+    }
+}
+
+#[test]
+fn malformed_adhoc_json_exits_nonzero_with_a_message() {
+    // Truncated JSON, valid JSON of the wrong shape, an unknown
+    // enum value, a geometry violation, and a missing @file: every
+    // one is a clean error, not a panic.
+    for (bad, needle) in [
+        (r#"{"platform":"#, "cannot parse"),
+        ("[1,2,3]", "platform"),
+        (r#"{"platform":"z80"}"#, "platform"),
+        ("@/no/such/file.json", "cannot read"),
+    ] {
+        let err = cli(&["adhoc", bad, "--json"]).unwrap_err();
+        assert_eq!(err.code, 1, "adhoc {bad:?} must exit 1");
+        assert!(
+            err.message.contains(needle),
+            "adhoc {bad:?}: expected {needle:?} in {:?}",
+            err.message
+        );
+    }
+    // A structurally valid scenario that violates cache geometry.
+    let mut sc = Scenario::builder()
+        .message(MessageSource::Alternating { bits: 4 })
+        .build()
+        .unwrap();
+    sc.params.d = 9;
+    let err = cli(&["adhoc", &sc.to_json().to_string()]).unwrap_err();
+    assert_eq!(err.code, 1);
+    assert!(err.message.contains('d'), "got {:?}", err.message);
+}
+
+#[test]
+fn run_all_rejects_bad_usage() {
+    let err = cli(&["run-all", "fig5"]).unwrap_err();
+    assert_eq!(
+        err.code, 2,
+        "run-all with a positional arg is a usage error"
+    );
+    let err = cli(&["run-all", "--frobnicate"]).unwrap_err();
+    assert_eq!(err.code, 2);
+    let err = cli(&["run-all", "--summary"]).unwrap_err();
+    assert_eq!(err.code, 2, "--summary is adhoc-only");
+    let err = cli(&["run", "fig5", "--summary"]).unwrap_err();
+    assert_eq!(err.code, 2, "--summary is adhoc-only");
+    let err = cli(&["show", "fig5", "--summary"]).unwrap_err();
+    assert_eq!(err.code, 2, "--summary is adhoc-only");
+    let err = cli(&["show", "fig5", "--progress"]).unwrap_err();
+    assert_eq!(err.code, 2, "show has nothing to report progress on");
+}
+
+#[test]
+fn run_all_executes_every_artifact_in_one_batch() {
+    let out = cli(&["run-all", "--trials", "1", "--json", "--seed", "3"]).unwrap();
+    let v = Value::parse(out.trim()).expect("run-all emits valid JSON");
+    assert_eq!(v.get("command").and_then(Value::as_str), Some("run-all"));
+    assert_eq!(v.get("seed").and_then(Value::as_u64), Some(3));
+    let arts = v.get("artifacts").and_then(Value::as_arr).unwrap();
+    assert_eq!(
+        arts.len(),
+        registry::ids().len(),
+        "run-all must cover the whole registry"
+    );
+    for (artifact, id) in arts.iter().zip(registry::ids()) {
+        assert_eq!(artifact.get("id").and_then(Value::as_str), Some(id));
+        assert!(artifact.get("scenarios").is_some(), "{id} carries its grid");
+    }
+}
+
+#[test]
+fn progress_goes_to_the_sink_not_stdout() {
+    use std::sync::Mutex;
+    let lines = Mutex::new(Vec::new());
+    let sink = |line: &str| lines.lock().unwrap().push(line.to_string());
+    let args: Vec<String> = ["run", "table3", "--progress"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let out = lru_leak_cli::run_cli_with(&args, &sink).unwrap();
+    let progress = lines.into_inner().unwrap();
+    assert!(
+        progress
+            .iter()
+            .any(|l| l.contains("table3") && l.contains("scenarios")),
+        "expected table3 progress lines, got {progress:?}"
+    );
+    // stdout is the same bytes as a run without --progress.
+    let plain = cli(&["run", "table3"]).unwrap();
+    assert_eq!(out, plain, "--progress must not change stdout");
+}
+
+#[test]
+fn adhoc_summary_streams_a_constant_memory_aggregate() {
+    let sc = Scenario::builder()
+        .kind(ExperimentKind::PlruEviction {
+            sequence: lru_leak::scenario::spec::SequenceId::Seq1,
+            init: lru_leak::scenario::spec::InitId::Random,
+            iterations: 2,
+            trials: 1,
+        })
+        .message(MessageSource::Alternating { bits: 1 })
+        .trials(300)
+        .seed(21)
+        .build()
+        .unwrap();
+    let out = cli(&["adhoc", &sc.to_json().to_string(), "--summary", "--json"]).unwrap();
+    let v = Value::parse(out.trim()).unwrap();
+    let outcome = v.get("outcome").unwrap();
+    assert_eq!(
+        outcome.get("aggregate").and_then(Value::as_str),
+        Some("stats"),
+        "summary must be the streaming aggregate, got {outcome}"
+    );
+    let stat = outcome
+        .get("keys")
+        .and_then(|k| k.get("steady_state"))
+        .expect("steady_state stats");
+    assert_eq!(stat.get("count").and_then(Value::as_u64), Some(300));
+}
+
 #[test]
 fn trials_override_scales_grids() {
     let small = registry::get("fig6").unwrap().scenarios(&RunOpts {

@@ -5,7 +5,9 @@
 
 use lru_leak::lru_channel::covert::{percent_ones_grid, GridPoint, Variant};
 use lru_leak::lru_channel::params::{ChannelParams, Platform};
-use lru_leak::lru_channel::trials::{derive_seed, run_trials, run_trials_on};
+use lru_leak::lru_channel::trials::{
+    derive_seed, fold_chunk_size, run_trials, run_trials_fold_on, run_trials_on,
+};
 
 /// A small but real grid: every point runs the full time-sliced
 /// channel simulation (machine, scheduler, probe).
@@ -84,4 +86,62 @@ fn per_trial_seeds_are_unique() {
     for i in 0..10_000u64 {
         assert!(seen.insert(derive_seed(0x1234, i)), "duplicate seed at {i}");
     }
+}
+
+#[test]
+fn fold_pipeline_is_bit_identical_for_floating_point_reductions() {
+    // A floating-point mean-of-error-rates shape: (a + b) + c differs
+    // from a + (b + c) in the last ulp, so only a fixed combination
+    // order reproduces. The fold driver pins chunk layout and merge
+    // order as functions of n alone.
+    let mean_on = |workers: usize, n: usize| {
+        let sum = run_trials_fold_on(
+            workers,
+            n,
+            |i| 1.0 / (derive_seed(0x44, i as u64) % 997 + 1) as f64,
+            || 0.0f64,
+            |acc, _i, x| *acc += x,
+            |acc, part| *acc += part,
+        );
+        sum / n as f64
+    };
+    for n in [1usize, 63, 64, 65, 4096, 10_007] {
+        let seq = mean_on(1, n);
+        for workers in [2, 4, 8] {
+            assert_eq!(
+                seq.to_bits(),
+                mean_on(workers, n).to_bits(),
+                "n={n} workers={workers}"
+            );
+        }
+    }
+}
+
+#[test]
+fn fold_pipeline_matches_a_plain_sequential_fold_over_collected_results() {
+    // Integer reduction: the chunked fold must agree exactly with
+    // folding the collected per-trial results in index order.
+    let trial = |i: usize| derive_seed(9, i as u64) % 100_000;
+    let n = 5_000;
+    let collected: u64 = run_trials_on(1, n, trial).into_iter().sum();
+    let streamed = run_trials_fold_on(
+        4,
+        n,
+        trial,
+        || 0u64,
+        |acc, _i, v| *acc += v,
+        |acc, part| *acc += part,
+    );
+    assert_eq!(collected, streamed);
+}
+
+#[test]
+fn chunk_layout_is_a_function_of_n_alone() {
+    // The invariant the worker-count determinism rests on: chunk
+    // boundaries never depend on how many threads execute the sweep.
+    for n in [0usize, 1, 100, 40_000, 1_000_000] {
+        let c = fold_chunk_size(n);
+        assert!((1..=64).contains(&c), "chunk {c} out of range for n={n}");
+    }
+    assert_eq!(fold_chunk_size(1_000_000), 64);
 }
