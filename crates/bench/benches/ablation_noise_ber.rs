@@ -1,0 +1,10 @@
+//! Extension: bit-error rate + Shannon capacity of Algorithms 1/2 under injected
+//! cache interference (random eviction, periodic co-runner bursts, Bernoulli touches).
+//!
+//! Thin wrapper: the experiment itself is the `ablation_noise_ber` grid in
+//! `scenario::registry`; `lru-leak run ablation_noise_ber` executes the same
+//! scenarios.
+
+fn main() {
+    bench_harness::run_artifact("ablation_noise_ber");
+}

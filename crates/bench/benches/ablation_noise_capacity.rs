@@ -1,0 +1,11 @@
+//! Extension: channel capacity (binary-symmetric-channel bound) over the
+//! noise-level × transmission-rate grid — where the optimal operating point moves
+//! as interference grows.
+//!
+//! Thin wrapper: the experiment itself is the `ablation_noise_capacity` grid in
+//! `scenario::registry`; `lru-leak run ablation_noise_capacity` executes the same
+//! scenarios.
+
+fn main() {
+    bench_harness::run_artifact("ablation_noise_capacity");
+}

@@ -14,7 +14,7 @@
 //!   per-access outcomes (hit/miss, filled way, evicted line). Its
 //!   storage is a flat structure-of-arrays hot path: one contiguous
 //!   row of tags + valid word + packed replacement state per set.
-//! * [`reference`] — the original array-of-structs layout
+//! * [`reference`](mod@reference) — the original array-of-structs layout
 //!   ([`reference::RefCache`]), retained as the equivalence oracle
 //!   and performance baseline for the flat layout.
 //! * [`plcache`] — Partition-Locked cache semantics (paper Fig. 10),
@@ -26,6 +26,10 @@
 //!   [`way_predictor`] (paper §VI-B).
 //! * [`counters`] — per-hardware-thread performance-counter model used
 //!   to regenerate the miss-rate tables (paper Tables VI, VII).
+//! * [`stream`] — composable access streams: any address source can
+//!   drive a cache, and [`stream::Interleave`] splices deterministic
+//!   interference (the noise models of `lru_channel::noise`) into a
+//!   base stream without the consumer knowing.
 //! * [`profiles`] — geometry/latency presets for the three evaluated
 //!   micro-architectures (Sandy Bridge, Skylake, Zen) and the GEM5
 //!   configuration of the defense study (paper Fig. 9).
@@ -72,6 +76,7 @@ pub mod reference;
 pub mod replacement;
 pub mod set;
 mod storage;
+pub mod stream;
 pub mod way_predictor;
 
 pub use addr::{PhysAddr, VirtAddr};
@@ -83,3 +88,4 @@ pub use plcache::{PlCache, PlDesign, PlRequest};
 pub use profiles::MicroArch;
 pub use reference::RefCache;
 pub use replacement::{Domain, Policy, PolicyKind, SetReplacement, WayMask};
+pub use stream::{AccessStream, Interleave, StreamStats};

@@ -1,0 +1,224 @@
+//! Composable access streams: feed a cache from any address source,
+//! with interference spliced in deterministically.
+//!
+//! The channel experiments drive caches through the full
+//! [`exec_sim`](../exec_sim/index.html) machine, but many questions —
+//! "what does this access pattern do to this set?", "how often does
+//! injected contention evict the victim line?" — only need the cache
+//! itself. An [`AccessStream`] is the minimal vocabulary for that: a
+//! resumable source of physical addresses. Streams compose:
+//! [`Interleave`] splices a second (noise) stream into a base stream
+//! under a caller-supplied gate, so "workload + interference" is one
+//! stream that any consumer ([`drain`], a replacement-policy study, a
+//! unit test) can run without knowing noise exists.
+//!
+//! Everything here is deterministic: a stream owns its state, the
+//! gate is a plain function of the base-access index, and no clocks
+//! or host randomness are involved. The seed-derived noise models of
+//! `lru_channel::noise` plug into [`Interleave`] through exactly this
+//! interface.
+
+use crate::addr::PhysAddr;
+use crate::cache::Cache;
+
+/// A resumable source of physical addresses.
+///
+/// Implemented by anything that can say "here is my next access":
+/// finite traces (any `Iterator<Item = PhysAddr>` via the blanket
+/// impl), infinite generators, and combinators such as
+/// [`Interleave`]. Returning `None` ends the stream; combinators
+/// treat an exhausted noise source as "no more interference", not as
+/// the end of the base stream.
+pub trait AccessStream {
+    /// The next address to access, or `None` when the stream ends.
+    fn next_access(&mut self) -> Option<PhysAddr>;
+}
+
+impl<I: Iterator<Item = PhysAddr>> AccessStream for I {
+    fn next_access(&mut self) -> Option<PhysAddr> {
+        self.next()
+    }
+}
+
+/// Splices `noise` accesses into `base` under a deterministic gate.
+///
+/// After base access `i` is yielded, `gate(i)` decides how many
+/// interference accesses to pull from `noise` and emit before the
+/// next base access — `0` for "leave this gap alone", `1` for the
+/// Bernoulli line-touch models, larger for burst models. The gate
+/// sees only the base index, so the composition is reproducible no
+/// matter who consumes the stream or how it is chunked, and an
+/// exhausted base stream ends the composite stream without a
+/// trailing gate call.
+pub struct Interleave<B, N, G> {
+    base: B,
+    noise: N,
+    gate: G,
+    index: u64,
+    pending: u32,
+}
+
+impl<B, N, G> Interleave<B, N, G>
+where
+    B: AccessStream,
+    N: AccessStream,
+    G: FnMut(u64) -> u32,
+{
+    /// Wraps `base` so that `gate(i)` accesses of `noise` follow
+    /// base access `i`.
+    pub fn new(base: B, noise: N, gate: G) -> Self {
+        Interleave {
+            base,
+            noise,
+            gate,
+            index: 0,
+            pending: 0,
+        }
+    }
+}
+
+impl<B, N, G> AccessStream for Interleave<B, N, G>
+where
+    B: AccessStream,
+    N: AccessStream,
+    G: FnMut(u64) -> u32,
+{
+    fn next_access(&mut self) -> Option<PhysAddr> {
+        while self.pending > 0 {
+            self.pending -= 1;
+            match self.noise.next_access() {
+                Some(pa) => return Some(pa),
+                // Exhausted noise ends the interference, not the
+                // base stream.
+                None => self.pending = 0,
+            }
+        }
+        let pa = self.base.next_access()?;
+        self.pending = (self.gate)(self.index);
+        self.index += 1;
+        Some(pa)
+    }
+}
+
+/// Hit/miss totals of a drained stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StreamStats {
+    /// Accesses performed.
+    pub accesses: u64,
+    /// Accesses that hit.
+    pub hits: u64,
+    /// Accesses that missed (filled or replaced a line).
+    pub misses: u64,
+}
+
+impl StreamStats {
+    /// Miss fraction (`0.0` for an empty stream).
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            return 0.0;
+        }
+        self.misses as f64 / self.accesses as f64
+    }
+}
+
+/// Runs every access of `stream` against `cache` and tallies the
+/// outcome. The cache is mutated in place, so interference left in
+/// the replacement state is observable afterwards.
+pub fn drain<S: AccessStream>(cache: &mut Cache, stream: &mut S) -> StreamStats {
+    let mut stats = StreamStats::default();
+    while let Some(pa) = stream.next_access() {
+        let out = cache.access(pa);
+        stats.accesses += 1;
+        if out.hit {
+            stats.hits += 1;
+        } else {
+            stats.misses += 1;
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::CacheGeometry;
+    use crate::replacement::PolicyKind;
+
+    fn addrs(xs: &[u64]) -> Vec<PhysAddr> {
+        xs.iter().map(|&x| PhysAddr::new(x)).collect()
+    }
+
+    #[test]
+    fn iterators_are_streams() {
+        let mut s = addrs(&[0, 64, 128]).into_iter();
+        assert_eq!(s.next_access(), Some(PhysAddr::new(0)));
+        assert_eq!(s.next_access(), Some(PhysAddr::new(64)));
+        assert_eq!(s.next_access(), Some(PhysAddr::new(128)));
+        assert_eq!(s.next_access(), None);
+    }
+
+    #[test]
+    fn interleave_injects_after_the_gated_access() {
+        let base = addrs(&[0, 64, 128]).into_iter();
+        let noise = addrs(&[4096, 8192]).into_iter();
+        // One injection after base access 1, none elsewhere.
+        let mut s = Interleave::new(base, noise, |i| u32::from(i == 1));
+        let got: Vec<u64> = std::iter::from_fn(|| s.next_access())
+            .map(PhysAddr::raw)
+            .collect();
+        assert_eq!(got, vec![0, 64, 4096, 128]);
+    }
+
+    #[test]
+    fn exhausted_noise_does_not_end_the_base_stream() {
+        let base = addrs(&[0, 64]).into_iter();
+        let noise = addrs(&[4096]).into_iter();
+        let mut s = Interleave::new(base, noise, |_| 5);
+        let got: Vec<u64> = std::iter::from_fn(|| s.next_access())
+            .map(PhysAddr::raw)
+            .collect();
+        assert_eq!(got, vec![0, 4096, 64]);
+    }
+
+    #[test]
+    fn drain_tallies_hits_and_misses() {
+        let geom = CacheGeometry::new(64, 64, 8).unwrap();
+        let mut cache = Cache::new(geom, PolicyKind::Lru, 1);
+        // Touch one line twice: one miss, one hit.
+        let mut s = addrs(&[0, 0]).into_iter();
+        let stats = drain(&mut cache, &mut s);
+        assert_eq!(
+            stats,
+            StreamStats {
+                accesses: 2,
+                hits: 1,
+                misses: 1
+            }
+        );
+        assert_eq!(stats.miss_rate(), 0.5);
+    }
+
+    #[test]
+    fn interleaved_interference_evicts_the_victim() {
+        let geom = CacheGeometry::new(64, 64, 8).unwrap();
+        let set_stride = geom.set_stride();
+        let mut quiet_cache = Cache::new(geom, PolicyKind::Lru, 1);
+        let mut noisy_cache = Cache::new(geom, PolicyKind::Lru, 1);
+        // Base: re-touch the same line of set 0 forever.
+        let base: Vec<PhysAddr> = vec![PhysAddr::new(0); 64];
+        // Noise: a rotation of conflicting lines in the same set.
+        let noise: Vec<PhysAddr> = (1..=256u64)
+            .map(|i| PhysAddr::new(i * set_stride))
+            .collect();
+        let quiet = drain(&mut quiet_cache, &mut base.clone().into_iter());
+        let mut noisy_stream = Interleave::new(base.into_iter(), noise.into_iter(), |i| {
+            3 * u32::from(i % 2 == 0)
+        });
+        let noisy = drain(&mut noisy_cache, &mut noisy_stream);
+        assert_eq!(quiet.misses, 1, "undisturbed reuse misses only on the fill");
+        assert!(
+            noisy.misses > quiet.misses,
+            "injected conflicting lines must evict the victim, got {noisy:?}"
+        );
+    }
+}

@@ -11,8 +11,11 @@
 //! Everything is a thin veneer over [`scenario::registry`]: `run`
 //! executes the same grid the matching `cargo bench` target runs, so
 //! for a fixed seed the CLI's numbers *are* the bench numbers, and
-//! `run-all` executes the entire 21-artifact registry as one batch
-//! job. With `--json` the report's metrics tree is pretty-printed;
+//! `run-all` executes the entire registry as one batch job. `show`
+//! prints an artifact's grid with every axis spelled out — including
+//! the noise axis and per-cell trial counts that default-omitting
+//! serialization would hide. With `--json` the report's metrics tree
+//! is pretty-printed;
 //! the writer is deterministic, so repeated runs with the same seed
 //! (and any `--threads` value) are bit-identical. `--progress`
 //! streams completion counts — and, for `run-all`, per-artifact wall
@@ -71,9 +74,12 @@ USAGE:
     lru-leak help
 
 ARTIFACTS:
-    fig3..fig15, table1..table7, ablation_* — see `lru-leak list`.
+    fig3..fig15, table1..table7, ablation_* (including the
+    ablation_noise_* interference sweeps) — see `lru-leak list`.
     Bench-target names (e.g. fig6_timesliced) are accepted too.
     `run-all` executes every registered artifact as one batch job.
+    `show` prints an artifact's grid with every axis spelled out
+    (noise axis, per-cell trial counts) without running anything.
 
 OPTIONS:
     --trials N    Override the artifact's natural per-point trial /
@@ -336,8 +342,32 @@ pub fn run_cli_with(args: &[String], sink: ProgressSink) -> Result<String, CliEr
                     "show only prints the grid — nothing runs, so there is no progress",
                 ));
             }
-            let grid = artifact(id)?.scenarios(&opts_from(&flags));
-            let json = Value::Arr(grid.iter().map(Scenario::to_json).collect());
+            let a = artifact(id)?;
+            let grid = a.scenarios(&opts_from(&flags));
+            // Axes whose default would otherwise be invisible are
+            // spelled out: every scenario serializes via
+            // to_json_full (explicit noise), and the header lists
+            // the grid's noise axis and trial counts.
+            let total_trials: usize = grid.iter().map(|s| s.trials).sum();
+            let mut noise_axis: Vec<Value> = Vec::new();
+            for sc in &grid {
+                let label = Value::from(sc.noise.label());
+                if !noise_axis.contains(&label) {
+                    noise_axis.push(label);
+                }
+            }
+            let json = Value::obj()
+                .with("id", a.id)
+                .with("bench", a.bench)
+                .with("paper_ref", a.paper_ref)
+                .with("what", a.what)
+                .with("cells", grid.len())
+                .with("total_trials", total_trials)
+                .with("noise_axis", Value::Arr(noise_axis))
+                .with(
+                    "scenarios",
+                    Value::Arr(grid.iter().map(Scenario::to_json_full).collect()),
+                );
             Ok(format!("{}\n", json.pretty()))
         }
         "adhoc" => {
@@ -359,10 +389,11 @@ pub fn run_cli_with(args: &[String], sink: ProgressSink) -> Result<String, CliEr
             let progress: Option<scenario::ProgressFn> =
                 if flags.progress { Some(&cb) } else { None };
             let outcome = if flags.summary {
-                // Stream through the kind's constant-memory default
-                // aggregate: O(workers × chunk) memory even for
-                // million-trial sweeps.
-                scenario::Aggregate::for_kind(&sc.kind).reduce(&sc, progress)
+                // Stream through the scenario's constant-memory
+                // default aggregate (noisy covert scenarios get the
+                // channel-capacity estimate): O(workers × chunk)
+                // memory even for million-trial sweeps.
+                scenario::Aggregate::for_scenario(&sc).reduce(&sc, progress)
             } else if sc.trials > 1 {
                 // Identical output to sc.run(), with the progress
                 // callback threaded through.
@@ -424,14 +455,37 @@ mod tests {
     }
 
     #[test]
-    fn show_emits_a_parsable_grid() {
+    fn show_emits_a_parsable_grid_with_metadata() {
         let out = run_cli(&args(&["show", "fig5"])).unwrap();
         let v = Value::parse(out.trim()).unwrap();
-        let arr = v.as_arr().unwrap();
+        assert_eq!(v.get("id").and_then(Value::as_str), Some("fig5"));
+        assert_eq!(v.get("cells").and_then(Value::as_u64), Some(2));
+        assert_eq!(v.get("total_trials").and_then(Value::as_u64), Some(2));
+        let noise = v.get("noise_axis").and_then(Value::as_arr).unwrap();
+        assert_eq!(noise.len(), 1);
+        assert_eq!(noise[0].as_str(), Some("none"));
+        let arr = v.get("scenarios").and_then(Value::as_arr).unwrap();
         assert_eq!(arr.len(), 2);
         for sc in arr {
+            // Every axis is spelled out — including the default
+            // noise axis — and each entry re-parses as a scenario.
+            assert_eq!(sc.get("noise").and_then(Value::as_str), Some("none"));
             Scenario::from_json(sc).unwrap();
         }
+    }
+
+    #[test]
+    fn show_surfaces_the_noise_axis_of_the_noise_sweeps() {
+        let out = run_cli(&args(&["show", "ablation_noise_ber"])).unwrap();
+        let v = Value::parse(out.trim()).unwrap();
+        let noise = v.get("noise_axis").and_then(Value::as_arr).unwrap();
+        assert!(
+            noise.len() >= 4,
+            "expected the interference ladder in the noise axis, got {noise:?}"
+        );
+        assert!(noise
+            .iter()
+            .any(|l| l.as_str().is_some_and(|s| s.starts_with("bernoulli"))));
     }
 
     #[test]

@@ -1,10 +1,12 @@
 //! End-to-end covert-channel runs (paper §V, §VI).
 
 use cache_sim::replacement::PolicyKind;
-use exec_sim::machine::Machine;
+use exec_sim::machine::{Machine, Pid};
 use exec_sim::measure::LatencyProbe;
+use exec_sim::program::Program;
 use exec_sim::sched::{HyperThreaded, SchedulerReport, ThreadHandle, TimeSliced};
 
+use crate::noise::NoiseModel;
 use crate::params::{ChannelParams, ParamError, Platform};
 use crate::protocol::{LruReceiver, LruSender, Sample};
 use crate::setup::{self, Endpoints};
@@ -85,6 +87,23 @@ impl CovertConfig {
     /// Returns [`ParamError`] if the parameters do not fit the
     /// machine's L1 geometry.
     pub fn run_on(&self, machine: &mut Machine) -> Result<CovertRun, ParamError> {
+        self.run_on_with_noise(machine, NoiseModel::None)
+    }
+
+    /// [`CovertConfig::run_on`] with an environmental [`NoiseModel`]
+    /// injected as a third thread next to the sender and receiver.
+    /// `NoiseModel::None` takes exactly the two-thread path, so
+    /// noise-free runs stay byte-identical to the pre-noise code.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] if the parameters do not fit the
+    /// machine's L1 geometry.
+    pub fn run_on_with_noise(
+        &self,
+        machine: &mut Machine,
+        noise: NoiseModel,
+    ) -> Result<CovertRun, ParamError> {
         let geom = machine.hierarchy().l1().geometry();
         self.params
             .validate(geom.ways(), geom.num_sets() as usize)?;
@@ -100,6 +119,10 @@ impl CovertConfig {
             sender_prog = sender_prog.repeating().with_encode_calc(50_000);
         }
         let mut receiver_prog = receiver;
+
+        // The interference party, if any: its own process, its own
+        // buffer, its op stream derived only from the run seed.
+        let mut noise_prog = noise.spawn(machine, self.params.tr.max(1), self.seed);
 
         let probe_set = setup::reserved_probe_set(machine, self.params.target_set);
         let probe = LatencyProbe::new(
@@ -118,10 +141,13 @@ impl CovertConfig {
         machine.access(endpoints.sender_pid, endpoints.sender_line);
 
         let limit = (self.message.len() as u64 + 1) * self.params.ts;
-        let mut threads = [
+        let mut threads = vec![
             ThreadHandle::new(endpoints.sender_pid, &mut sender_prog),
             ThreadHandle::with_probe(endpoints.receiver_pid, &mut receiver_prog, probe),
         ];
+        if let Some((noise_pid, prog)) = noise_prog.as_mut() {
+            threads.push(ThreadHandle::new(*noise_pid, prog));
+        }
         let report = match self.sharing {
             Sharing::HyperThreaded => {
                 HyperThreaded::new(self.seed ^ 0x5eed).run(machine, &mut threads, limit)
@@ -164,17 +190,20 @@ impl CovertConfig {
     }
 }
 
-/// The time-sliced constant-bit experiment behind Figs. 6, 8, 15:
-/// the sender sends only `bit`, the receiver takes `n_samples`
-/// measurements at period `tr`, and the result is the fraction of
-/// measurements the receiver classifies as `1`.
-pub fn percent_ones(
+/// Shared body of the `percent_ones*` family: wire the time-sliced
+/// constant-bit channel, optionally attach one interfering third
+/// party (built by `third_party` right after the channel endpoints,
+/// so the clean path performs *exactly* the pre-noise allocation and
+/// access sequence), run, and tally the fraction of observations
+/// read as `1`.
+fn percent_ones_run(
     platform: Platform,
     params: ChannelParams,
     variant: Variant,
     bit: bool,
     n_samples: usize,
     seed: u64,
+    third_party: impl FnOnce(&mut Machine) -> Option<(Pid, Box<dyn Program>)>,
 ) -> Result<f64, ParamError> {
     let cfg = CovertConfig {
         platform,
@@ -194,6 +223,8 @@ pub fn percent_ones(
         .with_encode_calc(50_000);
     let mut receiver_prog = receiver.with_max_samples(n_samples);
 
+    let noise = third_party(&mut machine);
+
     let probe_set = setup::reserved_probe_set(&machine, params.target_set);
     let probe = LatencyProbe::new(
         &mut machine,
@@ -206,12 +237,18 @@ pub fn percent_ones(
     }
     machine.access(endpoints.sender_pid, endpoints.sender_line);
 
-    // Enough wall-clock for n_samples periods plus scheduling slack.
-    let limit = (n_samples as u64 + 8) * (params.tr + 100_000) + 2 * 400_000_000;
-    let mut threads = [
+    // Enough wall-clock for n_samples periods plus scheduling slack
+    // per party sharing the quanta.
+    let parties = 2 + u64::from(noise.is_some());
+    let limit = (n_samples as u64 + 8) * (params.tr + 100_000) + parties * 400_000_000;
+    let mut threads = vec![
         ThreadHandle::new(endpoints.sender_pid, &mut sender_prog),
         ThreadHandle::with_probe(endpoints.receiver_pid, &mut receiver_prog, probe),
     ];
+    let mut noise = noise;
+    if let Some((noise_pid, prog)) = noise.as_mut() {
+        threads.push(ThreadHandle::new(*noise_pid, &mut **prog));
+    }
     TimeSliced::new(seed ^ 0x711c).run(&mut machine, &mut threads, limit);
 
     let threshold = platform.hit_threshold();
@@ -230,6 +267,26 @@ pub fn percent_ones(
         })
         .count();
     Ok(ones as f64 / samples.len() as f64)
+}
+
+/// The time-sliced constant-bit experiment behind Figs. 6, 8, 15:
+/// the sender sends only `bit`, the receiver takes `n_samples`
+/// measurements at period `tr`, and the result is the fraction of
+/// measurements the receiver classifies as `1`.
+///
+/// # Errors
+///
+/// Returns [`ParamError`] if the parameters do not fit the
+/// platform's L1 geometry.
+pub fn percent_ones(
+    platform: Platform,
+    params: ChannelParams,
+    variant: Variant,
+    bit: bool,
+    n_samples: usize,
+    seed: u64,
+) -> Result<f64, ParamError> {
+    percent_ones_run(platform, params, variant, bit, n_samples, seed, |_| None)
 }
 
 /// One point of a time-sliced percent-of-ones grid (Figs. 6, 8, 15).
@@ -270,6 +327,34 @@ pub fn percent_ones_grid(
     .collect()
 }
 
+/// [`percent_ones`] under a parametric [`NoiseModel`]: the
+/// interference process time-slices the core as a third party.
+/// `NoiseModel::None` delegates to [`percent_ones`] unchanged.
+///
+/// # Errors
+///
+/// Returns [`ParamError`] if the parameters do not fit the
+/// platform's L1 geometry.
+pub fn percent_ones_noisy(
+    platform: Platform,
+    params: ChannelParams,
+    variant: Variant,
+    bit: bool,
+    n_samples: usize,
+    noise: NoiseModel,
+    seed: u64,
+) -> Result<f64, ParamError> {
+    if noise.is_none() {
+        return percent_ones(platform, params, variant, bit, n_samples, seed);
+    }
+    percent_ones_run(platform, params, variant, bit, n_samples, seed, |machine| {
+        let (noise_pid, prog) = noise
+            .spawn(machine, params.tr.max(1), seed)
+            .expect("non-none noise model spawns");
+        Some((noise_pid, Box::new(prog) as Box<dyn Program>))
+    })
+}
+
 /// [`percent_ones`] with a third, benign process time-slicing the
 /// same core (§V-B: "any other processes running during Tr could
 /// pollute the target set and introduce much noise" — the reason the
@@ -287,64 +372,12 @@ pub fn percent_ones_with_noise(
 ) -> Result<f64, ParamError> {
     use exec_sim::noise::RandomTouches;
 
-    let cfg = CovertConfig {
-        platform,
-        params,
-        variant,
-        sharing: Sharing::TimeSliced,
-        message: vec![bit],
-        seed,
-    };
-    let mut machine = Machine::new(platform.arch, PolicyKind::TreePlru, seed);
-    let geom = machine.hierarchy().l1().geometry();
-    params.validate(geom.ways(), geom.num_sets() as usize)?;
-
-    let (endpoints, receiver) = cfg.wire(&mut machine);
-    let mut sender_prog = LruSender::new(endpoints.sender_line, vec![bit], params.ts)
-        .repeating()
-        .with_encode_calc(50_000);
-    let mut receiver_prog = receiver.with_max_samples(n_samples);
-
-    let noise_pid = machine.create_process();
-    let noise_buf = machine.alloc_pages(noise_pid, 4);
-    let mut noise = RandomTouches::new(noise_buf, 4 * 64, 64, 60_000, seed ^ 0x0153);
-
-    let probe_set = setup::reserved_probe_set(&machine, params.target_set);
-    let probe = LatencyProbe::new(
-        &mut machine,
-        endpoints.receiver_pid,
-        platform.tsc,
-        probe_set,
-    );
-    for &va in &endpoints.receiver_lines {
-        machine.access(endpoints.receiver_pid, va);
-    }
-    machine.access(endpoints.sender_pid, endpoints.sender_line);
-
-    let limit = (n_samples as u64 + 8) * (params.tr + 100_000) + 3 * 400_000_000;
-    let mut threads = [
-        ThreadHandle::new(endpoints.sender_pid, &mut sender_prog),
-        ThreadHandle::with_probe(endpoints.receiver_pid, &mut receiver_prog, probe),
-        ThreadHandle::new(noise_pid, &mut noise),
-    ];
-    TimeSliced::new(seed ^ 0x711c).run(&mut machine, &mut threads, limit);
-
-    let threshold = platform.hit_threshold();
-    let samples = receiver_prog.samples();
-    if samples.is_empty() {
-        return Ok(0.0);
-    }
-    let ones = samples
-        .iter()
-        .filter(|s| {
-            let hit = s.measured <= threshold;
-            match variant {
-                Variant::SharedMemory | Variant::SharedMemoryThreads => hit,
-                Variant::NoSharedMemory => !hit,
-            }
-        })
-        .count();
-    Ok(ones as f64 / samples.len() as f64)
+    percent_ones_run(platform, params, variant, bit, n_samples, seed, |machine| {
+        let noise_pid = machine.create_process();
+        let noise_buf = machine.alloc_pages(noise_pid, 4);
+        let touches = RandomTouches::new(noise_buf, 4 * 64, 64, 60_000, seed ^ 0x0153);
+        Some((noise_pid, Box::new(touches) as Box<dyn Program>))
+    })
 }
 
 #[cfg(test)]

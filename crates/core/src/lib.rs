@@ -27,6 +27,11 @@
 //! * [`multiset`] — several target sets driven in parallel (§IV:
 //!   "several sets can be used in parallel to increase the
 //!   transmission rate").
+//! * [`noise`] — deterministic environmental interference: the
+//!   [`noise::NoiseModel`] spec (random eviction, periodic co-runner
+//!   bursts, Bernoulli per-observation touches) with a scheduled
+//!   [`exec_sim::program::Program`] face for covert runs and an
+//!   access-stream face for [`cache_sim::stream`].
 //! * [`plru_study`] — the Table I eviction-probability study of
 //!   Tree-PLRU / Bit-PLRU vs true LRU.
 //! * [`analysis`] — histograms and trace summaries (Figs. 3, 5, 13).
@@ -74,6 +79,7 @@ pub mod covert;
 pub mod decode;
 pub mod edit_distance;
 pub mod multiset;
+pub mod noise;
 pub mod params;
 pub mod plru_study;
 pub mod protocol;
@@ -81,5 +87,6 @@ pub mod setup;
 pub mod trials;
 
 pub use covert::{CovertConfig, CovertRun, Sharing, Variant};
+pub use noise::{NoiseError, NoiseModel};
 pub use params::{ChannelParams, ParamError, Platform};
 pub use protocol::{LruReceiver, LruSender, Sample};

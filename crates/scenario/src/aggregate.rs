@@ -169,6 +169,58 @@ impl Reducer for ScalarStats {
     }
 }
 
+/// Streams error-rate statistics plus a Shannon channel-capacity
+/// estimate ([`crate::capacity::bsc_capacity`] of the mean measured
+/// error rate, scaled by the mean nominal rate). Constant memory:
+/// two [`KeyStat`]s per accumulator. This is the default summary for
+/// covert scenarios with a noise axis — the question there is "how
+/// much information survives the interference", not just the raw
+/// error rate.
+pub struct CapacityStats;
+
+impl Reducer for CapacityStats {
+    type Acc = [KeyStat; 2];
+
+    fn init(&self) -> [KeyStat; 2] {
+        [KeyStat::new(), KeyStat::new()]
+    }
+
+    fn fold(&self, acc: &mut [KeyStat; 2], _index: usize, outcome: Outcome) {
+        for (stat, key) in acc.iter_mut().zip(["error_rate", "rate_bps"]) {
+            if let Some(x) = outcome.metrics.get(key).and_then(Value::as_f64) {
+                stat.add(x);
+            }
+        }
+    }
+
+    fn merge(&self, acc: &mut [KeyStat; 2], other: [KeyStat; 2]) {
+        let [e, r] = other;
+        acc[0].absorb(e);
+        acc[1].absorb(r);
+    }
+
+    fn finish(&self, acc: [KeyStat; 2]) -> Value {
+        let [errors, rates] = acc;
+        let mut v = Value::obj().with("aggregate", "capacity");
+        if errors.count > 0 {
+            let mean_err = errors.sum / errors.count as f64;
+            let capacity = crate::capacity::bsc_capacity(mean_err);
+            v = v
+                .with("error_rate", errors.to_value())
+                .with("capacity_bits_per_use", capacity);
+            if rates.count > 0 {
+                let mean_rate = rates.sum / rates.count as f64;
+                v = v
+                    .with("mean_rate_bps", mean_rate)
+                    .with("capacity_bps", capacity * mean_rate);
+            }
+        } else {
+            v = v.with("error_rate", errors.to_value());
+        }
+        v
+    }
+}
+
 /// Streams a fixed-bin histogram of one `[0, 1]`-valued metric key
 /// (percent-of-ones fractions, error rates) plus its running stats.
 /// Integer bin counts merge associatively; the stats follow the
@@ -239,6 +291,9 @@ pub enum Aggregate {
         /// Number of equal-width bins.
         bins: usize,
     },
+    /// Constant-memory error-rate stats plus the Shannon
+    /// channel-capacity bound ([`CapacityStats`]).
+    Capacity,
 }
 
 impl Aggregate {
@@ -294,6 +349,17 @@ impl Aggregate {
         }
     }
 
+    /// The default summary for a whole *scenario*: like
+    /// [`Aggregate::for_kind`], but a covert scenario with a noise
+    /// axis gets the [`CapacityStats`] capacity estimate — the
+    /// number the noise sweeps are run to learn.
+    pub fn for_scenario(scenario: &Scenario) -> Aggregate {
+        if scenario.kind == ExperimentKind::Covert && !scenario.noise.is_none() {
+            return Aggregate::Capacity;
+        }
+        Aggregate::for_kind(&scenario.kind)
+    }
+
     /// Runs `scenario`'s trials through this aggregate's reducer.
     pub fn reduce(&self, scenario: &Scenario, progress: Option<ProgressFn>) -> Value {
         match *self {
@@ -302,6 +368,7 @@ impl Aggregate {
             Aggregate::Histogram { key, bins } => {
                 scenario.run_reduced_with(&KeyHistogram { key, bins }, progress)
             }
+            Aggregate::Capacity => scenario.run_reduced_with(&CapacityStats, progress),
         }
     }
 }

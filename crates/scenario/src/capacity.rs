@@ -1,0 +1,89 @@
+//! Channel-capacity estimates from measured error rates.
+//!
+//! The covert channel transmits one bit per sender period; a
+//! measured bit-error rate `p` therefore bounds the information the
+//! channel can carry. Modeling each bit as one use of a binary
+//! symmetric channel, Shannon's bound gives `C = 1 − H₂(p)` bits of
+//! information per transmitted bit, and `C × rate` bits/second at a
+//! nominal transmission rate. The noise ablations
+//! (`ablation_noise_*` in [`crate::registry`]) report this bound
+//! next to every measured error rate, which turns "the error rate
+//! rose from 4% to 31%" into "the channel lost 87% of its capacity".
+//!
+//! The estimate is an upper bound under the symmetric-memoryless
+//! assumption: bursty interference ([`lru_channel::noise`]'s
+//! periodic model) makes errors correlated, which a real coding
+//! scheme could exploit or suffer from. The bound is still the
+//! standard single-number summary the side-channel literature
+//! reports.
+
+/// Binary entropy `H₂(p)` in bits, with `H₂(0) = H₂(1) = 0`.
+pub fn binary_entropy(p: f64) -> f64 {
+    if !(0.0..=1.0).contains(&p) || p == 0.0 || p == 1.0 {
+        return 0.0;
+    }
+    -(p * p.log2()) - (1.0 - p) * (1.0 - p).log2()
+}
+
+/// Shannon capacity of a binary symmetric channel with crossover
+/// probability `error_rate`, in bits per channel use.
+///
+/// The crossover is folded into `[0, 0.5]` first (a channel that is
+/// wrong more than half the time is an inverted channel of the
+/// complementary error rate), and out-of-range measurements clamp,
+/// so any observed error rate maps to a capacity in `[0, 1]`.
+pub fn bsc_capacity(error_rate: f64) -> f64 {
+    let p = error_rate.clamp(0.0, 1.0);
+    let p = p.min(1.0 - p);
+    1.0 - binary_entropy(p)
+}
+
+/// Capacity in bits/second: [`bsc_capacity`] of the measured error
+/// rate times the nominal transmission rate.
+pub fn capacity_bps(error_rate: f64, rate_bps: f64) -> f64 {
+    bsc_capacity(error_rate) * rate_bps.max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entropy_peaks_at_a_fair_coin() {
+        assert_eq!(binary_entropy(0.0), 0.0);
+        assert_eq!(binary_entropy(1.0), 0.0);
+        assert!((binary_entropy(0.5) - 1.0).abs() < 1e-12);
+        assert!(binary_entropy(0.11) < binary_entropy(0.3));
+    }
+
+    #[test]
+    fn capacity_spans_the_unit_interval() {
+        assert_eq!(bsc_capacity(0.0), 1.0);
+        assert!((bsc_capacity(0.5)).abs() < 1e-12);
+        // The textbook value: C(0.11) ≈ 0.5 bits/use.
+        assert!((bsc_capacity(0.11) - 0.5).abs() < 0.01);
+        // Symmetric fold: a 90%-wrong channel carries as much as a
+        // 10%-wrong one (up to the rounding of 1 − 0.9).
+        assert!((bsc_capacity(0.9) - bsc_capacity(0.1)).abs() < 1e-12);
+        // Garbage measurements clamp instead of going negative.
+        assert_eq!(bsc_capacity(-3.0), 1.0);
+        assert_eq!(bsc_capacity(7.0), 1.0);
+    }
+
+    #[test]
+    fn capacity_is_monotone_in_the_error_rate() {
+        let mut last = f64::INFINITY;
+        for i in 0..=50 {
+            let c = bsc_capacity(f64::from(i) / 100.0);
+            assert!(c <= last + 1e-12, "capacity must fall as errors rise");
+            last = c;
+        }
+    }
+
+    #[test]
+    fn capacity_bps_scales_the_rate() {
+        assert_eq!(capacity_bps(0.0, 480_000.0), 480_000.0);
+        assert!(capacity_bps(0.5, 480_000.0).abs() < 1e-6);
+        assert_eq!(capacity_bps(0.25, -5.0), 0.0);
+    }
+}

@@ -31,7 +31,9 @@ use exec_sim::measure::{rdtscp_single, LatencyProbe};
 use exec_sim::sched::{HyperThreaded, ThreadHandle};
 use exec_sim::speculation::{build_victim, SpecMode};
 use lru_channel::analysis::Histogram;
-use lru_channel::covert::{percent_ones, percent_ones_with_noise, CovertConfig, Variant};
+use lru_channel::covert::{
+    percent_ones, percent_ones_noisy, percent_ones_with_noise, CovertConfig, Variant,
+};
 use lru_channel::decode::{self, BitConvention};
 use lru_channel::edit_distance::error_rate;
 use lru_channel::multiset::run_parallel_alg1;
@@ -174,11 +176,13 @@ impl Scenario {
         reducer.finish(acc)
     }
 
-    /// Streams the trials through the kind's default
-    /// [`Aggregate::for_kind`] summary — the constant-memory way to
-    /// run a million-trial sweep.
+    /// Streams the trials through the scenario's default
+    /// [`Aggregate::for_scenario`] summary — the constant-memory way
+    /// to run a million-trial sweep. (Noisy covert scenarios get the
+    /// channel-capacity aggregate; everything else keeps its kind's
+    /// default.)
     pub fn run_summary(&self) -> Value {
-        Aggregate::for_kind(&self.kind).reduce(self, None)
+        Aggregate::for_scenario(self).reduce(self, None)
     }
 }
 
@@ -215,7 +219,9 @@ impl Experiment for CovertExperiment {
             seed,
         };
         let mut machine = Machine::new(platform.arch, s.policy, seed);
-        let run = cfg.run_on(&mut machine).expect("validated at build");
+        let run = cfg
+            .run_on_with_noise(&mut machine, s.noise)
+            .expect("validated at build");
 
         let (conv, ratio) = convention_for(s.variant);
         let coarse = platform.tsc.granularity > 1;
@@ -298,6 +304,8 @@ impl Experiment for PercentOnesExperiment {
         let platform = s.platform.platform();
         let fraction = if s.workload == WorkloadId::BenignNoise {
             percent_ones_with_noise(platform, s.params, s.variant, bit, samples, seed)
+        } else if !s.noise.is_none() {
+            percent_ones_noisy(platform, s.params, s.variant, bit, samples, s.noise, seed)
         } else {
             percent_ones(platform, s.params, s.variant, bit, samples, seed)
         }

@@ -28,8 +28,13 @@
 //!   [`lru_channel::trials`], so a million-trial sweep needs
 //!   `O(workers × chunk)` memory, not `O(trials)`, and stays
 //!   bit-identical across worker counts.
+//! * [`capacity`] — Shannon channel-capacity estimates from measured
+//!   bit-error rates (the binary-symmetric-channel bound), reported
+//!   by the noise ablations and the [`aggregate::CapacityStats`]
+//!   reducer.
 //! * [`registry`] — paper artifact IDs (`fig3`…`fig15`,
-//!   `table1`…`table7`, ablations) resolved to scenario grids plus
+//!   `table1`…`table7`, ablations — including the `ablation_noise_*`
+//!   interference sweeps) resolved to scenario grids plus
 //!   renderers; bench targets and the `lru-leak` CLI both run
 //!   artifacts through [`registry::Artifact::run`].
 //! * [`json`] — the dependency-free JSON tree both layers serialize
@@ -72,15 +77,18 @@
 #![warn(missing_docs)]
 
 pub mod aggregate;
+pub mod capacity;
 pub mod experiment;
 pub mod fmt;
 pub mod json;
 pub mod registry;
 pub mod spec;
 
-pub use aggregate::{Aggregate, CollectMetrics, KeyHistogram, ProgressFn, Reducer, ScalarStats};
+pub use aggregate::{
+    Aggregate, CapacityStats, CollectMetrics, KeyHistogram, ProgressFn, Reducer, ScalarStats,
+};
 pub use experiment::{Experiment, Outcome};
 pub use fmt::BENCH_SEED;
 pub use json::Value;
 pub use registry::{Artifact, Report, RunOpts};
-pub use spec::{ExperimentKind, MessageSource, PlatformId, Scenario, ScenarioError};
+pub use spec::{ExperimentKind, MessageSource, NoiseModel, PlatformId, Scenario, ScenarioError};

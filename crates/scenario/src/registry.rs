@@ -20,8 +20,8 @@ use crate::aggregate::ProgressFn;
 use crate::fmt::{geomean, header, kbps, pct, pct1, row, sparkline, BENCH_SEED};
 use crate::json::Value;
 use crate::spec::{
-    ChannelId, DefenseId, ExperimentKind, InitId, MessageSource, PlatformId, Scenario, SequenceId,
-    WorkloadId,
+    ChannelId, DefenseId, ExperimentKind, InitId, MessageSource, NoiseModel, PlatformId, Scenario,
+    SequenceId, WorkloadId,
 };
 
 /// Knobs the CLI and the bench targets pass down to a grid.
@@ -333,6 +333,22 @@ pub static ARTIFACTS: &[Artifact] = &[
         what: "Spectre + LRU Alg.2 under prefetcher noise: rounds + random-order scans + voting recover the signal",
         grid: ablation_prefetcher_grid,
         render: ablation_prefetcher_render,
+    },
+    Artifact {
+        id: "ablation_noise_ber",
+        bench: "ablation_noise_ber",
+        paper_ref: "Extension of §V (environmental noise)",
+        what: "Alg.1 vs Alg.2 bit-error rate + Shannon capacity under injected interference: random eviction, periodic bursts, Bernoulli touches",
+        grid: ablation_noise_ber_grid,
+        render: ablation_noise_ber_render,
+    },
+    Artifact {
+        id: "ablation_noise_capacity",
+        bench: "ablation_noise_capacity",
+        paper_ref: "Extension of §V-A (capacity under noise)",
+        what: "channel capacity (BSC bound) over the rate x noise-level grid: where the optimal operating point moves as interference grows",
+        grid: ablation_noise_capacity_grid,
+        render: ablation_noise_capacity_render,
     },
 ];
 
@@ -1539,6 +1555,226 @@ fn ablation_prefetcher_grid(opts: &RunOpts) -> Vec<Scenario> {
             )
         })
         .collect()
+}
+
+// ---- Noise ablations: BER + channel capacity under injected
+// ---- interference (extension of §V; see lru_channel::noise) ----
+
+/// One noisy covert cell: `variant` at its paper-default parameters
+/// under `noise`, sending a seed-derived random string. All cells of
+/// a ladder share the master seed, so within a sweep the *only*
+/// difference between cells is the interference — error-rate deltas
+/// are attributable, not sampling noise.
+fn noisy_covert_cell(
+    opts: &RunOpts,
+    variant: Variant,
+    noise: NoiseModel,
+    repeats: usize,
+) -> Scenario {
+    let params = match variant {
+        Variant::NoSharedMemory => ChannelParams::paper_alg2_default(),
+        _ => ChannelParams::paper_alg1_default(),
+    };
+    must(
+        Scenario::builder()
+            .variant(variant)
+            .params(params)
+            .noise(noise)
+            .message(MessageSource::Random { bits: 96, repeats })
+            .seed(opts.seed)
+            .build(),
+    )
+}
+
+/// The interference ladder of `ablation_noise_ber`: each model at
+/// three intensities, mild → hostile, after a noise-free baseline.
+/// Intensities are tuned (empirically, at the Fig. 5 operating
+/// point) so Algorithm 2's error rate climbs from its clean-channel
+/// level into the tens of percent within each ladder.
+fn noise_ladder() -> Vec<NoiseModel> {
+    let mut ladder = vec![NoiseModel::None];
+    // Diffuse pollution: 8-way pressure on every set, rate rising.
+    for gap_cycles in [75, 40, 28] {
+        ladder.push(NoiseModel::RandomEviction {
+            lines: 512,
+            gap_cycles,
+        });
+    }
+    // Phase-structured co-runner: 2 lines/set per burst, ever denser.
+    for period_cycles in [16_000, 3_700, 2_400] {
+        ladder.push(NoiseModel::PeriodicBurst {
+            period_cycles,
+            burst_lines: 128,
+        });
+    }
+    // Focused contention: a 4-line hot set overlapping the victim's
+    // set region, touched per receiver observation with rising p.
+    for p in [0.45, 0.6, 0.75] {
+        ladder.push(NoiseModel::Bernoulli { p, lines: 4 });
+    }
+    ladder
+}
+
+/// Each ladder entry runs twice: Algorithm 1 (shared memory, the
+/// robust single-line hit/miss readout) next to Algorithm 2 (whole-
+/// set eviction readout, the noise-sensitive one).
+fn ablation_noise_ber_grid(opts: &RunOpts) -> Vec<Scenario> {
+    let repeats = opts.count(4);
+    let mut grid = Vec::new();
+    for noise in noise_ladder() {
+        for variant in [Variant::SharedMemory, Variant::NoSharedMemory] {
+            grid.push(noisy_covert_cell(opts, variant, noise, repeats));
+        }
+    }
+    grid
+}
+
+fn ablation_noise_ber_render(_o: &RunOpts, grid: &[Scenario], outs: &[Value]) -> (String, Value) {
+    let mut buf = String::new();
+    row(
+        &mut buf,
+        "interference",
+        &["Alg.1 BER", "Alg.2 BER", "Alg.2 C", "Alg.2 capacity"],
+    );
+    let mut summary = Vec::new();
+    let mut baseline_capacity = 0.0;
+    for pair in grid.chunks(2).zip(outs.chunks(2)) {
+        let ((sc1, out1), (sc2, out2)) = ((&pair.0[0], &pair.1[0]), (&pair.0[1], &pair.1[1]));
+        debug_assert_eq!(sc1.variant, Variant::SharedMemory);
+        let err1 = f(out1, "error_rate");
+        let err2 = f(out2, "error_rate");
+        let rate2 = f(out2, "rate_bps");
+        let cap = crate::capacity::bsc_capacity(err2);
+        let cap_bps = cap * rate2;
+        if sc2.noise.is_none() {
+            baseline_capacity = cap_bps;
+        }
+        row(
+            &mut buf,
+            &sc2.noise.label(),
+            &[pct1(err1), pct1(err2), format!("{cap:.3}"), kbps(cap_bps)],
+        );
+        for (sc, err) in [(sc1, err1), (sc2, err2)] {
+            summary.push(
+                Value::obj()
+                    .with("variant", crate::spec::variant_name(sc.variant))
+                    .with("noise", crate::spec::noise_to_json(&sc.noise))
+                    .with("error_rate", err)
+                    .with("capacity_bits_per_use", crate::capacity::bsc_capacity(err)),
+            );
+        }
+        if let Some(v) = summary.last_mut() {
+            *v = v.clone().with("capacity_bps", cap_bps);
+        }
+    }
+    let _ = writeln!(
+        buf,
+        "\nshape check: Algorithm 1's single shared-line readout shrugs the interference off;\n\
+         Algorithm 2's whole-set readout degrades with every ladder step, from its clean\n\
+         capacity of {} down — mirroring the paper's §V-B noise argument",
+        kbps(baseline_capacity)
+    );
+    (buf, Value::Arr(summary))
+}
+
+/// Noise levels of the capacity sweep (focused Bernoulli
+/// per-observation interference; level 0 is the clean channel).
+const NOISE_SWEEP_PS: [f64; 4] = [0.0, 0.3, 0.45, 0.75];
+
+fn noise_sweep_model(p: f64) -> NoiseModel {
+    if p == 0.0 {
+        NoiseModel::None
+    } else {
+        NoiseModel::Bernoulli { p, lines: 4 }
+    }
+}
+
+/// Algorithm 2 over noise level × sender period: the sweep behind
+/// the capacity operating-point table. The seed depends only on the
+/// column (`ts`), so every noise level of a column replays the same
+/// clean run under heavier interference.
+fn ablation_noise_capacity_grid(opts: &RunOpts) -> Vec<Scenario> {
+    let repeats = opts.count(4);
+    let mut grid = Vec::new();
+    for p in NOISE_SWEEP_PS {
+        for ts in FIG4_TSS {
+            grid.push(must(
+                Scenario::builder()
+                    .variant(Variant::NoSharedMemory)
+                    .params(ChannelParams {
+                        ts,
+                        ..ChannelParams::paper_alg2_default()
+                    })
+                    .noise(noise_sweep_model(p))
+                    .message(MessageSource::Random { bits: 96, repeats })
+                    .seed(opts.seed ^ ts)
+                    .build(),
+            ));
+        }
+    }
+    grid
+}
+
+fn ablation_noise_capacity_render(
+    _o: &RunOpts,
+    grid: &[Scenario],
+    outs: &[Value],
+) -> (String, Value) {
+    let platform = PlatformId::E5_2690.platform();
+    let mut buf = String::new();
+    let rate_labels: Vec<String> = FIG4_TSS
+        .iter()
+        .map(|&ts| kbps(platform.rate_bps(ts)))
+        .collect();
+    let mut summary = Vec::new();
+    let mut next = grid.iter().zip(outs);
+    let mut tables = [String::new(), String::new()];
+    row(&mut tables[0], "noise \\ nominal rate", &rate_labels);
+    row(&mut tables[1], "noise \\ nominal rate", &rate_labels);
+    for p in NOISE_SWEEP_PS {
+        let label = noise_sweep_model(p).label();
+        let mut errs = Vec::new();
+        let mut caps = Vec::new();
+        let mut best = (0.0f64, 0.0f64); // (capacity_bps, nominal rate)
+        for _ in FIG4_TSS {
+            let (sc, out) = next.next().expect("grid sized");
+            let err = f(out, "error_rate");
+            let rate = f(out, "rate_bps");
+            let cap_bps = crate::capacity::capacity_bps(err, rate);
+            if cap_bps > best.0 {
+                best = (cap_bps, rate);
+            }
+            errs.push(pct1(err));
+            caps.push(kbps(cap_bps));
+            summary.push(
+                Value::obj()
+                    .with("noise", crate::spec::noise_to_json(&sc.noise))
+                    .with("ts", sc.params.ts)
+                    .with("rate_bps", rate)
+                    .with("error_rate", err)
+                    .with("capacity_bps", cap_bps),
+            );
+        }
+        row(&mut tables[0], &label, &errs);
+        row(&mut tables[1], &label, &caps);
+        let _ = writeln!(
+            &mut tables[1],
+            "{:<28} best operating point: {} capacity at nominal {}",
+            "",
+            kbps(best.0),
+            kbps(best.1)
+        );
+    }
+    buf.push_str("\nbit-error rate:\n");
+    buf.push_str(&tables[0]);
+    buf.push_str("\nShannon capacity (BSC bound, C x nominal rate):\n");
+    buf.push_str(&tables[1]);
+    buf.push_str(
+        "\nshape check: at the fastest nominal rate, capacity falls strictly with every noise\n\
+         level; mid-ladder the optimum shifts off the fastest rate and the best/worst spread\n\
+         narrows — the channel trades speed for reliability rather than dying outright\n",
+    );
+    (buf, Value::Arr(summary))
 }
 
 fn ablation_prefetcher_render(_o: &RunOpts, grid: &[Scenario], outs: &[Value]) -> (String, Value) {

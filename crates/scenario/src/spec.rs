@@ -15,6 +15,7 @@ use std::fmt;
 
 use cache_sim::replacement::PolicyKind;
 use lru_channel::covert::{Sharing, Variant};
+pub use lru_channel::noise::NoiseModel;
 use lru_channel::params::{ChannelParams, ParamError, Platform};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -364,6 +365,95 @@ impl MessageSource {
             "message must be one of alternating/constant/random/text/bits",
         ))
     }
+}
+
+/// Serializes a [`NoiseModel`] (the scenario `noise` axis). `None`
+/// is the default and is *omitted* by [`Scenario::to_json`], so
+/// pre-noise scenario encodings are unchanged byte for byte;
+/// [`Scenario::to_json_full`] spells it out as `"none"`.
+pub fn noise_to_json(noise: &NoiseModel) -> Value {
+    match *noise {
+        NoiseModel::None => Value::Str("none".into()),
+        NoiseModel::RandomEviction { lines, gap_cycles } => Value::obj().with(
+            "random-eviction",
+            Value::obj()
+                .with("lines", lines)
+                .with("gap_cycles", gap_cycles),
+        ),
+        NoiseModel::PeriodicBurst {
+            period_cycles,
+            burst_lines,
+        } => Value::obj().with(
+            "periodic-burst",
+            Value::obj()
+                .with("period_cycles", period_cycles)
+                .with("burst_lines", burst_lines),
+        ),
+        NoiseModel::Bernoulli { p, lines } => {
+            Value::obj().with("bernoulli", Value::obj().with("p", p).with("lines", lines))
+        }
+    }
+}
+
+/// Parses the scenario `noise` axis. A missing field means
+/// [`NoiseModel::None`]; an unknown model name is a parse error that
+/// lists the valid ones.
+///
+/// # Errors
+///
+/// [`ScenarioError::Parse`] naming the offending field.
+pub fn noise_from_json(v: &Value) -> Result<NoiseModel, ScenarioError> {
+    if let Some(s) = v.as_str() {
+        return match s {
+            "none" => Ok(NoiseModel::None),
+            other => Err(unknown_noise(other)),
+        };
+    }
+    let pairs = match v {
+        Value::Obj(pairs) if pairs.len() == 1 => pairs,
+        _ => {
+            return Err(ScenarioError::parse(
+                "noise must be \"none\" or an object with exactly one model key",
+            ))
+        }
+    };
+    let (tag, body) = (&pairs[0].0, &pairs[0].1);
+    let u32_field = |key: &str| -> Result<u32, ScenarioError> {
+        body.get(key)
+            .and_then(Value::as_u64)
+            .filter(|&x| x <= u64::from(u32::MAX))
+            .map(|x| x as u32)
+            .ok_or_else(|| ScenarioError::parse(format!("noise.{tag}.{key} must be an integer")))
+    };
+    match tag.as_str() {
+        "random-eviction" => Ok(NoiseModel::RandomEviction {
+            lines: u32_field("lines")?,
+            gap_cycles: u32_field("gap_cycles")?,
+        }),
+        "periodic-burst" => Ok(NoiseModel::PeriodicBurst {
+            period_cycles: body
+                .get("period_cycles")
+                .and_then(Value::as_u64)
+                .ok_or_else(|| {
+                    ScenarioError::parse("noise.periodic-burst.period_cycles must be an integer")
+                })?,
+            burst_lines: u32_field("burst_lines")?,
+        }),
+        "bernoulli" => Ok(NoiseModel::Bernoulli {
+            p: body
+                .get("p")
+                .and_then(Value::as_f64)
+                .ok_or_else(|| ScenarioError::parse("noise.bernoulli.p must be a number"))?,
+            lines: u32_field("lines")?,
+        }),
+        other => Err(unknown_noise(other)),
+    }
+}
+
+fn unknown_noise(name: &str) -> ScenarioError {
+    ScenarioError::parse(format!(
+        "unknown noise model {name:?} — expected none, random-eviction, periodic-burst or bernoulli"
+    ))
 }
 
 /// The disclosure/comparison channel of an attack-flavored
@@ -779,6 +869,10 @@ pub struct Scenario {
     pub defense: DefenseId,
     /// Background workload.
     pub workload: WorkloadId,
+    /// Environmental interference injected into the run
+    /// ([`NoiseModel::None`] by default — omitted from JSON so
+    /// pre-noise encodings are stable).
+    pub noise: NoiseModel,
     /// Channel parameters (`d`, target set, `Ts`, `Tr`).
     pub params: ChannelParams,
     /// Message source.
@@ -805,6 +899,7 @@ impl Scenario {
                 sharing: Sharing::HyperThreaded,
                 defense: DefenseId::None,
                 workload: WorkloadId::Idle,
+                noise: NoiseModel::None,
                 params: ChannelParams::paper_alg1_default(),
                 message: MessageSource::Alternating { bits: 20 },
                 kind: ExperimentKind::Covert,
@@ -815,26 +910,55 @@ impl Scenario {
     }
 
     /// Serializes to a JSON tree (lossless; see [`Scenario::from_json`]).
+    ///
+    /// The default `noise` axis ([`NoiseModel::None`]) is omitted, so
+    /// scenarios that predate the noise subsystem keep their exact
+    /// historical byte encoding. Use [`Scenario::to_json_full`] when
+    /// every axis should be spelled out.
     pub fn to_json(&self) -> Value {
-        Value::obj()
+        let mut v = Value::obj()
             .with("platform", self.platform.name())
             .with("policy", policy_name(self.policy))
             .with("variant", variant_name(self.variant))
             .with("sharing", sharing_name(self.sharing))
             .with("defense", self.defense.name())
-            .with("workload", self.workload.to_json())
-            .with(
-                "params",
-                Value::obj()
-                    .with("d", self.params.d)
-                    .with("target_set", self.params.target_set)
-                    .with("ts", self.params.ts)
-                    .with("tr", self.params.tr),
-            )
-            .with("message", self.message.to_json())
-            .with("kind", self.kind.to_json())
-            .with("trials", self.trials)
-            .with("seed", self.seed)
+            .with("workload", self.workload.to_json());
+        if !self.noise.is_none() {
+            v = v.with("noise", noise_to_json(&self.noise));
+        }
+        v.with(
+            "params",
+            Value::obj()
+                .with("d", self.params.d)
+                .with("target_set", self.params.target_set)
+                .with("ts", self.params.ts)
+                .with("tr", self.params.tr),
+        )
+        .with("message", self.message.to_json())
+        .with("kind", self.kind.to_json())
+        .with("trials", self.trials)
+        .with("seed", self.seed)
+    }
+
+    /// [`Scenario::to_json`] with *every* axis spelled out, including
+    /// a default `noise` axis as the explicit string `"none"`. This
+    /// is what `lru-leak show` prints, so a grid listing never hides
+    /// an axis behind its default.
+    pub fn to_json_full(&self) -> Value {
+        let v = self.to_json();
+        if self.noise.is_none() {
+            let Value::Obj(mut pairs) = v else {
+                unreachable!("to_json builds an object")
+            };
+            let at = pairs
+                .iter()
+                .position(|(k, _)| k == "params")
+                .unwrap_or(pairs.len());
+            pairs.insert(at, ("noise".to_string(), noise_to_json(&self.noise)));
+            Value::Obj(pairs)
+        } else {
+            v
+        }
     }
 
     /// Deserializes and re-validates a scenario.
@@ -864,6 +988,10 @@ impl Scenario {
             v.get("workload")
                 .ok_or_else(|| ScenarioError::parse("missing workload"))?,
         )?;
+        let noise = match v.get("noise") {
+            Some(n) => noise_from_json(n)?,
+            None => NoiseModel::None,
+        };
         let p = v
             .get("params")
             .ok_or_else(|| ScenarioError::parse("missing params"))?;
@@ -899,6 +1027,7 @@ impl Scenario {
                 sharing,
                 defense,
                 workload,
+                noise,
                 params,
                 message,
                 kind,
@@ -968,6 +1097,13 @@ impl ScenarioBuilder {
     #[must_use]
     pub fn workload(mut self, workload: WorkloadId) -> Self {
         self.inner.workload = workload;
+        self
+    }
+
+    /// Sets the environmental-noise axis.
+    #[must_use]
+    pub fn noise(mut self, noise: NoiseModel) -> Self {
+        self.inner.noise = noise;
         self
     }
 
@@ -1177,6 +1313,24 @@ impl ScenarioBuilder {
             return Err(ScenarioError::incompatible(
                 "the benign-noise workload is modeled for percent-ones runs only",
             ));
+        }
+        if !s.noise.is_none() {
+            s.noise
+                .validate()
+                .map_err(|e| ScenarioError::incompatible(e.to_string()))?;
+            if !matches!(
+                s.kind,
+                ExperimentKind::Covert | ExperimentKind::PercentOnes { .. }
+            ) {
+                return Err(ScenarioError::incompatible(
+                    "the noise axis is threaded through covert and percent-ones runs only",
+                ));
+            }
+            if s.workload == WorkloadId::BenignNoise {
+                return Err(ScenarioError::incompatible(
+                    "pick either the benign-noise workload or a parametric noise model, not both",
+                ));
+            }
         }
         Ok(s)
     }

@@ -41,7 +41,7 @@
 //! | [`scenario`] | **the public API**: declarative scenarios, the `Experiment` trait, the paper-artifact registry, deterministic JSON |
 //! | [`cache_sim`] | set-associative caches with observable replacement state, PL cache, AMD µtag way predictor, prefetchers, perf counters |
 //! | [`exec_sim`] | processes/page tables, timestamp-counter models, pointer-chase measurement, SMT & time-sliced schedulers, Spectre-v1 speculation |
-//! | [`lru_channel`] | **the paper's contribution**: Algorithms 1–3, decoders, the Table I PLRU study, Wagner–Fischer error analysis, the parallel trial driver |
+//! | [`lru_channel`] | **the paper's contribution**: Algorithms 1–3, decoders, the Table I PLRU study, Wagner–Fischer error analysis, the parallel trial driver, seed-derived noise models |
 //! | [`attacks`] | Flush+Reload / Prime+Probe baselines, Spectre-v1 with pluggable disclosure primitives, Tables V–VII experiments |
 //! | [`defense`] | §IX defenses: FIFO/Random substitution (Fig. 9), fixed PL cache (Fig. 11), DAWG-style partitioning, invisible speculation, detection |
 //! | [`workloads`] | synthetic SPEC-like benchmark suite and CPI model for the defense study |

@@ -10,7 +10,7 @@ use lru_leak::scenario::{ScenarioError, Value};
 /// Every paper-artifact bench target in `crates/bench/benches/`
 /// (`micro` and `bench_perf_smoke` measure the library itself, not a
 /// paper artifact, and are deliberately absent).
-const BENCH_TARGETS: [&str; 21] = [
+const BENCH_TARGETS: [&str; 23] = [
     "fig3_pointer_chase",
     "fig4_error_rates",
     "fig5_traces",
@@ -32,6 +32,8 @@ const BENCH_TARGETS: [&str; 21] = [
     "ablation_defenses",
     "ablation_multiset",
     "ablation_prefetcher",
+    "ablation_noise_ber",
+    "ablation_noise_capacity",
 ];
 
 #[test]
@@ -103,6 +105,128 @@ fn scenarios_round_trip_losslessly_through_json() {
             assert_eq!(back.to_json().to_string(), text, "{id} fixed point");
         }
     }
+}
+
+// ---- The noise axis: JSON edge cases and the backward-
+// ---- compatibility pin ----
+
+/// The exact bytes `Scenario::builder().build().to_json()` produced
+/// *before* the noise subsystem existed. Default-noise scenarios
+/// must keep encoding to these bytes forever — the noise axis is
+/// omitted at its default, not serialized as a new field.
+const PRE_NOISE_DEFAULT_JSON: &str = r#"{"platform":"e5-2690","policy":"tree-plru","variant":"alg1-shared-memory","sharing":"hyper-threaded","defense":"none","workload":"idle","params":{"d":8,"target_set":0,"ts":6000,"tr":600},"message":{"alternating":20},"kind":{"covert":{}},"trials":1,"seed":298501349}"#;
+
+/// Same pin for a registry grid cell (the first fig6 scenario).
+const PRE_NOISE_FIG6_CELL_JSON: &str = r#"{"platform":"e5-2690","policy":"tree-plru","variant":"alg1-shared-memory","sharing":"time-sliced","defense":"none","workload":"idle","params":{"d":1,"target_set":0,"ts":50000000,"tr":50000000},"message":{"constant":{"bit":false,"bits":1}},"kind":{"percent-ones":{"samples":150}},"trials":1,"seed":321926244}"#;
+
+#[test]
+fn default_noise_scenarios_keep_their_pre_noise_encoding() {
+    let s = Scenario::builder().build().unwrap();
+    assert_eq!(s.to_json().to_string(), PRE_NOISE_DEFAULT_JSON);
+    // And the pre-noise bytes parse back to the same scenario.
+    assert_eq!(Scenario::from_json_str(PRE_NOISE_DEFAULT_JSON).unwrap(), s);
+
+    let fig6 = registry::get("fig6")
+        .unwrap()
+        .scenarios(&RunOpts::default());
+    assert_eq!(fig6[0].to_json().to_string(), PRE_NOISE_FIG6_CELL_JSON);
+    assert_eq!(
+        Scenario::from_json_str(PRE_NOISE_FIG6_CELL_JSON).unwrap(),
+        fig6[0]
+    );
+}
+
+#[test]
+fn unknown_noise_models_are_rejected_with_a_clear_error() {
+    for noise in [
+        r#""thermal""#,
+        r#"{"thermal":{"degrees":451}}"#,
+        r#"{"bernoulli":{"p":0.5,"lines":64},"extra":{}}"#,
+        "42",
+    ] {
+        let text = PRE_NOISE_DEFAULT_JSON
+            .replace(r#","params""#, &format!(r#","noise":{noise},"params""#));
+        let err = Scenario::from_json_str(&text).unwrap_err();
+        let ScenarioError::Parse(msg) = &err else {
+            panic!("noise={noise}: expected a parse error, got {err:?}");
+        };
+        assert!(
+            msg.contains("noise"),
+            "noise={noise}: error should name the noise field, got {msg:?}"
+        );
+    }
+    // Unknown model names list the valid ones.
+    let text =
+        PRE_NOISE_DEFAULT_JSON.replace(r#","params""#, r#","noise":{"thermal":{}},"params""#);
+    let msg = Scenario::from_json_str(&text).unwrap_err().to_string();
+    assert!(
+        msg.contains("random-eviction") && msg.contains("bernoulli"),
+        "error should list the valid models, got {msg:?}"
+    );
+}
+
+#[test]
+fn noise_axes_round_trip_losslessly() {
+    use lru_leak::scenario::NoiseModel;
+    for noise in [
+        NoiseModel::RandomEviction {
+            lines: 512,
+            gap_cycles: 75,
+        },
+        NoiseModel::PeriodicBurst {
+            period_cycles: 3_700,
+            burst_lines: 128,
+        },
+        NoiseModel::Bernoulli { p: 0.45, lines: 4 },
+    ] {
+        let s = Scenario::builder()
+            .noise(noise)
+            .message(MessageSource::Random {
+                bits: 16,
+                repeats: 1,
+            })
+            .build()
+            .unwrap();
+        let text = s.to_json().to_string();
+        assert!(text.contains("\"noise\""), "non-default noise serializes");
+        let back = Scenario::from_json_str(&text).unwrap();
+        assert_eq!(back, s);
+        assert_eq!(back.to_json().to_string(), text, "fixed point");
+    }
+}
+
+#[test]
+fn noise_validation_rejects_degenerate_and_misplaced_models() {
+    use lru_leak::scenario::NoiseModel;
+    // Bad parameters surface as incompatible-scenario errors.
+    let err = Scenario::builder()
+        .noise(NoiseModel::Bernoulli { p: 2.0, lines: 4 })
+        .build()
+        .unwrap_err();
+    assert!(matches!(err, ScenarioError::Incompatible(_)), "{err}");
+    // Kinds outside the scheduled channel reject the axis.
+    let err = Scenario::builder()
+        .noise(NoiseModel::Bernoulli { p: 0.5, lines: 4 })
+        .kind(ExperimentKind::PlatformSpec)
+        .build()
+        .unwrap_err();
+    assert!(matches!(err, ScenarioError::Incompatible(_)), "{err}");
+}
+
+#[test]
+fn to_json_full_spells_out_the_default_noise_axis() {
+    let s = Scenario::builder().build().unwrap();
+    let full = s.to_json_full();
+    assert_eq!(
+        full.get("noise").and_then(Value::as_str),
+        Some("none"),
+        "to_json_full must not hide the default axis"
+    );
+    // Explicit "none" parses back to the same scenario, whose
+    // canonical encoding is still the pre-noise bytes.
+    let back = Scenario::from_json(&full).unwrap();
+    assert_eq!(back, s);
+    assert_eq!(back.to_json().to_string(), PRE_NOISE_DEFAULT_JSON);
 }
 
 #[test]
