@@ -1,0 +1,11 @@
+//! Extension: dense time-sliced percent-of-ones grid at Tr=1e8 under a
+//! noise x intensity ladder — the Fig. 6 companion the fast-forwarding
+//! execution engine made affordable.
+//!
+//! Thin wrapper: the experiment itself is the `ablation_noise_grid` grid in
+//! `scenario::registry`; `lru-leak run ablation_noise_grid` executes the same
+//! scenarios.
+
+fn main() {
+    bench_harness::run_artifact("ablation_noise_grid");
+}

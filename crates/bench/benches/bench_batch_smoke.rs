@@ -3,8 +3,8 @@
 //!
 //! Measures and records to `BENCH_scenario.json`:
 //!
-//! * **batch**: wall-clock of executing the entire 21-artifact
-//!   registry in one `run-all`-shaped pass (`--trials 1`), with
+//! * **batch**: wall-clock of executing the entire registry in one
+//!   `run-all`-shaped pass (`--trials 1`), with
 //!   per-artifact timings;
 //! * **artifacts**: the fig5/fig6 single-artifact timings tracked
 //!   since the scenario redesign, sequential vs default workers,
@@ -80,7 +80,7 @@ fn main() {
     header(
         "bench_batch_smoke",
         "batch execution + streaming throughput gate",
-        "run-all wall-clock over the 21-artifact registry, plus constant-memory fold throughput at 1M trials",
+        "run-all wall-clock over the full registry, plus constant-memory fold throughput at 1M trials",
     );
 
     let opts = RunOpts {
@@ -167,7 +167,7 @@ fn main() {
         .unwrap_or(1);
     let mut json = String::new();
     json.push_str("{\n");
-    json.push_str("  \"what\": \"end-to-end wall-clock of the scenario batch surface: run-all over the 21-artifact registry, single-artifact trajectories, and constant-memory streaming-fold throughput\",\n");
+    json.push_str("  \"what\": \"end-to-end wall-clock of the scenario batch surface: run-all over the full registry, single-artifact trajectories, and constant-memory streaming-fold throughput\",\n");
     json.push_str(&format!("  \"host_threads\": {host_threads},\n"));
     json.push_str("  \"batch\": {\n");
     json.push_str(&format!(

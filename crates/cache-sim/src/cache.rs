@@ -133,6 +133,17 @@ impl Cache {
         }
     }
 
+    /// Fast-forward accounting hook: records `n` demand hits that an
+    /// execution engine proved observationally identical to replaying
+    /// the previous access (same line, idempotent replacement-state
+    /// touch) and therefore skipped. Only the demand-access count
+    /// moves — hits change no storage, replacement or victim state
+    /// under an idempotent policy, which is exactly the condition the
+    /// caller must have established.
+    pub fn record_skipped_hits(&mut self, n: u64) {
+        self.stats.accesses += n;
+    }
+
     /// Installs the line for `pa` without counting a demand access
     /// (prefetch fill). A line already present is left untouched —
     /// in particular its replacement state is *not* refreshed.

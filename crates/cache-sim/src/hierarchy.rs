@@ -148,6 +148,13 @@ impl CacheHierarchy {
         self.lat
     }
 
+    /// Whether a prefetcher is attached (prefetch fills can install
+    /// lines into sets the demand stream never touched, which rules
+    /// out footprint-based fast-forwarding).
+    pub fn has_prefetcher(&self) -> bool {
+        self.prefetcher.is_some()
+    }
+
     /// The L1 data cache.
     pub fn l1(&self) -> &Cache {
         &self.l1

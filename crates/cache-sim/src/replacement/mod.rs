@@ -234,6 +234,26 @@ impl PolicyKind {
                 | PolicyKind::PartitionedTreePlru
         )
     }
+
+    /// Whether touching the *same* way twice in a row leaves the
+    /// policy state exactly as one touch would — the soundness
+    /// condition for the execution engine's repeated-hit collapse.
+    ///
+    /// Tree-PLRU (plain and partitioned) rewrites the accessed way's
+    /// root path, a pure function of the way; FIFO and Random ignore
+    /// hits entirely. True LRU re-stamps the way from a global clock
+    /// on every touch, and Bit-PLRU's generation rollover means the
+    /// first and second touch of a way can differ — neither may be
+    /// collapsed.
+    pub const fn touch_is_idempotent(&self) -> bool {
+        matches!(
+            self,
+            PolicyKind::TreePlru
+                | PolicyKind::Fifo
+                | PolicyKind::Random
+                | PolicyKind::PartitionedTreePlru
+        )
+    }
 }
 
 impl fmt::Display for PolicyKind {

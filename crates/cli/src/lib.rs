@@ -2,8 +2,8 @@
 //!
 //! ```text
 //! lru-leak list
-//! lru-leak run <artifact> [--trials N] [--threads K] [--seed S] [--json] [--progress]
-//! lru-leak run-all [--trials N] [--threads K] [--seed S] [--json] [--progress]
+//! lru-leak run <artifact> [--trials N] [--threads K] [--seed S] [--json | --csv] [--progress]
+//! lru-leak run-all [--trials N] [--threads K] [--seed S] [--json] [--csv-dir DIR] [--progress]
 //! lru-leak show <artifact> [--trials N] [--seed S]
 //! lru-leak adhoc <scenario-json | @file.json> [--trials N] [--threads K] [--json] [--summary]
 //! ```
@@ -17,9 +17,12 @@
 //! serialization would hide. With `--json` the report's metrics tree
 //! is pretty-printed;
 //! the writer is deterministic, so repeated runs with the same seed
-//! (and any `--threads` value) are bit-identical. `--progress`
-//! streams completion counts — and, for `run-all`, per-artifact wall
-//! times — to stderr, keeping stdout deterministic.
+//! (and any `--threads` value) are bit-identical. `--csv` flattens
+//! one report's summary into deterministic CSV (one row per grid
+//! cell), and `run-all --csv-dir DIR` writes one `<artifact>.csv`
+//! per artifact — both pure renderers over `Report.metrics`.
+//! `--progress` streams completion counts — and, for `run-all`,
+//! per-artifact wall times — to stderr, keeping stdout deterministic.
 //!
 //! The core is [`run_cli`], which returns the output instead of
 //! printing — the binary is three lines, and the test suite drives
@@ -67,8 +70,8 @@ lru-leak — run the paper's experiments from one declarative surface
 
 USAGE:
     lru-leak list
-    lru-leak run <artifact> [--trials N] [--threads K] [--seed S] [--json] [--progress]
-    lru-leak run-all [--trials N] [--threads K] [--seed S] [--json] [--progress]
+    lru-leak run <artifact> [--trials N] [--threads K] [--seed S] [--json | --csv] [--progress]
+    lru-leak run-all [--trials N] [--threads K] [--seed S] [--json] [--csv-dir DIR] [--progress]
     lru-leak show <artifact> [--trials N] [--seed S]
     lru-leak adhoc <scenario-json | @file.json> [--trials N] [--threads K] [--json] [--summary]
     lru-leak help
@@ -89,6 +92,10 @@ OPTIONS:
                   takes precedence over LRU_LEAK_THREADS)
     --seed S      Master seed (default: the fixed bench seed)
     --json        Emit the deterministic JSON metrics instead of tables
+    --csv         run only: flatten the report's summary into
+                  deterministic CSV (one row per grid cell)
+    --csv-dir DIR run-all only: additionally write one <artifact>.csv
+                  per artifact into DIR (created if missing)
     --progress    Report completion counts (and per-artifact wall times
                   for run-all) on stderr; stdout stays deterministic
     --summary     adhoc only: stream the trials through the experiment
@@ -107,6 +114,8 @@ struct Flags {
     threads: Option<usize>,
     seed: Option<u64>,
     json: bool,
+    csv: bool,
+    csv_dir: Option<String>,
     progress: bool,
     summary: bool,
 }
@@ -144,6 +153,8 @@ fn parse_flags(args: &[String]) -> Result<Flags, CliError> {
                 })?);
             }
             "--json" => flags.json = true,
+            "--csv" => flags.csv = true,
+            "--csv-dir" => flags.csv_dir = Some(value_of("--csv-dir")?),
             "--progress" => flags.progress = true,
             "--summary" => flags.summary = true,
             other => {
@@ -262,11 +273,21 @@ pub fn run_cli_with(args: &[String], sink: ProgressSink) -> Result<String, CliEr
             if flags.summary {
                 return Err(CliError::usage("--summary only applies to adhoc"));
             }
+            if flags.csv_dir.is_some() {
+                return Err(CliError::usage(
+                    "--csv-dir only applies to run-all; use --csv to print one artifact's CSV",
+                ));
+            }
+            if flags.csv && flags.json {
+                return Err(CliError::usage("pick one of --csv and --json"));
+            }
             apply_threads(&flags);
             let report =
                 run_artifact_report(artifact(id)?, &opts_from(&flags), flags.progress, sink);
             if flags.json {
                 Ok(format!("{}\n", report.metrics.pretty()))
+            } else if flags.csv {
+                Ok(scenario::fmt::summary_to_csv(&report.metrics))
             } else {
                 Ok(report.text)
             }
@@ -280,6 +301,15 @@ pub fn run_cli_with(args: &[String], sink: ProgressSink) -> Result<String, CliEr
             let flags = parse_flags(&args[1..])?;
             if flags.summary {
                 return Err(CliError::usage("--summary only applies to adhoc"));
+            }
+            if flags.csv {
+                return Err(CliError::usage(
+                    "run-all writes per-artifact CSVs with --csv-dir <dir>",
+                ));
+            }
+            if let Some(dir) = &flags.csv_dir {
+                std::fs::create_dir_all(dir)
+                    .map_err(|e| CliError::run(format!("cannot create {dir:?}: {e}")))?;
             }
             apply_threads(&flags);
             let opts = opts_from(&flags);
@@ -302,6 +332,11 @@ pub fn run_cli_with(args: &[String], sink: ProgressSink) -> Result<String, CliEr
                         a.id,
                         t0.elapsed().as_secs_f64()
                     ));
+                }
+                if let Some(dir) = &flags.csv_dir {
+                    let path = format!("{dir}/{}.csv", a.id);
+                    std::fs::write(&path, scenario::fmt::summary_to_csv(&report.metrics))
+                        .map_err(|e| CliError::run(format!("cannot write {path:?}: {e}")))?;
                 }
                 if flags.json {
                     artifacts_json.push(report.metrics);
@@ -336,6 +371,11 @@ pub fn run_cli_with(args: &[String], sink: ProgressSink) -> Result<String, CliEr
             let flags = parse_flags(&args[2..])?;
             if flags.summary {
                 return Err(CliError::usage("--summary only applies to adhoc"));
+            }
+            if flags.csv || flags.csv_dir.is_some() {
+                return Err(CliError::usage(
+                    "show only prints the grid — run the artifact to get CSV",
+                ));
             }
             if flags.progress {
                 return Err(CliError::usage(
@@ -376,6 +416,11 @@ pub fn run_cli_with(args: &[String], sink: ProgressSink) -> Result<String, CliEr
                 .filter(|a| !a.starts_with("--"))
                 .ok_or_else(|| CliError::usage("adhoc needs a scenario (JSON or @file)"))?;
             let flags = parse_flags(&args[2..])?;
+            if flags.csv || flags.csv_dir.is_some() {
+                return Err(CliError::usage(
+                    "CSV export covers registry artifacts (run/run-all); adhoc emits JSON",
+                ));
+            }
             apply_threads(&flags);
             let mut sc = load_scenario(spec)?;
             if let Some(trials) = flags.trials {
@@ -486,6 +531,31 @@ mod tests {
         assert!(noise
             .iter()
             .any(|l| l.as_str().is_some_and(|s| s.starts_with("bernoulli"))));
+    }
+
+    #[test]
+    fn run_csv_flattens_the_summary() {
+        let out = run_cli(&args(&["run", "table3", "--csv"])).unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert!(
+            lines[0].starts_with("artifact,"),
+            "header row: {}",
+            lines[0]
+        );
+        assert_eq!(lines.len(), 4, "3 platforms + header: {out}");
+        assert!(lines[1].starts_with("table3,"));
+        // Deterministic renderer: same run, same bytes.
+        assert_eq!(out, run_cli(&args(&["run", "table3", "--csv"])).unwrap());
+    }
+
+    #[test]
+    fn run_csv_and_json_are_mutually_exclusive() {
+        let err = run_cli(&args(&["run", "table3", "--csv", "--json"])).unwrap_err();
+        assert_eq!(err.code, 2);
+        let err = run_cli(&args(&["run", "table3", "--csv-dir", "x"])).unwrap_err();
+        assert_eq!(err.code, 2);
+        let err = run_cli(&args(&["run-all", "--csv"])).unwrap_err();
+        assert_eq!(err.code, 2);
     }
 
     #[test]

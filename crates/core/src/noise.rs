@@ -39,7 +39,8 @@ use cache_sim::stream::AccessStream;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-use exec_sim::program::{Op, Program};
+use exec_sim::block::BlockCtx;
+use exec_sim::program::{Footprint, Op, Program};
 
 use std::error::Error;
 use std::fmt;
@@ -364,6 +365,98 @@ impl Program for NoiseProgram {
                     Op::Compute(1)
                 }
             }
+        }
+    }
+
+    fn run_block(&mut self, ctx: &mut BlockCtx<'_>) {
+        while ctx.can_issue() {
+            if let Phase::Bursting(left) = self.phase {
+                // Stream the remaining burst lines back to back.
+                let idx = match self.model {
+                    NoiseModel::PeriodicBurst { burst_lines, .. } => burst_lines - left,
+                    _ => 0,
+                };
+                self.phase = if left > 1 {
+                    Phase::Bursting(left - 1)
+                } else {
+                    Phase::Idle
+                };
+                ctx.access(self.buffer.add(u64::from(idx) * LINE));
+                continue;
+            }
+            match self.model {
+                NoiseModel::None => return,
+                NoiseModel::RandomEviction { lines, gap_cycles } => {
+                    if ctx.now() < self.next_slot {
+                        ctx.compute(gap_cycles);
+                        continue;
+                    }
+                    // Fast-forward: with a grant, every touch of the
+                    // private (disjoint, L1-resident) buffer is a hit
+                    // and the access/compute alternation advances in
+                    // closed form. The alternation only holds while a
+                    // hit is cheaper than the gap (otherwise the next
+                    // slot is already due after the access), and the
+                    // line draws are unobservable and intentionally
+                    // not replayed.
+                    let alternates = ctx
+                        .analytic_access_cycles()
+                        .is_some_and(|c| c < u64::from(gap_cycles));
+                    if alternates {
+                        if let Some(adv) = ctx.advance_paced(gap_cycles) {
+                            if adv.accesses > 0 {
+                                self.next_slot = adv.last_access_at + u64::from(gap_cycles);
+                            }
+                            continue;
+                        }
+                    }
+                    self.next_slot = ctx.now() + u64::from(gap_cycles);
+                    let va = self.random_line(lines);
+                    ctx.access(va);
+                }
+                NoiseModel::PeriodicBurst {
+                    period_cycles,
+                    burst_lines,
+                } => {
+                    if ctx.now() < self.next_slot {
+                        // Sleep: back to the scheduler's spin path.
+                        return;
+                    }
+                    let period = period_cycles.max(1);
+                    self.next_slot = (ctx.now() / period + 1) * period;
+                    self.phase = if burst_lines > 1 {
+                        Phase::Bursting(burst_lines - 1)
+                    } else {
+                        Phase::Idle
+                    };
+                    ctx.access(self.buffer);
+                }
+                NoiseModel::Bernoulli { p, lines } => {
+                    if ctx.now() < self.next_slot {
+                        return;
+                    }
+                    self.next_slot = ctx.now() + self.cadence_cycles;
+                    if self.rng.gen_bool(p.clamp(0.0, 1.0)) {
+                        let va = self.random_line(lines);
+                        ctx.access(va);
+                    } else {
+                        ctx.compute(1);
+                    }
+                }
+            }
+        }
+    }
+
+    fn uses_blocks(&self) -> bool {
+        true
+    }
+
+    fn footprint(&self) -> Footprint {
+        let lines = self.model.buffer_lines();
+        if lines > 0 {
+            Footprint::Lines(vec![(self.buffer, lines)])
+        } else {
+            Footprint::Unknown
         }
     }
 }

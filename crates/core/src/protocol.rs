@@ -10,7 +10,8 @@
 
 use cache_sim::addr::VirtAddr;
 use cache_sim::hierarchy::HitLevel;
-use exec_sim::program::{Op, OpResult, Program};
+use exec_sim::block::BlockCtx;
+use exec_sim::program::{Footprint, Op, OpResult, Program};
 
 /// Default cycles the sender spends computing the target address
 /// before each encode access (the "calculate the victim address"
@@ -109,6 +110,53 @@ impl Program for LruSender {
             // this bit period.
             Op::SpinUntil((k + 1) * self.ts)
         }
+    }
+
+    fn run_block(&mut self, ctx: &mut BlockCtx<'_>) {
+        // The 1-bit inner loop — alternating address calculation and
+        // an access to the same line — is the hot path of every
+        // time-sliced run: thousands of identical L1 hits per
+        // quantum. The first access executes for real; once the
+        // context holds its memo, the rest of the bit period (up to
+        // the slice end) advances in closed form. 0-bits (spins) and
+        // the end of the message return control to the scheduler's
+        // op path.
+        while ctx.can_issue() {
+            let k = self.bit_index(ctx.now());
+            if !self.repeat && k >= self.message.len() as u64 {
+                return;
+            }
+            if !self.message[(k % self.message.len() as u64) as usize] {
+                return;
+            }
+            // The bit is constant until this boundary; no op may
+            // start past it (the reference re-derives the bit before
+            // every op).
+            let bit_end = (k + 1) * self.ts;
+            while ctx.now() < bit_end && ctx.can_issue() {
+                if self.pending_access {
+                    self.pending_access = false;
+                    ctx.access(self.line);
+                } else {
+                    if let Some(adv) = ctx.repeat_paced(self.line, self.encode_calc, bit_end) {
+                        // Ended mid-pair (after the compute) iff the
+                        // access is still owed.
+                        self.pending_access = adv.computes > adv.accesses;
+                        continue;
+                    }
+                    self.pending_access = true;
+                    ctx.compute(self.encode_calc);
+                }
+            }
+        }
+    }
+
+    fn uses_blocks(&self) -> bool {
+        true
+    }
+
+    fn footprint(&self) -> Footprint {
+        Footprint::Lines(vec![(self.line, 1)])
     }
 }
 
@@ -226,6 +274,54 @@ impl Program for LruReceiver {
                 level,
             });
         }
+    }
+
+    fn run_block(&mut self, ctx: &mut BlockCtx<'_>) {
+        // Init and decode are plain access runs; waiting and the
+        // timed measurement go back to the scheduler (spins and
+        // `TimedAccess` are not block ops).
+        while ctx.can_issue() {
+            match self.phase {
+                Phase::Init => {
+                    if self.max_samples.is_some_and(|n| self.samples.len() >= n) {
+                        return;
+                    }
+                    if self.idx < self.d {
+                        self.idx += 1;
+                        ctx.access(self.lines[self.idx - 1]);
+                    } else {
+                        self.phase = Phase::Wait;
+                    }
+                }
+                Phase::Wait => {
+                    if ctx.now() < self.wake_at {
+                        return;
+                    }
+                    // Tlast = TSC (Algorithm 3): the next sample is
+                    // tr after the moment this wait released.
+                    self.wake_at = ctx.now() + self.tr;
+                    self.phase = Phase::Decode;
+                    self.idx = self.d;
+                }
+                Phase::Decode => {
+                    if self.idx < self.lines.len() {
+                        self.idx += 1;
+                        ctx.access(self.lines[self.idx - 1]);
+                    } else {
+                        self.phase = Phase::Measure;
+                    }
+                }
+                Phase::Measure => return,
+            }
+        }
+    }
+
+    fn uses_blocks(&self) -> bool {
+        true
+    }
+
+    fn footprint(&self) -> Footprint {
+        Footprint::Lines(self.lines.iter().map(|&va| (va, 1)).collect())
     }
 }
 

@@ -17,10 +17,16 @@
 //!   Figs. 2/3): seven dependent L1-resident loads plus the target
 //!   make the L1-hit/L1-miss difference observable.
 //! * [`program`] — the [`program::Program`] trait and [`program::Op`]
-//!   vocabulary sender/receiver protocols are written in.
+//!   vocabulary sender/receiver protocols are written in, plus the
+//!   [`program::Footprint`] hint behind quantum fast-forwarding.
+//! * [`block`] — the [`block::BlockCtx`] batched execution window:
+//!   monomorphic access/compute loops, repeated-hit collapse and the
+//!   closed-form paced advancement the fast engine runs on.
 //! * [`sched`] — the two sharing settings of the evaluation:
 //!   [`sched::HyperThreaded`] (fine-grained SMT interleaving, §V-A)
-//!   and [`sched::TimeSliced`] (quantum scheduling, §V-B).
+//!   and [`sched::TimeSliced`] (quantum scheduling, §V-B), each
+//!   executable by the fast-forwarding engine or the retained
+//!   [`sched::reference`] interpreter.
 //! * [`speculation`] — a Spectre-v1 transient-execution model with a
 //!   trainable branch predictor and a bounded speculative window
 //!   (§VIII), plus the InvisiSpec-style invisible-speculation mode
@@ -34,6 +40,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod block;
 pub mod machine;
 pub mod measure;
 pub mod noise;
@@ -42,8 +49,9 @@ pub mod sched;
 pub mod speculation;
 pub mod tsc;
 
+pub use block::{BlockCtx, PacedAdvance};
 pub use machine::{Machine, Pid};
 pub use measure::{LatencyProbe, Measurement};
-pub use program::{Op, OpResult, Program};
-pub use sched::{HyperThreaded, SchedulerReport, TimeSliced};
+pub use program::{Footprint, Op, OpResult, Program};
+pub use sched::{Engine, HyperThreaded, SchedError, SchedulerReport, TimeSliced};
 pub use tsc::TscModel;

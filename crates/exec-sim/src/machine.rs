@@ -111,6 +111,11 @@ impl Machine {
         self.space_mut(pid).domain = domain;
     }
 
+    /// The protection domain `pid` currently runs in.
+    pub fn domain_of(&self, pid: Pid) -> Domain {
+        self.space(pid).domain
+    }
+
     /// Allocates `n` fresh private pages and returns the base virtual
     /// address of the region.
     ///

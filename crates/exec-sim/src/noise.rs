@@ -10,7 +10,8 @@ use cache_sim::addr::VirtAddr;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-use crate::program::{Op, Program};
+use crate::block::BlockCtx;
+use crate::program::{Footprint, Op, Program};
 
 /// A program that touches uniformly random lines of its own buffer,
 /// pausing `gap_cycles` of compute between touches. Runs forever
@@ -57,6 +58,44 @@ impl Program for RandomTouches {
             Op::Compute(self.gap_cycles)
         }
     }
+
+    fn run_block(&mut self, ctx: &mut BlockCtx<'_>) {
+        loop {
+            if !ctx.can_issue() {
+                return;
+            }
+            if self.emit_access {
+                // Fast-forward: under a grant every touch is an L1
+                // hit to a set nobody else observes, so the strict
+                // access/compute alternation advances in closed
+                // form. The line draws are not replayed — which
+                // lines were touched is unobservable once the
+                // footprint is warm and private.
+                if let Some(adv) = ctx.advance_paced(self.gap_cycles) {
+                    self.emit_access = adv.accesses == adv.computes;
+                    continue;
+                }
+                self.emit_access = false;
+                let line = self.rng.gen_range(0..self.buffer_lines);
+                ctx.access(self.buffer.add(line * self.line_size));
+            } else {
+                self.emit_access = true;
+                ctx.compute(self.gap_cycles);
+            }
+        }
+    }
+
+    fn uses_blocks(&self) -> bool {
+        true
+    }
+
+    fn footprint(&self) -> Footprint {
+        if self.line_size == 64 && self.buffer_lines > 0 {
+            Footprint::Lines(vec![(self.buffer, self.buffer_lines)])
+        } else {
+            Footprint::Unknown
+        }
+    }
 }
 
 /// A program that streams sequentially through its buffer over and
@@ -96,6 +135,32 @@ impl Program for SequentialStream {
         } else {
             self.emit_access = true;
             Op::Compute(self.gap_cycles)
+        }
+    }
+
+    fn run_block(&mut self, ctx: &mut BlockCtx<'_>) {
+        while ctx.can_issue() {
+            if self.emit_access {
+                self.emit_access = false;
+                let line = self.next_line;
+                self.next_line = (self.next_line + 1) % self.buffer_lines;
+                ctx.access(self.buffer.add(line * self.line_size));
+            } else {
+                self.emit_access = true;
+                ctx.compute(self.gap_cycles);
+            }
+        }
+    }
+
+    fn uses_blocks(&self) -> bool {
+        true
+    }
+
+    fn footprint(&self) -> Footprint {
+        if self.line_size == 64 && self.buffer_lines > 0 {
+            Footprint::Lines(vec![(self.buffer, self.buffer_lines)])
+        } else {
+            Footprint::Unknown
         }
     }
 }

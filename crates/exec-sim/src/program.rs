@@ -10,6 +10,30 @@
 use cache_sim::addr::VirtAddr;
 use cache_sim::hierarchy::HitLevel;
 
+use crate::block::BlockCtx;
+
+/// The cache lines a program may touch over its whole lifetime — the
+/// footprint hint behind the scheduler's quantum fast-forward.
+///
+/// Declaring [`Footprint::Lines`] is a *promise*: every address the
+/// program will ever pass to an `Access`, `TimedAccess` or `Flush`
+/// op (or to [`BlockCtx::access`]) lies within the declared ranges.
+/// The scheduler uses the hint to prove that a thread's quantum
+/// cannot change any state another party observes — and then skips
+/// simulating it. An over-narrow declaration silently breaks that
+/// proof, so when in doubt return [`Footprint::Unknown`] (the
+/// default), which only opts the program out of fast-forwarding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Footprint {
+    /// The program may touch anything; never fast-forwarded.
+    Unknown,
+    /// The program touches only whole cache lines inside these
+    /// `(base, lines)` ranges — 64-byte lines starting at `base`
+    /// (the line size of every modelled L1; the scheduler declines
+    /// to fast-forward on hypothetical smaller-line geometries).
+    Lines(Vec<(VirtAddr, u64)>),
+}
+
 /// One step of a program.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Op {
@@ -60,6 +84,37 @@ pub trait Program {
     /// [`Program::next_op`] (not called for `SpinUntil`/`Done`).
     fn on_result(&mut self, result: &OpResult) {
         let _ = result;
+    }
+
+    /// Batched execution: run as many `Access`/`Compute` ops as the
+    /// program would issue through `next_op`, directly against `ctx`,
+    /// until the window closes ([`BlockCtx::can_issue`] turns false)
+    /// or the program reaches an op the context cannot express
+    /// (`TimedAccess`, `Flush`, `SpinUntil`, `Done`) — then return,
+    /// and the scheduler resumes op-at-a-time through `next_op`.
+    ///
+    /// The default implementation runs nothing, which keeps every
+    /// existing `Program` on the interpreter path unchanged. An
+    /// implementation must produce *exactly* the op sequence `next_op`
+    /// would (deriving control flow from [`BlockCtx::now`] the same
+    /// way it derives it from `now`), and must not mutate its state
+    /// for an op the context refused.
+    fn run_block(&mut self, ctx: &mut BlockCtx<'_>) {
+        let _ = ctx;
+    }
+
+    /// Whether this program implements [`Program::run_block`]. The
+    /// schedulers skip block-window construction entirely for
+    /// interpreter-path programs, so an implementation that overrides
+    /// `run_block` must also return `true` here or its blocks never
+    /// run.
+    fn uses_blocks(&self) -> bool {
+        false
+    }
+
+    /// The lifetime cache-line footprint hint; see [`Footprint`].
+    fn footprint(&self) -> Footprint {
+        Footprint::Unknown
     }
 }
 

@@ -7,6 +7,8 @@
 
 use std::fmt::{Display, Write};
 
+use crate::json::Value;
+
 /// A fixed seed so `cargo bench` / CLI output is reproducible run to
 /// run.
 pub const BENCH_SEED: u64 = 0x11ca_c4e5;
@@ -45,6 +47,80 @@ pub fn kbps(bps: f64) -> String {
         format!("{:.0}Kbps", bps / 1_000.0)
     } else {
         format!("{bps:.1}bps")
+    }
+}
+
+/// Flattens a report's metrics into deterministic CSV: one row per
+/// entry of the `summary` array (the per-cell numbers every renderer
+/// already emits), columns in first-seen key order, prefixed by the
+/// artifact ID. A scalar summary becomes a single row; nested values
+/// (noise specs, histogram rows) are embedded as compact JSON in one
+/// quoted cell. Pure renderer over [`Value`] — no measurement code.
+pub fn summary_to_csv(metrics: &Value) -> String {
+    let id = metrics.get("id").and_then(Value::as_str).unwrap_or("");
+    let rows: Vec<&Value> = match metrics.get("summary") {
+        Some(Value::Arr(items)) => items.iter().collect(),
+        Some(other) => vec![other],
+        None => Vec::new(),
+    };
+    // Column order: first appearance across all rows, so every run
+    // of the same artifact produces the same header.
+    let mut columns: Vec<&str> = Vec::new();
+    for row in &rows {
+        if let Value::Obj(pairs) = row {
+            for (k, _) in pairs {
+                if !columns.iter().any(|c| c == k) {
+                    columns.push(k);
+                }
+            }
+        }
+    }
+    let scalar_rows = rows.iter().any(|r| !matches!(r, Value::Obj(_)));
+    let mut out = String::from("artifact");
+    for c in &columns {
+        out.push(',');
+        out.push_str(&csv_cell_str(c));
+    }
+    if scalar_rows {
+        out.push_str(",value");
+    }
+    out.push('\n');
+    for row in rows {
+        out.push_str(&csv_cell_str(id));
+        for c in &columns {
+            out.push(',');
+            if let Some(v) = row.get(c) {
+                out.push_str(&csv_cell(v));
+            }
+        }
+        if scalar_rows {
+            out.push(',');
+            if !matches!(row, Value::Obj(_)) {
+                out.push_str(&csv_cell(row));
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// One CSV cell: scalars print through the deterministic JSON
+/// writer, strings are CSV-escaped, nested trees embed as quoted
+/// compact JSON.
+fn csv_cell(v: &Value) -> String {
+    match v {
+        Value::Str(s) => csv_cell_str(s),
+        Value::Arr(_) | Value::Obj(_) => csv_cell_str(&v.to_string()),
+        scalar => scalar.to_string(),
+    }
+}
+
+/// CSV-escapes a raw string (RFC 4180 quoting).
+fn csv_cell_str(s: &str) -> String {
+    if s.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
     }
 }
 
@@ -108,5 +184,49 @@ mod tests {
         row(&mut buf, "label", &[1, 2]);
         assert!(buf.contains("id — ref"));
         assert!(buf.contains("label"));
+    }
+
+    #[test]
+    fn summary_csv_flattens_object_rows() {
+        let metrics = Value::obj().with("id", "fig6").with(
+            "summary",
+            Value::Arr(vec![
+                Value::obj().with("d", 8u64).with("fraction", 0.25),
+                Value::obj()
+                    .with("d", 4u64)
+                    .with("fraction", 0.5)
+                    .with("extra", "a,b"),
+            ]),
+        );
+        let csv = summary_to_csv(&metrics);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "artifact,d,fraction,extra");
+        assert_eq!(lines[1], "fig6,8,0.25,");
+        assert_eq!(lines[2], "fig6,4,0.5,\"a,b\"");
+    }
+
+    #[test]
+    fn summary_csv_handles_scalar_and_nested_values() {
+        let metrics = Value::obj().with("id", "x").with(
+            "summary",
+            Value::obj().with("nested", Value::obj().with("k", 1u64)),
+        );
+        let csv = summary_to_csv(&metrics);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "artifact,nested");
+        assert_eq!(lines[1], "x,\"{\"\"k\"\":1}\"");
+    }
+
+    #[test]
+    fn summary_csv_is_deterministic() {
+        let metrics = Value::obj().with("id", "y").with(
+            "summary",
+            Value::Arr(vec![
+                Value::obj().with("a", 1u64),
+                Value::obj().with("b", true),
+            ]),
+        );
+        assert_eq!(summary_to_csv(&metrics), summary_to_csv(&metrics));
+        assert!(summary_to_csv(&metrics).starts_with("artifact,a,b\n"));
     }
 }

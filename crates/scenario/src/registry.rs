@@ -350,6 +350,14 @@ pub static ARTIFACTS: &[Artifact] = &[
         grid: ablation_noise_capacity_grid,
         render: ablation_noise_capacity_render,
     },
+    Artifact {
+        id: "ablation_noise_grid",
+        bench: "ablation_noise_grid",
+        paper_ref: "Extension of Fig. 6 (§V-B)",
+        what: "dense time-sliced percent-of-ones grid at Tr=1e8 under a noise x intensity ladder: off-channel co-runners leave the gap intact, on-channel pollution closes it",
+        grid: ablation_noise_grid_grid,
+        render: ablation_noise_grid_render,
+    },
 ];
 
 // ---- strict Value accessors (registry outcomes are shaped by the
@@ -1773,6 +1781,133 @@ fn ablation_noise_capacity_render(
         "\nshape check: at the fastest nominal rate, capacity falls strictly with every noise\n\
          level; mid-ladder the optimum shifts off the fastest rate and the best/worst spread\n\
          narrows — the channel trades speed for reliability rather than dying outright\n",
+    );
+    (buf, Value::Arr(summary))
+}
+
+// ---- ablation_noise_grid: the dense time-sliced noise grid the
+// ---- fast-forwarding execution engine unlocked (Fig. 6 extension) ----
+
+/// Samples per grid cell. The paper takes 1000 per Fig. 6 point; the
+/// fractions stabilize well before that, and 120 keeps the 26-cell
+/// grid inside a bench run. Public so `bench_execsim_smoke` records
+/// the workload it actually timed.
+pub const NOISE_GRID_SAMPLES: usize = 120;
+
+/// `Tr` (= `Ts`) of every cell: the paper's headline 1e8-cycle
+/// time-sliced operating point.
+const NOISE_GRID_TR: u64 = 100_000_000;
+
+/// The noise × intensity axis: a clean baseline, then four
+/// interference families at three intensities each (mild → hostile).
+///
+/// The channel sits on **set 32** so the off-channel family (16-line
+/// buffer, sets 0–15) provably never touches the target set or the
+/// probe's reserved set — the disjoint-footprint shape the execution
+/// engine advances in closed form, which is what makes this grid
+/// affordable to run densely.
+fn noise_grid_axis() -> Vec<NoiseModel> {
+    let mut axis = vec![NoiseModel::None];
+    // Off-channel co-runner: busy, but provably outside the channel.
+    for gap_cycles in [120_000, 60_000, 30_000] {
+        axis.push(NoiseModel::RandomEviction {
+            lines: 16,
+            gap_cycles,
+        });
+    }
+    // Diffuse eviction pressure: 8 lines per set cycling through
+    // every set — the one family whose damage *grades* with rate
+    // (the gap spans the onset: barely felt → halved → collapsed).
+    for gap_cycles in [20_000_000, 3_000_000, 800_000] {
+        axis.push(NoiseModel::RandomEviction {
+            lines: 512,
+            gap_cycles,
+        });
+    }
+    // Occupancy bursts: 2 lines per set become L1-resident after the
+    // first burst and permanently steal associativity — lethal at
+    // *any* period (the interesting finding: displacement, not rate).
+    for period_cycles in [300_000_000, 30_000_000, 3_000_000] {
+        axis.push(NoiseModel::PeriodicBurst {
+            period_cycles,
+            burst_lines: 128,
+        });
+    }
+    // Sparse per-observation touches over the whole cache: even at
+    // p = 0.9 a single line install per Tr window cannot cycle an
+    // 8-way set — harmless at this operating point.
+    for p in [0.3, 0.6, 0.9] {
+        axis.push(NoiseModel::Bernoulli { p, lines: 64 });
+    }
+    axis
+}
+
+fn ablation_noise_grid_grid(opts: &RunOpts) -> Vec<Scenario> {
+    let samples = opts.count(NOISE_GRID_SAMPLES);
+    let mut grid = Vec::new();
+    for (idx, noise) in noise_grid_axis().into_iter().enumerate() {
+        for bit in [false, true] {
+            grid.push(must(
+                Scenario::builder()
+                    .sharing(Sharing::TimeSliced)
+                    .params(ChannelParams {
+                        d: 8,
+                        target_set: 32,
+                        ts: NOISE_GRID_TR,
+                        tr: NOISE_GRID_TR,
+                    })
+                    .noise(noise)
+                    .message(MessageSource::Constant { bit, bits: 1 })
+                    .kind(ExperimentKind::PercentOnes { samples })
+                    .seed(opts.seed ^ ((idx as u64 + 1).wrapping_mul(0x9e37)) ^ u64::from(bit))
+                    .build(),
+            ));
+        }
+    }
+    grid
+}
+
+fn ablation_noise_grid_render(_o: &RunOpts, grid: &[Scenario], outs: &[Value]) -> (String, Value) {
+    let mut buf = String::new();
+    row(
+        &mut buf,
+        "interference",
+        &["% 1s sent 0", "% 1s sent 1", "0/1 gap"],
+    );
+    let mut summary = Vec::new();
+    let mut clean_gap = 0.0f64;
+    for (pair_s, pair_o) in grid.chunks(2).zip(outs.chunks(2)) {
+        let (sc0, sc1) = (&pair_s[0], &pair_s[1]);
+        debug_assert!(sc0.noise == sc1.noise);
+        let p0 = f(&pair_o[0], "fraction");
+        let p1 = f(&pair_o[1], "fraction");
+        let gap = p1 - p0;
+        if sc0.noise.is_none() {
+            clean_gap = gap;
+        }
+        row(
+            &mut buf,
+            &sc0.noise.label(),
+            &[pct1(p0), pct1(p1), pct1(gap)],
+        );
+        summary.push(
+            Value::obj()
+                .with("noise", crate::spec::noise_to_json(&sc0.noise))
+                .with("tr", sc0.params.tr)
+                .with("p_ones_sent_0", p0)
+                .with("p_ones_sent_1", p1)
+                .with("gap", gap),
+        );
+    }
+    let _ = writeln!(
+        buf,
+        "\nshape check: the off-channel co-runner (16 lines, sets 0-15) keeps the 0-vs-1 gap\n\
+         near the clean {} — its quanta are fast-forwarded, not simulated. Of the on-channel\n\
+         families, 512-line eviction pressure closes the gap gradually as its rate rises\n\
+         (the §V-B pollution that killed time-sliced Alg.2), the 128-line bursts kill at\n\
+         any period (2 resident lines/set displace the receiver's working set outright),\n\
+         and sparse per-observation touches leave the channel intact even at p=0.9",
+        pct1(clean_gap)
     );
     (buf, Value::Arr(summary))
 }

@@ -10,7 +10,7 @@ use lru_leak::scenario::{ScenarioError, Value};
 /// Every paper-artifact bench target in `crates/bench/benches/`
 /// (`micro` and `bench_perf_smoke` measure the library itself, not a
 /// paper artifact, and are deliberately absent).
-const BENCH_TARGETS: [&str; 23] = [
+const BENCH_TARGETS: [&str; 24] = [
     "fig3_pointer_chase",
     "fig4_error_rates",
     "fig5_traces",
@@ -34,6 +34,7 @@ const BENCH_TARGETS: [&str; 23] = [
     "ablation_prefetcher",
     "ablation_noise_ber",
     "ablation_noise_capacity",
+    "ablation_noise_grid",
 ];
 
 #[test]
@@ -370,6 +371,49 @@ fn run_all_executes_every_artifact_in_one_batch() {
         assert_eq!(artifact.get("id").and_then(Value::as_str), Some(id));
         assert!(artifact.get("scenarios").is_some(), "{id} carries its grid");
     }
+}
+
+#[test]
+fn run_all_csv_dir_writes_one_csv_per_artifact() {
+    let dir = std::env::temp_dir().join(format!("lru_leak_csv_{}", std::process::id()));
+    let dir_s = dir.to_str().unwrap().to_string();
+    let out = cli(&[
+        "run-all",
+        "--trials",
+        "1",
+        "--seed",
+        "3",
+        "--csv-dir",
+        &dir_s,
+    ])
+    .unwrap();
+    assert!(
+        out.contains("run-all:"),
+        "stdout keeps the text report alongside the CSV export"
+    );
+    for id in registry::ids() {
+        let path = dir.join(format!("{id}.csv"));
+        let csv = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("{id}.csv must be written: {e}"));
+        let mut lines = csv.lines();
+        let headline = lines.next().unwrap_or_default();
+        assert!(
+            headline.starts_with("artifact"),
+            "{id}.csv header row, got {headline:?}"
+        );
+        // Every data row is the artifact's and has the header's
+        // column count (flattening is rectangular).
+        let cols = headline.split(',').count();
+        for line in lines {
+            assert!(line.starts_with(id), "{id}.csv row {line:?}");
+            // Quoted cells may embed commas; a simple count is only
+            // valid for rows without quotes.
+            if !line.contains('"') {
+                assert_eq!(line.split(',').count(), cols, "{id}.csv row {line:?}");
+            }
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]
