@@ -2,8 +2,10 @@
 //!
 //! ```text
 //! lru-leak list
-//! lru-leak run <artifact> [--trials N] [--threads K] [--seed S] [--json | --csv] [--progress]
-//! lru-leak run-all [--trials N] [--threads K] [--seed S] [--json] [--csv-dir DIR] [--progress]
+//! lru-leak run <artifact> [--trials N] [--threads K] [--seed S] [--json | --csv]
+//!              [--timeout-secs T] [--cache-dir DIR] [--progress]
+//! lru-leak run-all [--trials N] [--threads K] [--seed S] [--json] [--csv-dir DIR]
+//!              [--timeout-secs T] [--cache-dir DIR] [--progress]
 //! lru-leak show <artifact> [--trials N] [--seed S]
 //! lru-leak adhoc <scenario-json | @file.json> [--trials N] [--threads K] [--json] [--summary]
 //! ```
@@ -24,28 +26,44 @@
 //! `--progress` streams completion counts — and, for `run-all`,
 //! per-artifact wall times — to stderr, keeping stdout deterministic.
 //!
+//! `run` and `run-all` execute through the resilient
+//! [`scenario::engine`] job layer: a panicking trial chunk is caught
+//! and retried deterministically instead of aborting the process,
+//! `--timeout-secs` cancels an overrunning artifact cooperatively,
+//! and `--cache-dir` serves repeated cells from a content-addressed
+//! on-disk cache so an interrupted `run-all` resumes at the first
+//! uncached cell. `run-all` degrades gracefully — a failed artifact
+//! is reported (status + cause in the JSON summary) while the batch
+//! continues — and the process exit code distinguishes usage errors
+//! (2), runtime failures (1), and partial batch failures (3).
+//!
 //! The core is [`run_cli`], which returns the output instead of
 //! printing — the binary is three lines, and the test suite drives
 //! the CLI in-process ([`run_cli_with`] additionally captures the
-//! progress stream).
+//! progress stream, [`run_cli_faulted`] additionally injects a
+//! [`FaultPlan`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::fmt::Write;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use scenario::registry::{self, RunOpts};
 use scenario::spec::Scenario;
-use scenario::Value;
+use scenario::{CancelToken, Engine, EngineError, FaultPlan, JobStatus, ResultCache, Value};
 
 /// A CLI failure: the message to print on stderr and the exit code.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CliError {
     /// Human-readable description.
     pub message: String,
-    /// Process exit code (2 = usage, 1 = execution).
+    /// Process exit code: 2 = usage, 1 = runtime/engine failure,
+    /// 3 = partial `run-all` failure (some artifacts completed).
     pub code: i32,
+    /// Deterministic stdout the run produced before failing (partial
+    /// `run-all` output); the binary prints it before the message.
+    pub stdout: Option<String>,
 }
 
 impl CliError {
@@ -53,6 +71,7 @@ impl CliError {
         CliError {
             message: format!("{}\n\n{USAGE}", message.into()),
             code: 2,
+            stdout: None,
         }
     }
 
@@ -60,6 +79,15 @@ impl CliError {
         CliError {
             message: message.into(),
             code: 1,
+            stdout: None,
+        }
+    }
+
+    fn partial(message: impl Into<String>, stdout: String) -> CliError {
+        CliError {
+            message: message.into(),
+            code: 3,
+            stdout: Some(stdout),
         }
     }
 }
@@ -70,8 +98,10 @@ lru-leak — run the paper's experiments from one declarative surface
 
 USAGE:
     lru-leak list
-    lru-leak run <artifact> [--trials N] [--threads K] [--seed S] [--json | --csv] [--progress]
-    lru-leak run-all [--trials N] [--threads K] [--seed S] [--json] [--csv-dir DIR] [--progress]
+    lru-leak run <artifact> [--trials N] [--threads K] [--seed S] [--json | --csv]
+                 [--timeout-secs T] [--cache-dir DIR] [--progress]
+    lru-leak run-all [--trials N] [--threads K] [--seed S] [--json] [--csv-dir DIR]
+                 [--timeout-secs T] [--cache-dir DIR] [--progress]
     lru-leak show <artifact> [--trials N] [--seed S]
     lru-leak adhoc <scenario-json | @file.json> [--trials N] [--threads K] [--json] [--summary]
     lru-leak help
@@ -102,7 +132,26 @@ OPTIONS:
                   kind's default constant-memory aggregate instead of
                   collecting every per-trial metrics tree (platform-spec
                   and policy-perf have no scalar metrics and still
-                  collect — see scenario::aggregate)";
+                  collect — see scenario::aggregate)
+    --timeout-secs T
+                  run/run-all: cancel an artifact that exceeds T seconds
+                  (cooperative — observed at chunk boundaries). run-all
+                  reports the timeout and continues with the next artifact
+    --cache-dir DIR
+                  run/run-all: content-addressed result cache. Each grid
+                  cell's outcome is stored under a hash of its canonical
+                  scenario JSON (seed and trials included); repeated and
+                  interrupted runs resume at the first uncached cell,
+                  byte-identical to an uncached run
+
+EXIT CODES:
+    0   success
+    1   runtime failure (unknown artifact, bad scenario, engine
+        panic/timeout/cancellation, I/O error)
+    2   usage error (unknown command or malformed options)
+    3   partial run-all failure: at least one artifact failed or timed
+        out; completed artifacts' deterministic output is still printed
+        and the JSON summary carries per-artifact status + cause";
 
 /// Where `--progress` lines go. The binary passes an
 /// `eprintln!`-backed sink; tests pass a collector.
@@ -118,6 +167,8 @@ struct Flags {
     csv_dir: Option<String>,
     progress: bool,
     summary: bool,
+    timeout_secs: Option<u64>,
+    cache_dir: Option<String>,
 }
 
 fn parse_flags(args: &[String]) -> Result<Flags, CliError> {
@@ -157,6 +208,19 @@ fn parse_flags(args: &[String]) -> Result<Flags, CliError> {
             "--csv-dir" => flags.csv_dir = Some(value_of("--csv-dir")?),
             "--progress" => flags.progress = true,
             "--summary" => flags.summary = true,
+            "--timeout-secs" => {
+                let v = value_of("--timeout-secs")?;
+                let secs: u64 = v.parse().map_err(|_| {
+                    CliError::usage(format!(
+                        "--timeout-secs needs a positive integer, got {v:?}"
+                    ))
+                })?;
+                if secs == 0 {
+                    return Err(CliError::usage("--timeout-secs must be >= 1"));
+                }
+                flags.timeout_secs = Some(secs);
+            }
+            "--cache-dir" => flags.cache_dir = Some(value_of("--cache-dir")?),
             other => {
                 return Err(CliError::usage(format!("unknown option {other:?}")));
             }
@@ -220,19 +284,49 @@ fn emit_progress(sink: ProgressSink, what: &str, unit: &str, done: usize, total:
     }
 }
 
-/// Runs one artifact, streaming throttled per-cell progress to
-/// `sink` when requested.
+/// Builds the job engine a `run`/`run-all` invocation executes
+/// through: result cache from `--cache-dir`, per-artifact deadline
+/// from `--timeout-secs`, plus the test-only fault plan when driven
+/// via [`run_cli_faulted`].
+fn build_engine(flags: &Flags, fault: Option<FaultPlan>) -> Result<Engine, CliError> {
+    let mut engine = Engine::new();
+    if let Some(dir) = &flags.cache_dir {
+        let cache = ResultCache::open(dir)
+            .map_err(|e| CliError::run(format!("cannot open cache dir {dir:?}: {e}")))?;
+        engine = engine.with_cache(cache);
+    }
+    if let Some(secs) = flags.timeout_secs {
+        engine = engine.with_timeout(Duration::from_secs(secs));
+    }
+    if let Some(plan) = fault {
+        engine = engine.with_fault_plan(plan);
+    }
+    Ok(engine)
+}
+
+/// Runs one artifact through the engine, streaming throttled
+/// per-cell progress to `sink` when requested.
 fn run_artifact_report(
+    engine: &Engine,
     a: &'static registry::Artifact,
     opts: &RunOpts,
     progress: bool,
     sink: ProgressSink,
-) -> registry::Report {
-    if !progress {
-        return a.run(opts);
-    }
+) -> Result<(registry::Report, JobStatus), EngineError> {
     let cb = move |done: usize, total: usize| emit_progress(sink, a.id, "scenarios", done, total);
-    a.run_with(opts, Some(&cb))
+    let progress_fn: Option<scenario::ProgressFn> = if progress { Some(&cb) } else { None };
+    engine.run_artifact(a, opts, progress_fn, &CancelToken::new())
+}
+
+/// One stderr line summarizing how a completed job was served, only
+/// when the engine actually did something beyond a plain run.
+fn emit_status(sink: ProgressSink, id: &str, status: &JobStatus) {
+    if status.from_cache > 0 || status.retried_chunks > 0 {
+        sink(&format!(
+            "  {id}: {} of {} cells from cache, {} computed, {} chunk retries",
+            status.from_cache, status.cells, status.computed, status.retried_chunks
+        ));
+    }
 }
 
 /// Runs the CLI with `args` (not including the binary name) and
@@ -253,6 +347,30 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
 ///
 /// Returns a [`CliError`] with the stderr message and exit code.
 pub fn run_cli_with(args: &[String], sink: ProgressSink) -> Result<String, CliError> {
+    run_cli_inner(args, sink, None)
+}
+
+/// [`run_cli_with`] with a [`FaultPlan`] attached to the engine —
+/// test support for the resilience suite, which drives faulted
+/// `run`/`run-all` invocations in-process and pins their output
+/// against fault-free runs.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] with the stderr message and exit code.
+pub fn run_cli_faulted(
+    args: &[String],
+    sink: ProgressSink,
+    fault: FaultPlan,
+) -> Result<String, CliError> {
+    run_cli_inner(args, sink, Some(fault))
+}
+
+fn run_cli_inner(
+    args: &[String],
+    sink: ProgressSink,
+    fault: Option<FaultPlan>,
+) -> Result<String, CliError> {
     let Some(command) = args.first() else {
         return Err(CliError::usage("missing command"));
     };
@@ -282,8 +400,14 @@ pub fn run_cli_with(args: &[String], sink: ProgressSink) -> Result<String, CliEr
                 return Err(CliError::usage("pick one of --csv and --json"));
             }
             apply_threads(&flags);
-            let report =
-                run_artifact_report(artifact(id)?, &opts_from(&flags), flags.progress, sink);
+            let engine = build_engine(&flags, fault)?;
+            let a = artifact(id)?;
+            let (report, status) =
+                run_artifact_report(&engine, a, &opts_from(&flags), flags.progress, sink)
+                    .map_err(|e| CliError::run(format!("{}: {e}", a.id)))?;
+            if flags.progress {
+                emit_status(sink, a.id, &status);
+            }
             if flags.json {
                 Ok(format!("{}\n", report.metrics.pretty()))
             } else if flags.csv {
@@ -312,11 +436,13 @@ pub fn run_cli_with(args: &[String], sink: ProgressSink) -> Result<String, CliEr
                     .map_err(|e| CliError::run(format!("cannot create {dir:?}: {e}")))?;
             }
             apply_threads(&flags);
+            let engine = build_engine(&flags, fault)?;
             let opts = opts_from(&flags);
             let ids = registry::ids();
             let total = ids.len();
             let batch_start = Instant::now();
             let mut artifacts_json = Vec::with_capacity(total);
+            let mut failures: Vec<Value> = Vec::new();
             let mut text = String::new();
             for (k, id) in ids.iter().enumerate() {
                 let a = artifact(id)?;
@@ -324,15 +450,44 @@ pub fn run_cli_with(args: &[String], sink: ProgressSink) -> Result<String, CliEr
                     sink(&format!("[{}/{total}] {} — {}", k + 1, a.id, a.paper_ref));
                 }
                 let t0 = Instant::now();
-                let report = run_artifact_report(a, &opts, flags.progress, sink);
-                if flags.progress {
-                    sink(&format!(
-                        "[{}/{total}] {} done in {:.3}s",
-                        k + 1,
-                        a.id,
-                        t0.elapsed().as_secs_f64()
-                    ));
-                }
+                // A failed or timed-out artifact is reported and the
+                // batch continues; completed artifacts keep their
+                // deterministic stdout either way.
+                let report = match run_artifact_report(&engine, a, &opts, flags.progress, sink) {
+                    Ok((report, status)) => {
+                        if flags.progress {
+                            sink(&format!(
+                                "[{}/{total}] {} done in {:.3}s",
+                                k + 1,
+                                a.id,
+                                t0.elapsed().as_secs_f64()
+                            ));
+                            emit_status(sink, a.id, &status);
+                        }
+                        report
+                    }
+                    Err(e) => {
+                        if flags.progress {
+                            sink(&format!(
+                                "[{}/{total}] {} FAILED ({}) in {:.3}s",
+                                k + 1,
+                                a.id,
+                                e.status(),
+                                t0.elapsed().as_secs_f64()
+                            ));
+                        }
+                        failures.push(
+                            Value::obj()
+                                .with("id", a.id)
+                                .with("status", e.status())
+                                .with("cause", e.to_string()),
+                        );
+                        if !flags.json {
+                            let _ = writeln!(text, "{}: FAILED ({}) — {e}\n", a.id, e.status());
+                        }
+                        continue;
+                    }
+                };
                 if let Some(dir) = &flags.csv_dir {
                     let path = format!("{dir}/{}.csv", a.id);
                     std::fs::write(&path, scenario::fmt::summary_to_csv(&report.metrics))
@@ -351,16 +506,44 @@ pub fn run_cli_with(args: &[String], sink: ProgressSink) -> Result<String, CliEr
                     batch_start.elapsed().as_secs_f64()
                 ));
             }
-            if flags.json {
-                let batch = Value::obj()
+            let failed = failures.len();
+            let out = if flags.json {
+                // The failure keys appear only when something failed,
+                // so a clean batch stays byte-identical to a run
+                // without any engine options.
+                let mut batch = Value::obj()
                     .with("command", "run-all")
                     .with("seed", opts.seed)
-                    .with("artifact_count", total)
-                    .with("artifacts", Value::Arr(artifacts_json));
-                Ok(format!("{}\n", batch.pretty()))
+                    .with("artifact_count", total);
+                if failed > 0 {
+                    batch = batch
+                        .with("failed_count", failed)
+                        .with("failures", Value::Arr(failures.clone()));
+                }
+                format!(
+                    "{}\n",
+                    batch.with("artifacts", Value::Arr(artifacts_json)).pretty()
+                )
             } else {
-                let _ = writeln!(text, "run-all: {total} artifacts (seed {})", opts.seed);
-                Ok(text)
+                if failed == 0 {
+                    let _ = writeln!(text, "run-all: {total} artifacts (seed {})", opts.seed);
+                } else {
+                    let _ = writeln!(
+                        text,
+                        "run-all: {} of {total} artifacts completed, {failed} failed (seed {})",
+                        total - failed,
+                        opts.seed
+                    );
+                }
+                text
+            };
+            if failed == 0 {
+                Ok(out)
+            } else {
+                Err(CliError::partial(
+                    format!("run-all: {failed} of {total} artifacts failed"),
+                    out,
+                ))
             }
         }
         "show" => {
@@ -380,6 +563,11 @@ pub fn run_cli_with(args: &[String], sink: ProgressSink) -> Result<String, CliEr
             if flags.progress {
                 return Err(CliError::usage(
                     "show only prints the grid — nothing runs, so there is no progress",
+                ));
+            }
+            if flags.timeout_secs.is_some() || flags.cache_dir.is_some() {
+                return Err(CliError::usage(
+                    "--timeout-secs/--cache-dir apply to run and run-all",
                 ));
             }
             let a = artifact(id)?;
@@ -421,6 +609,11 @@ pub fn run_cli_with(args: &[String], sink: ProgressSink) -> Result<String, CliEr
                     "CSV export covers registry artifacts (run/run-all); adhoc emits JSON",
                 ));
             }
+            if flags.timeout_secs.is_some() || flags.cache_dir.is_some() {
+                return Err(CliError::usage(
+                    "--timeout-secs/--cache-dir apply to run and run-all",
+                ));
+            }
             apply_threads(&flags);
             let mut sc = load_scenario(spec)?;
             if let Some(trials) = flags.trials {
@@ -453,9 +646,17 @@ pub fn run_cli_with(args: &[String], sink: ProgressSink) -> Result<String, CliEr
             if flags.json {
                 Ok(format!("{}\n", result.pretty()))
             } else {
+                // A malformed outcome is a runtime error, not a
+                // panic: surface it with the scenario attached.
+                let outcome = result.get("outcome").ok_or_else(|| {
+                    CliError::run(format!(
+                        "adhoc scenario produced no outcome (scenario: {})",
+                        sc.to_json()
+                    ))
+                })?;
                 let mut out = String::new();
                 let _ = writeln!(out, "scenario: {}", sc.to_json());
-                let _ = writeln!(out, "outcome:  {}", result.get("outcome").unwrap());
+                let _ = writeln!(out, "outcome:  {outcome}");
                 Ok(out)
             }
         }
@@ -490,6 +691,38 @@ mod tests {
                 .code,
             2
         );
+        assert_eq!(
+            run_cli(&args(&["run", "fig5", "--timeout-secs", "0"]))
+                .unwrap_err()
+                .code,
+            2
+        );
+        assert_eq!(
+            run_cli(&args(&["show", "fig5", "--cache-dir", "/tmp/x"]))
+                .unwrap_err()
+                .code,
+            2
+        );
+        assert_eq!(
+            run_cli(&args(&["adhoc", "{}", "--timeout-secs", "5"]))
+                .unwrap_err()
+                .code,
+            2
+        );
+    }
+
+    #[test]
+    fn help_documents_the_exit_codes_and_engine_flags() {
+        let out = run_cli(&args(&["help"])).unwrap();
+        assert!(out.contains("EXIT CODES"));
+        assert!(out.contains("--timeout-secs"));
+        assert!(out.contains("--cache-dir"));
+        for code in ["0 ", "1 ", "2 ", "3 "] {
+            assert!(
+                out.contains(&format!("\n    {code}")),
+                "help missing exit code row {code:?}"
+            );
+        }
     }
 
     #[test]

@@ -6,6 +6,11 @@ fn main() {
     match lru_leak_cli::run_cli(&args) {
         Ok(out) => print!("{out}"),
         Err(e) => {
+            // Partial run-all failures carry the completed cells'
+            // deterministic output; print it before the diagnosis.
+            if let Some(out) = &e.stdout {
+                print!("{out}");
+            }
             eprintln!("{}", e.message);
             std::process::exit(e.code);
         }

@@ -38,11 +38,38 @@
 //! and cached; embedders such as the `lru-leak` CLI can override the
 //! count explicitly with [`set_worker_count`] instead of mutating
 //! the environment (`--threads` therefore beats `LRU_LEAK_THREADS`).
+//!
+//! ## Resilience
+//!
+//! The scheduler is *panic-isolated* and *cancellable* at chunk
+//! granularity. Every claimed chunk runs inside
+//! [`std::panic::catch_unwind`]; a chunk that panics is deterministically
+//! re-run **once** from a fresh accumulator (the chunk/merge structure
+//! makes the re-run bit-identical, so a transient fault leaves no trace
+//! in the result), and a chunk that panics twice surfaces as a
+//! structured [`FoldError::ChunkPanicked`] instead of aborting the
+//! process. A dying worker can never deadlock the bounded merge buffer:
+//! failure is recorded in the shared fold state, every condvar waiter is
+//! woken, and the remaining workers drain (drop their in-flight
+//! accumulators) instead of waiting on a frontier chunk that will never
+//! merge. Mutex poisoning is likewise drained (`PoisonError::into_inner`)
+//! rather than cascaded.
+//!
+//! Cancellation is cooperative: a [`CancelToken`] (optionally carrying a
+//! deadline) is checked **at chunk boundaries** — between chunks, never
+//! inside one — so a cancelled run stops within one chunk's worth of
+//! work and returns [`FoldError::Cancelled`]. The control surface is
+//! bundled in a [`RunCtrl`] passed to [`run_trials_fold_ctrl`]; the
+//! legacy entry points ([`run_trials`], [`run_trials_fold`]) use a
+//! default `RunCtrl` (never cancelled) and re-raise a persistent chunk
+//! panic, preserving their historical panicking contract.
 
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex, OnceLock};
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
 use std::thread;
+use std::time::{Duration, Instant};
 
 /// Derives the seed of trial `index` from the experiment's master
 /// seed (SplitMix64 finalizer over the pair — consecutive indices
@@ -111,6 +138,207 @@ pub fn fold_chunk_size(n: usize) -> usize {
 /// in-flight chunk per worker.
 const PENDING_PER_WORKER: usize = 2;
 
+/// Shared cancellation state. A token is cancelled when its own flag
+/// is set, its own deadline has passed, or any ancestor token is
+/// cancelled.
+#[derive(Debug, Default)]
+struct CancelInner {
+    flag: AtomicBool,
+    deadline: Option<Instant>,
+    parent: Option<Arc<CancelInner>>,
+}
+
+impl CancelInner {
+    fn cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+            || self.deadline.is_some_and(|d| Instant::now() >= d)
+            || self.parent.as_ref().is_some_and(|p| p.cancelled())
+    }
+
+    fn timed_out(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
+            || self.parent.as_ref().is_some_and(|p| p.timed_out())
+    }
+}
+
+/// A cooperative cancellation handle, checked by the schedulers at
+/// chunk boundaries (never inside a chunk, so a fired token stops a
+/// run within one chunk's worth of work).
+///
+/// Tokens are cheap `Arc` handles: clone one into whoever should be
+/// able to [`CancelToken::cancel`] the run. A token can carry a
+/// deadline ([`CancelToken::with_timeout`]), after which it reports
+/// cancelled on its own; [`CancelToken::child_with_timeout`] derives
+/// a deadline-bearing child that also honours its parent, which is
+/// how a batch applies one external cancel handle *and* a per-job
+/// timeout.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    inner: Arc<CancelInner>,
+}
+
+impl CancelToken {
+    /// A fresh token, never cancelled until someone calls
+    /// [`CancelToken::cancel`].
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// A token that auto-cancels once `timeout` has elapsed.
+    pub fn with_timeout(timeout: Duration) -> CancelToken {
+        CancelToken {
+            inner: Arc::new(CancelInner {
+                deadline: Instant::now().checked_add(timeout),
+                ..CancelInner::default()
+            }),
+        }
+    }
+
+    /// A child token that auto-cancels once `timeout` has elapsed
+    /// *and* reports cancelled whenever `self` does. Cancelling the
+    /// child does not cancel the parent.
+    pub fn child_with_timeout(&self, timeout: Duration) -> CancelToken {
+        CancelToken {
+            inner: Arc::new(CancelInner {
+                deadline: Instant::now().checked_add(timeout),
+                parent: Some(Arc::clone(&self.inner)),
+                ..CancelInner::default()
+            }),
+        }
+    }
+
+    /// Requests cancellation. Idempotent; takes effect at the next
+    /// chunk boundary of any run holding this token (or a child).
+    pub fn cancel(&self) {
+        self.inner.flag.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether the token has fired (explicit cancel, own deadline, or
+    /// a cancelled ancestor).
+    pub fn is_cancelled(&self) -> bool {
+        self.inner.cancelled()
+    }
+
+    /// Whether a deadline (own or ancestral) has expired —
+    /// distinguishes a timeout from an explicit cancel.
+    pub fn timed_out(&self) -> bool {
+        self.inner.timed_out()
+    }
+}
+
+/// Control surface for one scheduled run: the [`CancelToken`] the
+/// workers poll at chunk boundaries, plus a retry counter the driver
+/// increments every time a panicked chunk is deterministically
+/// re-run.
+#[derive(Debug, Default)]
+pub struct RunCtrl {
+    cancel: CancelToken,
+    retried: AtomicUsize,
+}
+
+impl RunCtrl {
+    /// A control block that never cancels.
+    pub fn new() -> RunCtrl {
+        RunCtrl::default()
+    }
+
+    /// A control block driven by an existing token.
+    pub fn with_cancel(cancel: CancelToken) -> RunCtrl {
+        RunCtrl {
+            cancel,
+            retried: AtomicUsize::new(0),
+        }
+    }
+
+    /// The token workers poll.
+    pub fn cancel_token(&self) -> &CancelToken {
+        &self.cancel
+    }
+
+    /// How many chunk retries the run performed so far (a retry is a
+    /// caught panic followed by a deterministic re-run; a fault-free
+    /// run reports 0).
+    pub fn retried_chunks(&self) -> usize {
+        self.retried.load(Ordering::Relaxed)
+    }
+
+    fn note_retry(&self) {
+        self.retried.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Why a controlled fold stopped early.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FoldError {
+    /// The [`CancelToken`] fired (explicit cancel or deadline) and a
+    /// worker observed it at a chunk boundary before every chunk had
+    /// merged.
+    Cancelled,
+    /// A chunk panicked on its first run **and** on its deterministic
+    /// retry; the run was drained without deadlocking and the panic
+    /// surfaced here instead of aborting the process.
+    ChunkPanicked {
+        /// Index of the failed chunk (chunks are
+        /// [`fold_chunk_size`]`(n)` consecutive trial indices).
+        chunk: usize,
+        /// Half-open `[lo, hi)` range of trial indices the chunk
+        /// covers.
+        trial_range: (usize, usize),
+        /// The panic payload, stringified (`&str`/`String` payloads
+        /// verbatim, anything else a placeholder).
+        payload: String,
+    },
+}
+
+impl std::fmt::Display for FoldError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FoldError::Cancelled => write!(f, "cancelled at a chunk boundary"),
+            FoldError::ChunkPanicked {
+                chunk,
+                trial_range: (lo, hi),
+                payload,
+            } => write!(
+                f,
+                "chunk {chunk} (trials {lo}..{hi}) panicked twice (original + retry): {payload}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FoldError {}
+
+/// Stringifies a caught panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Re-raises a [`FoldError`] for the legacy (panicking) entry points:
+/// a persistent chunk panic becomes a plain panic again, carrying the
+/// stringified payload. The default [`RunCtrl`] never cancels, so
+/// [`FoldError::Cancelled`] cannot reach here.
+fn resurface(e: FoldError) -> ! {
+    match e {
+        FoldError::Cancelled => unreachable!("default RunCtrl never cancels"),
+        FoldError::ChunkPanicked { payload, .. } => panic::panic_any(payload),
+    }
+}
+
+/// Drains a possibly-poisoned lock: a panic elsewhere must not
+/// cascade into every thread that later touches the mutex (the fold
+/// state stays consistent because chunk panics are caught *before*
+/// the lock is taken and merge panics are caught while the
+/// accumulator is checked out).
+fn drain_lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
 /// Runs `n` independent trials of `f` and returns their results in
 /// index order.
 ///
@@ -136,15 +364,20 @@ where
     // Collecting materializes all n results anyway, so the streaming
     // path's pending-buffer backpressure would cap nothing — run
     // unbounded and let workers race past a slow frontier chunk.
-    fold_impl(
+    let cfg = FoldCfg {
         workers,
         n,
-        usize::MAX,
+        pending_cap: usize::MAX,
+    };
+    fold_impl(
+        cfg,
+        &RunCtrl::new(),
         f,
         Vec::new,
         |acc, _i, v| acc.push(v),
         |acc, mut part| acc.append(&mut part),
     )
+    .unwrap_or_else(|e| resurface(e))
 }
 
 /// Streams `n` independent trials through a chunked fold:
@@ -195,23 +428,41 @@ where
     Fo: Fn(&mut A, usize, T) + Sync,
     M: Fn(&mut A, A) + Sync,
 {
-    let cap = PENDING_PER_WORKER * workers.max(1);
-    fold_impl(workers, n, cap, trial, init, fold, merge)
+    let cfg = FoldCfg {
+        workers,
+        n,
+        pending_cap: PENDING_PER_WORKER * workers.max(1),
+    };
+    fold_impl(cfg, &RunCtrl::new(), trial, init, fold, merge).unwrap_or_else(|e| resurface(e))
 }
 
-/// Shared scheduler body: `pending_cap` bounds the
-/// completed-but-unmerged buffer (streaming callers) or is
-/// `usize::MAX` to let workers race past a slow frontier chunk
-/// (collecting callers, whose output is `O(n)` regardless).
-fn fold_impl<T, A, F, I, Fo, M>(
+/// [`run_trials_fold_on`] under an explicit [`RunCtrl`]: the
+/// resilient entry point the job engine uses.
+///
+/// Identical chunk/merge structure (and therefore bit-identical
+/// results on success), but instead of panicking the driver
+///
+/// * checks `ctrl`'s [`CancelToken`] at every chunk boundary and
+///   returns [`FoldError::Cancelled`] once it fires;
+/// * catches a panicking chunk, re-runs it **once** from a fresh
+///   accumulator (`ctrl` counts the retry), and only if it panics
+///   again returns [`FoldError::ChunkPanicked`] — after draining the
+///   other workers, so the bounded merge buffer never deadlocks on a
+///   dead worker.
+///
+/// # Errors
+///
+/// [`FoldError::Cancelled`] on cooperative cancellation,
+/// [`FoldError::ChunkPanicked`] when a chunk fails twice.
+pub fn run_trials_fold_ctrl<T, A, F, I, Fo, M>(
     workers: usize,
     n: usize,
-    pending_cap: usize,
+    ctrl: &RunCtrl,
     trial: F,
     init: I,
     fold: Fo,
     merge: M,
-) -> A
+) -> Result<A, FoldError>
 where
     T: Send,
     A: Send,
@@ -220,24 +471,101 @@ where
     Fo: Fn(&mut A, usize, T) + Sync,
     M: Fn(&mut A, A) + Sync,
 {
+    let cfg = FoldCfg {
+        workers,
+        n,
+        pending_cap: PENDING_PER_WORKER * workers.max(1),
+    };
+    fold_impl(cfg, ctrl, trial, init, fold, merge)
+}
+
+/// Scheduler geometry: `pending_cap` bounds the
+/// completed-but-unmerged buffer (streaming callers) or is
+/// `usize::MAX` to let workers race past a slow frontier chunk
+/// (collecting callers, whose output is `O(n)` regardless).
+struct FoldCfg {
+    workers: usize,
+    n: usize,
+    pending_cap: usize,
+}
+
+/// Shared scheduler body. See [`run_trials_fold_ctrl`] for the
+/// resilience contract.
+fn fold_impl<T, A, F, I, Fo, M>(
+    cfg: FoldCfg,
+    ctrl: &RunCtrl,
+    trial: F,
+    init: I,
+    fold: Fo,
+    merge: M,
+) -> Result<A, FoldError>
+where
+    T: Send,
+    A: Send,
+    F: Fn(usize) -> T + Sync,
+    I: Fn() -> A + Sync,
+    Fo: Fn(&mut A, usize, T) + Sync,
+    M: Fn(&mut A, A) + Sync,
+{
+    let FoldCfg {
+        workers,
+        n,
+        pending_cap,
+    } = cfg;
     let chunk = fold_chunk_size(n);
     let chunks = n.div_ceil(chunk);
     let workers = workers.max(1).min(chunks.max(1));
-    let run_chunk = |c: usize| {
-        let mut part = init();
-        let lo = c * chunk;
-        let hi = (lo + chunk).min(n);
-        for i in lo..hi {
-            fold(&mut part, i, trial(i));
+    let cancel = ctrl.cancel_token();
+    let chunk_range = |c: usize| (c * chunk, ((c + 1) * chunk).min(n));
+    // One guarded attempt at chunk `c`: fold its trials in ascending
+    // index order into a fresh accumulator, catching unwinds so a
+    // panicking trial takes down this chunk attempt, not the process.
+    let attempt_chunk = |c: usize| {
+        panic::catch_unwind(AssertUnwindSafe(|| {
+            let mut part = init();
+            let (lo, hi) = chunk_range(c);
+            for i in lo..hi {
+                fold(&mut part, i, trial(i));
+            }
+            part
+        }))
+    };
+    // Panic isolation with one deterministic retry: the chunk/merge
+    // structure is a function of `n` alone, so re-running a chunk
+    // from a fresh accumulator is bit-identical — a transient fault
+    // (caught once, clean on retry) leaves no trace in the result.
+    let run_chunk = |c: usize| -> Result<A, FoldError> {
+        match attempt_chunk(c) {
+            Ok(part) => Ok(part),
+            Err(_first) => {
+                ctrl.note_retry();
+                match attempt_chunk(c) {
+                    Ok(part) => Ok(part),
+                    Err(second) => Err(FoldError::ChunkPanicked {
+                        chunk: c,
+                        trial_range: chunk_range(c),
+                        payload: panic_message(second.as_ref()),
+                    }),
+                }
+            }
         }
-        part
     };
     if workers <= 1 || chunks <= 1 {
         let mut acc = init();
         for c in 0..chunks {
-            merge(&mut acc, run_chunk(c));
+            if cancel.is_cancelled() {
+                return Err(FoldError::Cancelled);
+            }
+            let part = run_chunk(c)?;
+            panic::catch_unwind(AssertUnwindSafe(|| merge(&mut acc, part))).map_err(|p| {
+                FoldError::ChunkPanicked {
+                    chunk: c,
+                    trial_range: chunk_range(c),
+                    payload: panic_message(p.as_ref()),
+                }
+            })?;
         }
-        return acc;
+        return Ok(acc);
     }
 
     /// In-order merge frontier shared by the workers.
@@ -248,6 +576,10 @@ where
         pending: BTreeMap<usize, A>,
         /// The global accumulator (`None` only while a worker merges).
         acc: Option<A>,
+        /// First terminal failure (cancellation or a twice-panicked
+        /// chunk). Once set, every worker drains and exits instead of
+        /// waiting on a frontier that will never advance.
+        failed: Option<FoldError>,
     }
 
     let claim = AtomicUsize::new(0);
@@ -255,50 +587,97 @@ where
         next_merge: 0,
         pending: BTreeMap::new(),
         acc: Some(init()),
+        failed: None,
     });
     let drained = Condvar::new();
+    let fail_with = |e: FoldError| {
+        let mut st = drain_lock(&state);
+        st.failed.get_or_insert(e);
+        drop(st);
+        // Wake every backpressure waiter so nobody blocks on a
+        // frontier chunk that will never merge.
+        drained.notify_all();
+    };
     thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(workers);
         for _ in 0..workers {
-            handles.push(scope.spawn(|| loop {
+            scope.spawn(|| loop {
                 // Backpressure: don't run further ahead of the merge
-                // frontier than the pending buffer allows.
+                // frontier than the pending buffer allows. A recorded
+                // failure releases the wait — drop-aware draining.
                 {
-                    let mut st = state.lock().expect("fold state poisoned");
-                    while st.pending.len() >= pending_cap {
-                        st = drained.wait(st).expect("fold state poisoned");
+                    let mut st = drain_lock(&state);
+                    while st.pending.len() >= pending_cap && st.failed.is_none() {
+                        st = drained.wait(st).unwrap_or_else(PoisonError::into_inner);
                     }
+                    if st.failed.is_some() {
+                        return;
+                    }
+                }
+                // Chunk boundary: the only cancellation point.
+                if cancel.is_cancelled() {
+                    fail_with(FoldError::Cancelled);
+                    return;
                 }
                 let c = claim.fetch_add(1, Ordering::Relaxed);
                 if c >= chunks {
                     return;
                 }
-                let part = run_chunk(c);
-                let mut st = state.lock().expect("fold state poisoned");
+                let part = match run_chunk(c) {
+                    Ok(part) => part,
+                    Err(e) => {
+                        fail_with(e);
+                        return;
+                    }
+                };
+                let mut st = drain_lock(&state);
+                if st.failed.is_some() {
+                    // A sibling already failed: drop this chunk's
+                    // accumulator and exit instead of inserting work
+                    // the frontier will never consume.
+                    return;
+                }
                 st.pending.insert(c, part);
                 // Merge the ready in-order prefix; strictly ascending
-                // chunk order keeps the reduction deterministic.
+                // chunk order keeps the reduction deterministic. A
+                // panicking merge is caught with the accumulator
+                // checked out, so the lock is never poisoned mid-merge.
                 let mut acc = st.acc.take().expect("accumulator present");
+                let mut merge_err = None;
                 loop {
                     let frontier = st.next_merge;
                     let Some(ready) = st.pending.remove(&frontier) else {
                         break;
                     };
-                    merge(&mut acc, ready);
-                    st.next_merge += 1;
+                    match panic::catch_unwind(AssertUnwindSafe(|| merge(&mut acc, ready))) {
+                        Ok(()) => st.next_merge += 1,
+                        Err(p) => {
+                            merge_err = Some(FoldError::ChunkPanicked {
+                                chunk: frontier,
+                                trial_range: chunk_range(frontier),
+                                payload: panic_message(p.as_ref()),
+                            });
+                            break;
+                        }
+                    }
                 }
                 st.acc = Some(acc);
+                if let Some(e) = merge_err {
+                    st.failed.get_or_insert(e);
+                    drop(st);
+                    drained.notify_all();
+                    return;
+                }
                 drop(st);
                 drained.notify_all();
-            }));
-        }
-        for h in handles {
-            h.join().expect("trial worker panicked");
+            });
         }
     });
-    let mut st = state.into_inner().expect("fold state poisoned");
+    let mut st = state.into_inner().unwrap_or_else(PoisonError::into_inner);
+    if let Some(e) = st.failed.take() {
+        return Err(e);
+    }
     debug_assert_eq!(st.next_merge, chunks, "every chunk merged");
-    st.acc.take().expect("accumulator present")
+    Ok(st.acc.take().expect("accumulator present"))
 }
 
 #[cfg(test)]
@@ -451,5 +830,200 @@ mod tests {
         assert_eq!(worker_count(), 3);
         set_worker_count(0);
         assert!(worker_count() >= 1);
+    }
+
+    /// Sums 0..n with an optional injected one-shot panic.
+    fn sum_ctrl(
+        workers: usize,
+        n: usize,
+        ctrl: &RunCtrl,
+        boom: &AtomicUsize,
+    ) -> Result<u64, FoldError> {
+        run_trials_fold_ctrl(
+            workers,
+            n,
+            ctrl,
+            |i| {
+                if i == 7
+                    && boom
+                        .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |b| b.checked_sub(1))
+                        .is_ok()
+                {
+                    panic!("injected trial panic at {i}");
+                }
+                i as u64
+            },
+            || 0u64,
+            |acc, _i, v| *acc += v,
+            |acc, part| *acc += part,
+        )
+    }
+
+    #[test]
+    fn one_shot_panic_is_retried_to_an_identical_result() {
+        let expected = (0..1000u64).sum::<u64>();
+        for workers in [1, 4] {
+            let ctrl = RunCtrl::new();
+            let boom = AtomicUsize::new(1); // fire once
+            assert_eq!(sum_ctrl(workers, 1000, &ctrl, &boom), Ok(expected));
+            assert_eq!(ctrl.retried_chunks(), 1, "workers={workers}");
+            assert_eq!(boom.load(Ordering::SeqCst), 0, "fault consumed");
+        }
+    }
+
+    #[test]
+    fn persistent_panic_surfaces_a_structured_error() {
+        for workers in [1, 4] {
+            let ctrl = RunCtrl::new();
+            let boom = AtomicUsize::new(usize::MAX); // fire every time
+            let err = sum_ctrl(workers, 1000, &ctrl, &boom).unwrap_err();
+            let FoldError::ChunkPanicked {
+                chunk,
+                trial_range: (lo, hi),
+                payload,
+            } = err
+            else {
+                panic!("expected ChunkPanicked, got {err:?}");
+            };
+            // n=1000 → chunk size 15; trial 7 lives in chunk 0.
+            assert_eq!(chunk, 0, "workers={workers}");
+            assert!(lo <= 7 && 7 < hi, "{lo}..{hi} must contain trial 7");
+            assert!(payload.contains("injected trial panic at 7"), "{payload}");
+            assert!(ctrl.retried_chunks() >= 1);
+        }
+    }
+
+    #[test]
+    fn persistent_panic_under_backpressure_does_not_deadlock() {
+        // Chunk 0 always fails while later chunks are slow enough to
+        // fill the bounded pending buffer behind the dead frontier;
+        // the drain logic must wake and release every worker.
+        let ctrl = RunCtrl::new();
+        let err = run_trials_fold_ctrl(
+            4,
+            40_000, // chunk 64 → 625 chunks, plenty of backpressure
+            &ctrl,
+            |i| {
+                if i == 0 {
+                    panic!("frontier chunk dies");
+                }
+                std::hint::black_box(i as u64)
+            },
+            || 0u64,
+            |acc, _i, v| *acc += v,
+            |acc, part| *acc += part,
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, FoldError::ChunkPanicked { chunk: 0, .. }),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn pre_cancelled_token_stops_before_any_trial() {
+        let token = CancelToken::new();
+        token.cancel();
+        let ran = AtomicUsize::new(0);
+        let ctrl = RunCtrl::with_cancel(token);
+        let out = run_trials_fold_ctrl(
+            4,
+            10_000,
+            &ctrl,
+            |i| {
+                ran.fetch_add(1, Ordering::SeqCst);
+                i
+            },
+            || 0usize,
+            |acc, _i, _v| *acc += 1,
+            |acc, part| *acc += part,
+        );
+        assert_eq!(out, Err(FoldError::Cancelled));
+        assert_eq!(ran.load(Ordering::SeqCst), 0, "no chunk may start");
+    }
+
+    #[test]
+    fn mid_run_cancel_stops_at_a_chunk_boundary() {
+        let token = CancelToken::new();
+        let ctrl = RunCtrl::with_cancel(token.clone());
+        let ran = AtomicUsize::new(0);
+        let out = run_trials_fold_ctrl(
+            2,
+            100_000,
+            &ctrl,
+            |i| {
+                if ran.fetch_add(1, Ordering::SeqCst) == 500 {
+                    token.cancel();
+                }
+                i as u64
+            },
+            || 0u64,
+            |acc, _i, v| *acc += v,
+            |acc, part| *acc += part,
+        );
+        assert_eq!(out, Err(FoldError::Cancelled));
+        // Cooperative: the run stopped well short of the sweep.
+        assert!(ran.load(Ordering::SeqCst) < 100_000);
+    }
+
+    #[test]
+    fn deadline_token_reports_timed_out() {
+        let token = CancelToken::with_timeout(Duration::ZERO);
+        assert!(token.is_cancelled());
+        assert!(token.timed_out());
+        let fresh = CancelToken::new();
+        assert!(!fresh.is_cancelled());
+        assert!(!fresh.timed_out());
+        // An explicit cancel is not a timeout.
+        fresh.cancel();
+        assert!(fresh.is_cancelled() && !fresh.timed_out());
+        // Children honour the parent flag and own deadline alike.
+        let parent = CancelToken::new();
+        let child = parent.child_with_timeout(Duration::from_secs(3600));
+        assert!(!child.is_cancelled());
+        parent.cancel();
+        assert!(child.is_cancelled() && !child.timed_out());
+        assert!(!parent.timed_out());
+        let expired = parent.child_with_timeout(Duration::ZERO);
+        assert!(expired.timed_out());
+    }
+
+    #[test]
+    fn merge_panic_is_terminal_but_structured() {
+        for workers in [1, 4] {
+            let ctrl = RunCtrl::new();
+            let out = run_trials_fold_ctrl(
+                workers,
+                1000,
+                &ctrl,
+                |i| i as u64,
+                || 0u64,
+                |acc, _i, v| *acc += v,
+                |_acc, _part| panic!("merge dies"),
+            );
+            let err = out.unwrap_err();
+            assert!(
+                matches!(err, FoldError::ChunkPanicked { ref payload, .. } if payload.contains("merge dies")),
+                "workers={workers}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn legacy_entry_points_still_panic_on_persistent_faults() {
+        let caught = std::panic::catch_unwind(|| {
+            run_trials_on(2, 100, |i| {
+                if i == 3 {
+                    panic!("persistent");
+                }
+                i
+            })
+        });
+        let payload = caught.unwrap_err();
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(msg.contains("persistent"), "{msg}");
     }
 }

@@ -371,6 +371,33 @@ impl Aggregate {
             Aggregate::Capacity => scenario.run_reduced_with(&CapacityStats, progress),
         }
     }
+
+    /// [`Aggregate::reduce`] under an explicit
+    /// [`RunCtrl`](lru_channel::trials::RunCtrl): bit-identical on
+    /// success, but cancellable at chunk boundaries and panic-isolated
+    /// (a twice-panicked chunk returns a structured error instead of
+    /// unwinding).
+    ///
+    /// # Errors
+    ///
+    /// See [`crate::spec::Scenario::run_reduced_ctrl`].
+    pub fn reduce_ctrl(
+        &self,
+        scenario: &Scenario,
+        progress: Option<ProgressFn>,
+        ctrl: &lru_channel::trials::RunCtrl,
+    ) -> Result<Value, lru_channel::trials::FoldError> {
+        match *self {
+            Aggregate::Collect => scenario.run_reduced_ctrl(&CollectMetrics, progress, ctrl),
+            Aggregate::Stats(keys) => {
+                scenario.run_reduced_ctrl(&ScalarStats::new(keys), progress, ctrl)
+            }
+            Aggregate::Histogram { key, bins } => {
+                scenario.run_reduced_ctrl(&KeyHistogram { key, bins }, progress, ctrl)
+            }
+            Aggregate::Capacity => scenario.run_reduced_ctrl(&CapacityStats, progress, ctrl),
+        }
+    }
 }
 
 #[cfg(test)]

@@ -40,7 +40,7 @@ use lru_channel::multiset::run_parallel_alg1;
 use lru_channel::plru_study::{eviction_curve, InitCond, SequenceKind};
 use lru_channel::protocol::LruSender;
 use lru_channel::setup;
-use lru_channel::trials::{derive_seed, run_trials_fold};
+use lru_channel::trials::{derive_seed, run_trials_fold_ctrl, worker_count, FoldError, RunCtrl};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -151,12 +151,41 @@ impl Scenario {
     /// [`Scenario::run_reduced`] with a progress callback, invoked
     /// from worker threads as `(completed, total)` after each trial.
     pub fn run_reduced_with<R: Reducer>(&self, reducer: &R, progress: Option<ProgressFn>) -> Value {
+        match self.run_reduced_ctrl(reducer, progress, &RunCtrl::new()) {
+            Ok(v) => v,
+            Err(FoldError::Cancelled) => unreachable!("default RunCtrl never cancels"),
+            // Preserve the historical panicking contract of the
+            // uncontrolled entry point.
+            Err(FoldError::ChunkPanicked { payload, .. }) => std::panic::panic_any(payload),
+        }
+    }
+
+    /// [`Scenario::run_reduced_with`] under an explicit [`RunCtrl`] —
+    /// the resilient form the [`crate::engine`] job layer calls.
+    /// Bit-identical bytes on success; additionally the trial chunks
+    /// are panic-isolated (one deterministic retry, then a structured
+    /// error) and `ctrl`'s [`CancelToken`](lru_channel::trials::CancelToken)
+    /// is honoured at every chunk boundary.
+    ///
+    /// # Errors
+    ///
+    /// [`FoldError::Cancelled`] when the token fires before the sweep
+    /// completes; [`FoldError::ChunkPanicked`] when a trial chunk
+    /// panics twice (original run + deterministic retry).
+    pub fn run_reduced_ctrl<R: Reducer>(
+        &self,
+        reducer: &R,
+        progress: Option<ProgressFn>,
+        ctrl: &RunCtrl,
+    ) -> Result<Value, FoldError> {
         let experiment = self.experiment();
         let n = self.trials.max(1);
         let single = self.trials <= 1;
         let done = AtomicUsize::new(0);
-        let acc = run_trials_fold(
+        let acc = run_trials_fold_ctrl(
+            worker_count(),
             n,
+            ctrl,
             |i| {
                 let seed = if single {
                     self.seed
@@ -172,8 +201,34 @@ impl Scenario {
             || reducer.init(),
             |acc, i, outcome| reducer.fold(acc, i, outcome),
             |acc, other| reducer.merge(acc, other),
-        );
-        reducer.finish(acc)
+        )?;
+        Ok(reducer.finish(acc))
+    }
+
+    /// [`Scenario::run`] under an explicit [`RunCtrl`]: the same
+    /// bytes as [`Scenario::run`] on success (including the
+    /// single-trial unwrapping), but cancellable and panic-isolated.
+    /// This is the per-cell entry point of the [`crate::engine`] job
+    /// layer, and what makes every grid cell's outcome safely
+    /// cacheable — a faulted-then-retried cell reproduces the
+    /// fault-free bytes exactly.
+    ///
+    /// # Errors
+    ///
+    /// See [`Scenario::run_reduced_ctrl`].
+    pub fn run_ctrl(&self, ctrl: &RunCtrl) -> Result<Value, FoldError> {
+        let v = self.run_reduced_ctrl(&CollectMetrics, None, ctrl)?;
+        if self.trials <= 1 {
+            // Scenario::run returns the bare metrics tree for a
+            // single trial; unwrap the one-element array the
+            // compatibility reducer builds.
+            if let Value::Arr(mut items) = v {
+                debug_assert_eq!(items.len(), 1);
+                return Ok(items.remove(0));
+            }
+            unreachable!("CollectMetrics finishes with an array");
+        }
+        Ok(v)
     }
 
     /// Streams the trials through the scenario's default

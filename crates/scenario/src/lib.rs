@@ -32,6 +32,14 @@
 //!   bit-error rates (the binary-symmetric-channel bound), reported
 //!   by the noise ablations and the [`aggregate::CapacityStats`]
 //!   reducer.
+//! * [`engine`] — the resilient job layer the CLI (and a future
+//!   `lru-leak serve`) executes through: [`engine::Job`] grids run
+//!   with chunk-level panic isolation and deterministic retry,
+//!   cooperative cancellation and per-job deadlines
+//!   ([`engine::CancelToken`]), a content-addressed on-disk result
+//!   cache ([`engine::ResultCache`]) that makes interrupted batches
+//!   resumable, and test-only fault injection
+//!   ([`engine::FaultPlan`]).
 //! * [`registry`] — paper artifact IDs (`fig3`…`fig15`,
 //!   `table1`…`table7`, ablations — including the `ablation_noise_*`
 //!   interference sweeps) resolved to scenario grids plus
@@ -78,6 +86,7 @@
 
 pub mod aggregate;
 pub mod capacity;
+pub mod engine;
 pub mod experiment;
 pub mod fmt;
 pub mod json;
@@ -87,6 +96,7 @@ pub mod spec;
 pub use aggregate::{
     Aggregate, CapacityStats, CollectMetrics, KeyHistogram, ProgressFn, Reducer, ScalarStats,
 };
+pub use engine::{CancelToken, Engine, EngineError, FaultPlan, Job, JobStatus, ResultCache};
 pub use experiment::{Experiment, Outcome};
 pub use fmt::BENCH_SEED;
 pub use json::Value;

@@ -8,12 +8,11 @@
 //! the same grid run through the deterministic trial driver.
 
 use std::fmt::Write;
-use std::sync::atomic::{AtomicUsize, Ordering};
 
 use cache_sim::replacement::PolicyKind;
 use lru_channel::covert::{Sharing, Variant};
 use lru_channel::params::ChannelParams;
-use lru_channel::trials::run_trials_fold;
+use lru_channel::trials::{FoldError, RunCtrl};
 use workloads::spec_like::SUITE;
 
 use crate::aggregate::ProgressFn;
@@ -94,23 +93,50 @@ impl Artifact {
     /// [`Artifact::run`] with a progress callback, invoked from
     /// worker threads as `(completed, total)` after each grid cell.
     pub fn run_with(&self, opts: &RunOpts, progress: Option<ProgressFn>) -> Report {
-        let grid = self.scenarios(opts);
-        let total = grid.len();
-        let done = AtomicUsize::new(0);
-        let outcomes = run_trials_fold(
-            total,
-            |i| {
-                let v = grid[i].run();
-                if let Some(p) = progress {
-                    p(done.fetch_add(1, Ordering::Relaxed) + 1, total);
-                }
-                v
-            },
-            Vec::new,
-            |acc: &mut Vec<Value>, _i, v| acc.push(v),
-            |acc, mut part| acc.append(&mut part),
-        );
-        self.render_report(opts, &grid, &outcomes)
+        match self.run_ctrl(opts, progress, &RunCtrl::new()) {
+            Ok(report) => report,
+            Err(FoldError::Cancelled) => unreachable!("default RunCtrl never cancels"),
+            Err(FoldError::ChunkPanicked { payload, .. }) => std::panic::panic_any(payload),
+        }
+    }
+
+    /// [`Artifact::run_with`] under an external [`RunCtrl`]: the grid
+    /// runs through the panic-isolated, cancellable engine and a
+    /// failure comes back as a structured error instead of an abort.
+    /// (The richer entry point — caching, deadlines, job status — is
+    /// [`crate::engine::Engine::run_artifact`], which this shares its
+    /// execution path with.)
+    ///
+    /// # Errors
+    ///
+    /// [`FoldError::Cancelled`] when the control's token fires before
+    /// the grid completes; [`FoldError::ChunkPanicked`] when a grid
+    /// chunk panics on both its original run and its retry.
+    pub fn run_ctrl(
+        &self,
+        opts: &RunOpts,
+        progress: Option<ProgressFn>,
+        ctrl: &RunCtrl,
+    ) -> Result<Report, FoldError> {
+        let engine = crate::engine::Engine::new();
+        let job = crate::engine::Job::from_artifact(self, opts);
+        let (outcomes, _status) =
+            engine
+                .run_job_ctrl(&job, progress, ctrl)
+                .map_err(|e| match e {
+                    crate::engine::EngineError::Cancelled
+                    | crate::engine::EngineError::DeadlineExceeded { .. } => FoldError::Cancelled,
+                    crate::engine::EngineError::ChunkPanicked {
+                        chunk,
+                        trial_range,
+                        payload,
+                    } => FoldError::ChunkPanicked {
+                        chunk,
+                        trial_range,
+                        payload,
+                    },
+                })?;
+        Ok(self.render_report(opts, &job.grid, &outcomes))
     }
 
     /// The pre-refactor buffered reference: every grid cell runs
@@ -124,7 +150,12 @@ impl Artifact {
         self.render_report(opts, &grid, &outcomes)
     }
 
-    fn render_report(&self, opts: &RunOpts, grid: &[Scenario], outcomes: &[Value]) -> Report {
+    pub(crate) fn render_report(
+        &self,
+        opts: &RunOpts,
+        grid: &[Scenario],
+        outcomes: &[Value],
+    ) -> Report {
         let (body, summary) = (self.render)(opts, grid, outcomes);
         let mut text = String::new();
         header(&mut text, self.bench, self.paper_ref, self.what);
