@@ -2,12 +2,16 @@
 //!
 //! ```text
 //! lru-leak list
-//! lru-leak run <artifact> [--trials N] [--threads K] [--seed S] [--json | --csv]
+//! lru-leak run <artifact> [--trials N] [--threads K] [--seed S] [--json | --csv | --vega]
 //!              [--timeout-secs T] [--cache-dir DIR] [--progress]
 //! lru-leak run-all [--trials N] [--threads K] [--seed S] [--json] [--csv-dir DIR]
 //!              [--timeout-secs T] [--cache-dir DIR] [--progress]
 //! lru-leak show <artifact> [--trials N] [--seed S]
 //! lru-leak adhoc <scenario-json | @file.json> [--trials N] [--threads K] [--json] [--summary]
+//! lru-leak serve [--addr A] [--threads K] [--cache-dir DIR] [--max-inflight-trials N]
+//! lru-leak submit <artifact | scenario-json | @file.json> [--addr A] [--trials N] [--seed S]
+//!              [--threads K] [--timeout-secs T] [--progress]
+//! lru-leak status [--addr A]        lru-leak shutdown [--addr A]
 //! ```
 //!
 //! Everything is a thin veneer over [`scenario::registry`]: `run`
@@ -37,6 +41,15 @@
 //! continues — and the process exit code distinguishes usage errors
 //! (2), runtime failures (1), and partial batch failures (3).
 //!
+//! `serve` turns the same execution core into a long-lived TCP
+//! service ([`lru_leak_server`]): requests arrive as JSON lines, are
+//! admitted through a credit ledger (cost = cells × trials),
+//! coalesced single-flight on the canonical scenario JSON, and
+//! executed through one shared result cache — so N concurrent
+//! identical `submit`s cost one simulation and print bytes identical
+//! to `run <id> --json`. `submit`/`status`/`shutdown` are the
+//! matching clients.
+//!
 //! The core is [`run_cli`], which returns the output instead of
 //! printing — the binary is three lines, and the test suite drives
 //! the CLI in-process ([`run_cli_with`] additionally captures the
@@ -49,6 +62,7 @@
 use std::fmt::Write;
 use std::time::{Duration, Instant};
 
+use lru_leak_server::{client as service_client, Server, ServerConfig, DEFAULT_ADDR};
 use scenario::registry::{self, RunOpts};
 use scenario::spec::Scenario;
 use scenario::{CancelToken, Engine, EngineError, FaultPlan, JobStatus, ResultCache, Value};
@@ -98,12 +112,18 @@ lru-leak — run the paper's experiments from one declarative surface
 
 USAGE:
     lru-leak list
-    lru-leak run <artifact> [--trials N] [--threads K] [--seed S] [--json | --csv]
+    lru-leak run <artifact> [--trials N] [--threads K] [--seed S] [--json | --csv | --vega]
                  [--timeout-secs T] [--cache-dir DIR] [--progress]
     lru-leak run-all [--trials N] [--threads K] [--seed S] [--json] [--csv-dir DIR]
                  [--timeout-secs T] [--cache-dir DIR] [--progress]
     lru-leak show <artifact> [--trials N] [--seed S]
     lru-leak adhoc <scenario-json | @file.json> [--trials N] [--threads K] [--json] [--summary]
+    lru-leak serve [--addr A] [--threads K] [--cache-dir DIR] [--max-inflight-trials N]
+                 [--progress]
+    lru-leak submit <artifact | scenario-json | @file.json> [--addr A] [--trials N] [--seed S]
+                 [--threads K] [--timeout-secs T] [--progress]
+    lru-leak status [--addr A]
+    lru-leak shutdown [--addr A]
     lru-leak help
 
 ARTIFACTS:
@@ -124,6 +144,9 @@ OPTIONS:
     --json        Emit the deterministic JSON metrics instead of tables
     --csv         run only: flatten the report's summary into
                   deterministic CSV (one row per grid cell)
+    --vega        run only: emit the report's summary as a
+                  self-contained Vega-Lite v5 spec (a renderer over
+                  the same metrics --csv flattens)
     --csv-dir DIR run-all only: additionally write one <artifact>.csv
                   per artifact into DIR (created if missing)
     --progress    Report completion counts (and per-artifact wall times
@@ -138,11 +161,19 @@ OPTIONS:
                   (cooperative — observed at chunk boundaries). run-all
                   reports the timeout and continues with the next artifact
     --cache-dir DIR
-                  run/run-all: content-addressed result cache. Each grid
-                  cell's outcome is stored under a hash of its canonical
-                  scenario JSON (seed and trials included); repeated and
-                  interrupted runs resume at the first uncached cell,
-                  byte-identical to an uncached run
+                  run/run-all/serve: content-addressed result cache. Each
+                  grid cell's outcome is stored under a hash of its
+                  canonical scenario JSON (seed and trials included);
+                  repeated and interrupted runs resume at the first
+                  uncached cell, byte-identical to an uncached run.
+                  run-all --json additionally reports the hit/miss/
+                  corrupt-recovered counters under \"cache\"
+    --addr A      serve/submit/status/shutdown: the service address
+                  (default 127.0.0.1:4517; serve accepts port 0 for an
+                  ephemeral port)
+    --max-inflight-trials N
+                  serve only: global admission budget in trial-units
+                  (cells x trials); over-budget requests queue FIFO
 
 EXIT CODES:
     0   success
@@ -164,11 +195,14 @@ struct Flags {
     seed: Option<u64>,
     json: bool,
     csv: bool,
+    vega: bool,
     csv_dir: Option<String>,
     progress: bool,
     summary: bool,
     timeout_secs: Option<u64>,
     cache_dir: Option<String>,
+    addr: Option<String>,
+    max_inflight_trials: Option<usize>,
 }
 
 fn parse_flags(args: &[String]) -> Result<Flags, CliError> {
@@ -205,7 +239,21 @@ fn parse_flags(args: &[String]) -> Result<Flags, CliError> {
             }
             "--json" => flags.json = true,
             "--csv" => flags.csv = true,
+            "--vega" => flags.vega = true,
             "--csv-dir" => flags.csv_dir = Some(value_of("--csv-dir")?),
+            "--addr" => flags.addr = Some(value_of("--addr")?),
+            "--max-inflight-trials" => {
+                let v = value_of("--max-inflight-trials")?;
+                let n: usize = v.parse().map_err(|_| {
+                    CliError::usage(format!(
+                        "--max-inflight-trials needs a positive integer, got {v:?}"
+                    ))
+                })?;
+                if n == 0 {
+                    return Err(CliError::usage("--max-inflight-trials must be >= 1"));
+                }
+                flags.max_inflight_trials = Some(n);
+            }
             "--progress" => flags.progress = true,
             "--summary" => flags.summary = true,
             "--timeout-secs" => {
@@ -237,10 +285,123 @@ fn opts_from(flags: &Flags) -> RunOpts {
     }
 }
 
+/// `adhoc` only: pins the process-global worker count. `run`,
+/// `run-all` and the server size their pools per job through
+/// [`Engine::with_workers`] instead, so `--threads` never sticks
+/// beyond the job it was given for (the global
+/// [`lru_channel::trials::set_worker_count`] latches on first use —
+/// fine for a one-shot process, wrong for a long-lived one).
 fn apply_threads(flags: &Flags) {
     if let Some(threads) = flags.threads {
         lru_channel::trials::set_worker_count(threads);
     }
+}
+
+/// The service address a client command talks to.
+fn service_addr(flags: &Flags) -> String {
+    flags
+        .addr
+        .clone()
+        .unwrap_or_else(|| DEFAULT_ADDR.to_string())
+}
+
+/// Rejects everything but `--addr` for the thin client commands.
+fn require_only_addr(flags: &Flags, command: &str) -> Result<(), CliError> {
+    if flags.trials.is_some()
+        || flags.threads.is_some()
+        || flags.seed.is_some()
+        || flags.json
+        || flags.csv
+        || flags.vega
+        || flags.csv_dir.is_some()
+        || flags.summary
+        || flags.timeout_secs.is_some()
+        || flags.cache_dir.is_some()
+        || flags.max_inflight_trials.is_some()
+    {
+        return Err(CliError::usage(format!("{command} takes only --addr")));
+    }
+    Ok(())
+}
+
+/// Builds the wire request a `submit` sends: a `run` request when the
+/// target names a registry artifact, otherwise an `adhoc` request
+/// from inline JSON or an `@file`.
+fn build_submit_request(target: &str, flags: &Flags) -> Result<Value, CliError> {
+    let mut req = if registry::get(target).is_some() {
+        Value::obj().with("cmd", "run").with("artifact", target)
+    } else if target.starts_with('{') || target.starts_with('@') {
+        let sc = load_scenario(target)?;
+        Value::obj()
+            .with("cmd", "adhoc")
+            .with("scenario", sc.to_json())
+    } else {
+        return Err(CliError::run(format!(
+            "unknown artifact {target:?} — `lru-leak list` shows the registry \
+             (or pass a scenario as JSON / @file)"
+        )));
+    };
+    if let Some(trials) = flags.trials {
+        req = req.with("trials", trials);
+    }
+    if let Some(seed) = flags.seed {
+        req = req.with("seed", seed);
+    }
+    if let Some(threads) = flags.threads {
+        req = req.with("threads", threads);
+    }
+    if let Some(secs) = flags.timeout_secs {
+        req = req.with("timeout_secs", secs);
+    }
+    if flags.progress {
+        req = req.with("stream", true);
+    }
+    Ok(req)
+}
+
+/// Renders a server-side `accepted`/`progress` event as one
+/// `--progress` line.
+fn relay_event(sink: ProgressSink, event: &Value) {
+    match event.get("event").and_then(Value::as_str) {
+        Some("accepted") => {
+            let label = event.get("request").and_then(Value::as_str).unwrap_or("?");
+            let cost = event.get("cost").and_then(Value::as_u64).unwrap_or(0);
+            let coalesced = event
+                .get("coalesced")
+                .and_then(Value::as_bool)
+                .unwrap_or(false);
+            sink(&format!(
+                "accepted: {label} (cost {cost} trial-units{})",
+                if coalesced {
+                    ", coalesced onto an in-flight job"
+                } else {
+                    ""
+                }
+            ));
+        }
+        Some("progress") => {
+            let n = |k: &str| event.get(k).and_then(Value::as_u64).unwrap_or(0);
+            sink(&format!(
+                "  progress: {}/{} cells, {}/{} trials",
+                n("cells_done"),
+                n("cells"),
+                n("trials_done"),
+                n("trials")
+            ));
+        }
+        _ => {}
+    }
+}
+
+/// Rejects the service-only options for local commands.
+fn reject_service_flags(flags: &Flags, command: &str) -> Result<(), CliError> {
+    if flags.addr.is_some() || flags.max_inflight_trials.is_some() {
+        return Err(CliError::usage(format!(
+            "--addr/--max-inflight-trials apply to the service commands \
+             (serve/submit/status/shutdown), not {command}"
+        )));
+    }
+    Ok(())
 }
 
 fn list() -> String {
@@ -286,22 +447,32 @@ fn emit_progress(sink: ProgressSink, what: &str, unit: &str, done: usize, total:
 
 /// Builds the job engine a `run`/`run-all` invocation executes
 /// through: result cache from `--cache-dir`, per-artifact deadline
-/// from `--timeout-secs`, plus the test-only fault plan when driven
-/// via [`run_cli_faulted`].
-fn build_engine(flags: &Flags, fault: Option<FaultPlan>) -> Result<Engine, CliError> {
+/// from `--timeout-secs`, per-job worker width from `--threads`,
+/// plus the test-only fault plan when driven via
+/// [`run_cli_faulted`]. Also returns a handle on the cache so the
+/// caller can report its hit/miss counters after the batch.
+fn build_engine(
+    flags: &Flags,
+    fault: Option<FaultPlan>,
+) -> Result<(Engine, Option<ResultCache>), CliError> {
     let mut engine = Engine::new();
+    let mut cache_handle = None;
     if let Some(dir) = &flags.cache_dir {
         let cache = ResultCache::open(dir)
             .map_err(|e| CliError::run(format!("cannot open cache dir {dir:?}: {e}")))?;
-        engine = engine.with_cache(cache);
+        engine = engine.with_cache(cache.clone());
+        cache_handle = Some(cache);
     }
     if let Some(secs) = flags.timeout_secs {
         engine = engine.with_timeout(Duration::from_secs(secs));
     }
+    if let Some(threads) = flags.threads {
+        engine = engine.with_workers(threads);
+    }
     if let Some(plan) = fault {
         engine = engine.with_fault_plan(plan);
     }
-    Ok(engine)
+    Ok((engine, cache_handle))
 }
 
 /// Runs one artifact through the engine, streaming throttled
@@ -388,6 +559,7 @@ fn run_cli_inner(
                 .filter(|a| !a.starts_with("--"))
                 .ok_or_else(|| CliError::usage("run needs an artifact ID"))?;
             let flags = parse_flags(&args[2..])?;
+            reject_service_flags(&flags, "run")?;
             if flags.summary {
                 return Err(CliError::usage("--summary only applies to adhoc"));
             }
@@ -396,11 +568,10 @@ fn run_cli_inner(
                     "--csv-dir only applies to run-all; use --csv to print one artifact's CSV",
                 ));
             }
-            if flags.csv && flags.json {
-                return Err(CliError::usage("pick one of --csv and --json"));
+            if usize::from(flags.csv) + usize::from(flags.json) + usize::from(flags.vega) > 1 {
+                return Err(CliError::usage("pick one of --csv, --json and --vega"));
             }
-            apply_threads(&flags);
-            let engine = build_engine(&flags, fault)?;
+            let (engine, _cache) = build_engine(&flags, fault)?;
             let a = artifact(id)?;
             let (report, status) =
                 run_artifact_report(&engine, a, &opts_from(&flags), flags.progress, sink)
@@ -412,6 +583,8 @@ fn run_cli_inner(
                 Ok(format!("{}\n", report.metrics.pretty()))
             } else if flags.csv {
                 Ok(scenario::fmt::summary_to_csv(&report.metrics))
+            } else if flags.vega {
+                Ok(scenario::fmt::summary_to_vega(&report.metrics))
             } else {
                 Ok(report.text)
             }
@@ -423,6 +596,7 @@ fn run_cli_inner(
                 ));
             }
             let flags = parse_flags(&args[1..])?;
+            reject_service_flags(&flags, "run-all")?;
             if flags.summary {
                 return Err(CliError::usage("--summary only applies to adhoc"));
             }
@@ -431,12 +605,16 @@ fn run_cli_inner(
                     "run-all writes per-artifact CSVs with --csv-dir <dir>",
                 ));
             }
+            if flags.vega {
+                return Err(CliError::usage(
+                    "--vega renders one artifact's summary — use run <artifact> --vega",
+                ));
+            }
             if let Some(dir) = &flags.csv_dir {
                 std::fs::create_dir_all(dir)
                     .map_err(|e| CliError::run(format!("cannot create {dir:?}: {e}")))?;
             }
-            apply_threads(&flags);
-            let engine = build_engine(&flags, fault)?;
+            let (engine, cache) = build_engine(&flags, fault)?;
             let opts = opts_from(&flags);
             let ids = registry::ids();
             let total = ids.len();
@@ -508,13 +686,20 @@ fn run_cli_inner(
             }
             let failed = failures.len();
             let out = if flags.json {
-                // The failure keys appear only when something failed,
-                // so a clean batch stays byte-identical to a run
-                // without any engine options.
+                // The failure and cache keys appear only when a
+                // failure happened / a cache was attached, so a plain
+                // batch stays byte-identical to a run without any
+                // engine options. (The cache counters are the *only*
+                // --cache-dir-dependent bytes; the artifacts
+                // themselves stay bit-identical — the resilience
+                // suite strips this block and pins that.)
                 let mut batch = Value::obj()
                     .with("command", "run-all")
                     .with("seed", opts.seed)
                     .with("artifact_count", total);
+                if let Some(cache) = &cache {
+                    batch = batch.with("cache", cache.stats().to_json());
+                }
                 if failed > 0 {
                     batch = batch
                         .with("failed_count", failed)
@@ -535,6 +720,14 @@ fn run_cli_inner(
                         opts.seed
                     );
                 }
+                if let Some(cache) = &cache {
+                    let s = cache.stats();
+                    let _ = writeln!(
+                        text,
+                        "cache: {} hits, {} misses, {} corrupt recovered",
+                        s.hits, s.misses, s.corrupt_recovered
+                    );
+                }
                 text
             };
             if failed == 0 {
@@ -552,12 +745,13 @@ fn run_cli_inner(
                 .filter(|a| !a.starts_with("--"))
                 .ok_or_else(|| CliError::usage("show needs an artifact ID"))?;
             let flags = parse_flags(&args[2..])?;
+            reject_service_flags(&flags, "show")?;
             if flags.summary {
                 return Err(CliError::usage("--summary only applies to adhoc"));
             }
-            if flags.csv || flags.csv_dir.is_some() {
+            if flags.csv || flags.vega || flags.csv_dir.is_some() {
                 return Err(CliError::usage(
-                    "show only prints the grid — run the artifact to get CSV",
+                    "show only prints the grid — run the artifact to get CSV or Vega output",
                 ));
             }
             if flags.progress {
@@ -604,9 +798,10 @@ fn run_cli_inner(
                 .filter(|a| !a.starts_with("--"))
                 .ok_or_else(|| CliError::usage("adhoc needs a scenario (JSON or @file)"))?;
             let flags = parse_flags(&args[2..])?;
-            if flags.csv || flags.csv_dir.is_some() {
+            reject_service_flags(&flags, "adhoc")?;
+            if flags.csv || flags.vega || flags.csv_dir.is_some() {
                 return Err(CliError::usage(
-                    "CSV export covers registry artifacts (run/run-all); adhoc emits JSON",
+                    "CSV/Vega export covers registry artifacts (run/run-all); adhoc emits JSON",
                 ));
             }
             if flags.timeout_secs.is_some() || flags.cache_dir.is_some() {
@@ -659,6 +854,129 @@ fn run_cli_inner(
                 let _ = writeln!(out, "outcome:  {outcome}");
                 Ok(out)
             }
+        }
+        "serve" => {
+            if args.get(1).is_some_and(|a| !a.starts_with("--")) {
+                return Err(CliError::usage("serve takes options only"));
+            }
+            let flags = parse_flags(&args[1..])?;
+            if flags.trials.is_some()
+                || flags.seed.is_some()
+                || flags.json
+                || flags.csv
+                || flags.vega
+                || flags.csv_dir.is_some()
+                || flags.summary
+                || flags.timeout_secs.is_some()
+            {
+                return Err(CliError::usage(
+                    "serve takes --addr, --threads, --cache-dir and --max-inflight-trials; \
+                     per-request options travel with submit",
+                ));
+            }
+            let config = ServerConfig {
+                addr: service_addr(&flags),
+                threads: flags.threads,
+                cache_dir: flags.cache_dir.as_ref().map(std::path::PathBuf::from),
+                max_inflight_trials: flags.max_inflight_trials.unwrap_or(0),
+                ..ServerConfig::default()
+            };
+            let server = Server::bind(config).map_err(|e| CliError::run(format!("serve: {e}")))?;
+            let addr = server
+                .local_addr()
+                .map_err(|e| CliError::run(format!("serve: {e}")))?;
+            // The listening line goes to the progress sink (stderr)
+            // unconditionally so scripts backgrounding the server can
+            // wait for it without polluting stdout.
+            sink(&format!("lru-leak serve: listening on {addr}"));
+            let summary = server
+                .run()
+                .map_err(|e| CliError::run(format!("serve: {e}")))?;
+            Ok(format!(
+                "serve: {} requests ({} coalesced), {} completed, {} failed, \
+                 {} cells computed, {} cells cached\n",
+                summary.requests,
+                summary.coalesced,
+                summary.completed,
+                summary.failed,
+                summary.computed_cells,
+                summary.cached_cells
+            ))
+        }
+        "submit" => {
+            let target = args
+                .get(1)
+                .filter(|a| !a.starts_with("--"))
+                .ok_or_else(|| {
+                    CliError::usage("submit needs an artifact ID, a scenario as JSON, or @file")
+                })?;
+            let flags = parse_flags(&args[2..])?;
+            if flags.json
+                || flags.csv
+                || flags.vega
+                || flags.csv_dir.is_some()
+                || flags.summary
+                || flags.cache_dir.is_some()
+                || flags.max_inflight_trials.is_some()
+            {
+                return Err(CliError::usage(
+                    "submit takes --addr, --trials, --seed, --threads, --timeout-secs \
+                     and --progress; rendering and cache options live on the server",
+                ));
+            }
+            let request = build_submit_request(target, &flags)?;
+            let addr = service_addr(&flags);
+            let event = service_client::request(&addr, &request, |event| {
+                if flags.progress {
+                    relay_event(sink, event);
+                }
+            })
+            .map_err(|e| CliError::run(format!("submit: {addr}: {e}")))?;
+            match event.get("event").and_then(Value::as_str) {
+                // The body is the exact `run <id> --json` (or
+                // `adhoc --json`) stdout: print it verbatim.
+                Some("result") => event
+                    .get("body")
+                    .and_then(Value::as_str)
+                    .map(str::to_string)
+                    .ok_or_else(|| CliError::run("submit: result event carried no body")),
+                Some("error") => {
+                    let status = event.get("status").and_then(Value::as_str).unwrap_or("?");
+                    let message = event.get("message").and_then(Value::as_str).unwrap_or("?");
+                    Err(CliError::run(format!("submit: {status}: {message}")))
+                }
+                _ => Err(CliError::run(format!(
+                    "submit: unexpected final event: {event}"
+                ))),
+            }
+        }
+        "status" => {
+            if args.get(1).is_some_and(|a| !a.starts_with("--")) {
+                return Err(CliError::usage("status takes only --addr"));
+            }
+            let flags = parse_flags(&args[1..])?;
+            require_only_addr(&flags, "status")?;
+            if flags.progress {
+                return Err(CliError::usage("status takes only --addr"));
+            }
+            let addr = service_addr(&flags);
+            let event = service_client::status(&addr)
+                .map_err(|e| CliError::run(format!("status: {addr}: {e}")))?;
+            Ok(format!("{}\n", event.pretty()))
+        }
+        "shutdown" => {
+            if args.get(1).is_some_and(|a| !a.starts_with("--")) {
+                return Err(CliError::usage("shutdown takes only --addr"));
+            }
+            let flags = parse_flags(&args[1..])?;
+            require_only_addr(&flags, "shutdown")?;
+            if flags.progress {
+                return Err(CliError::usage("shutdown takes only --addr"));
+            }
+            let addr = service_addr(&flags);
+            let event = service_client::shutdown(&addr)
+                .map_err(|e| CliError::run(format!("shutdown: {addr}: {e}")))?;
+            Ok(format!("{}\n", event.pretty()))
         }
         other => Err(CliError::usage(format!("unknown command {other:?}"))),
     }
@@ -789,6 +1107,79 @@ mod tests {
         assert_eq!(err.code, 2);
         let err = run_cli(&args(&["run-all", "--csv"])).unwrap_err();
         assert_eq!(err.code, 2);
+    }
+
+    #[test]
+    fn service_flags_are_rejected_locally_and_vice_versa() {
+        // Local commands refuse the service-client options…
+        for cmd in [
+            &["run", "fig5", "--addr", "127.0.0.1:1"][..],
+            &["run-all", "--addr", "127.0.0.1:1"][..],
+            &["run", "fig5", "--max-inflight-trials", "8"][..],
+            &["adhoc", "{}", "--addr", "127.0.0.1:1"][..],
+        ] {
+            let err = run_cli(&args(cmd)).unwrap_err();
+            assert_eq!(err.code, 2, "{cmd:?}: {}", err.message);
+        }
+        // …and the service commands refuse local rendering options.
+        for cmd in [
+            &["serve", "--json"][..],
+            &["serve", "--trials", "4"][..],
+            &["submit", "fig5", "--csv"][..],
+            &["submit", "fig5", "--cache-dir", "/tmp/x"][..],
+            &["status", "--trials", "4"][..],
+            &["shutdown", "--json"][..],
+            &["status", "extra-arg"][..],
+        ] {
+            let err = run_cli(&args(cmd)).unwrap_err();
+            assert_eq!(err.code, 2, "{cmd:?}: {}", err.message);
+        }
+    }
+
+    #[test]
+    fn vega_is_exclusive_with_the_other_renderers() {
+        let err = run_cli(&args(&["run", "table3", "--vega", "--json"])).unwrap_err();
+        assert_eq!(err.code, 2);
+        let err = run_cli(&args(&["run-all", "--vega"])).unwrap_err();
+        assert_eq!(err.code, 2);
+        let err = run_cli(&args(&["adhoc", "{}", "--vega"])).unwrap_err();
+        assert_eq!(err.code, 2);
+    }
+
+    #[test]
+    fn run_vega_emits_a_valid_vega_lite_spec() {
+        let out = run_cli(&args(&["run", "table3", "--vega"])).unwrap();
+        let v = Value::parse(out.trim()).unwrap();
+        assert_eq!(
+            v.get("$schema").and_then(Value::as_str),
+            Some("https://vega.github.io/schema/vega-lite/v5.json")
+        );
+        let values = v
+            .get("data")
+            .and_then(|d| d.get("values"))
+            .and_then(Value::as_arr)
+            .unwrap();
+        assert!(!values.is_empty(), "spec carries inline data rows");
+        assert!(v.get("encoding").is_some());
+        // Deterministic renderer: same run, same bytes.
+        assert_eq!(out, run_cli(&args(&["run", "table3", "--vega"])).unwrap());
+    }
+
+    #[test]
+    fn submit_to_a_dead_address_is_a_runtime_error() {
+        // Port 1 is privileged and unbound in the test environment.
+        let err = run_cli(&args(&["submit", "fig5", "--addr", "127.0.0.1:1"])).unwrap_err();
+        assert_eq!(err.code, 1);
+        assert!(err.message.starts_with("submit:"), "{}", err.message);
+        let err = run_cli(&args(&[
+            "submit",
+            "not-an-artifact",
+            "--addr",
+            "127.0.0.1:1",
+        ]))
+        .unwrap_err();
+        assert_eq!(err.code, 1);
+        assert!(err.message.contains("not-an-artifact"));
     }
 
     #[test]

@@ -227,12 +227,13 @@ impl CancelToken {
 }
 
 /// Control surface for one scheduled run: the [`CancelToken`] the
-/// workers poll at chunk boundaries, plus a retry counter the driver
-/// increments every time a panicked chunk is deterministically
-/// re-run.
+/// workers poll at chunk boundaries, an optional per-run worker-count
+/// override, plus a retry counter the driver increments every time a
+/// panicked chunk is deterministically re-run.
 #[derive(Debug, Default)]
 pub struct RunCtrl {
     cancel: CancelToken,
+    workers: Option<usize>,
     retried: AtomicUsize,
 }
 
@@ -246,8 +247,29 @@ impl RunCtrl {
     pub fn with_cancel(cancel: CancelToken) -> RunCtrl {
         RunCtrl {
             cancel,
-            retried: AtomicUsize::new(0),
+            ..RunCtrl::default()
         }
+    }
+
+    /// Pins this run (and only this run) to `workers` threads,
+    /// overriding the process-global [`worker_count`] without
+    /// touching it. This is how a long-lived process (the `lru-leak`
+    /// server) sizes worker pools per job: the global
+    /// [`set_worker_count`] override sticks for the life of the
+    /// process, so the first request's `--threads` would otherwise
+    /// leak into every later job. `0` clears the override. Results
+    /// are bit-identical for any value — the chunk/merge structure
+    /// is a function of the trial count alone.
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> RunCtrl {
+        self.workers = (workers > 0).then_some(workers);
+        self
+    }
+
+    /// The worker count this run uses: the per-run override if one
+    /// is set, else the process-global [`worker_count`].
+    pub fn workers(&self) -> usize {
+        self.workers.unwrap_or_else(worker_count)
     }
 
     /// The token workers poll.
@@ -830,6 +852,37 @@ mod tests {
         assert_eq!(worker_count(), 3);
         set_worker_count(0);
         assert!(worker_count() >= 1);
+    }
+
+    #[test]
+    fn per_run_worker_override_does_not_touch_the_global() {
+        let before = worker_count();
+        let ctrl = RunCtrl::new().with_workers(2);
+        assert_eq!(ctrl.workers(), 2);
+        // The override is scoped to the RunCtrl, not the process.
+        assert_eq!(worker_count(), before);
+        assert_eq!(RunCtrl::new().workers(), before);
+        // Zero clears the override back to the global default.
+        assert_eq!(
+            RunCtrl::new().with_workers(2).with_workers(0).workers(),
+            before
+        );
+        // And the run itself is bit-identical either way.
+        let sum = |ctrl: &RunCtrl| {
+            run_trials_fold_ctrl(
+                ctrl.workers(),
+                1000,
+                ctrl,
+                |i| (derive_seed(0xaa, i as u64) % 97) as f64 / 3.0,
+                || 0.0f64,
+                |acc, _i, v| *acc += v,
+                |acc, part| *acc += part,
+            )
+            .unwrap()
+        };
+        let pinned = sum(&RunCtrl::new().with_workers(2));
+        let global = sum(&RunCtrl::new());
+        assert_eq!(pinned.to_bits(), global.to_bits());
     }
 
     /// Sums 0..n with an optional injected one-shot panic.

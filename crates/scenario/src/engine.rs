@@ -57,10 +57,10 @@ use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
-use lru_channel::trials::{derive_seed, run_trials_fold_ctrl, worker_count};
+use lru_channel::trials::{derive_seed, run_trials_fold_ctrl};
 pub use lru_channel::trials::{CancelToken, FoldError, RunCtrl};
 
 use crate::aggregate::ProgressFn;
@@ -196,6 +196,45 @@ fn fnv1a64(bytes: &[u8]) -> u64 {
     h
 }
 
+/// A point-in-time snapshot of a cache's lookup counters — how many
+/// lookups hit a verified entry, missed because no entry existed, or
+/// found an entry that failed verification (unparsable, stale
+/// version, or key mismatch) and was therefore recomputed.
+///
+/// Counters are shared by every clone of the [`ResultCache`] they
+/// came from, so one cache serving many connections (the `lru-leak`
+/// server) reports one fleet-wide tally.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from a verified entry.
+    pub hits: u64,
+    /// Lookups that found no entry at all.
+    pub misses: u64,
+    /// Lookups that found an entry but rejected it (corrupt,
+    /// stale-version, or hash-colliding) — each one recovered by
+    /// recomputation and an overwrite.
+    pub corrupt_recovered: u64,
+}
+
+impl CacheStats {
+    /// The counters as a deterministic JSON object, the shape both
+    /// `run-all --json` and the server's response metadata embed.
+    pub fn to_json(&self) -> Value {
+        Value::obj()
+            .with("hits", self.hits)
+            .with("misses", self.misses)
+            .with("corrupt_recovered", self.corrupt_recovered)
+    }
+}
+
+/// Shared mutable counters behind [`CacheStats`] snapshots.
+#[derive(Debug, Default)]
+struct CacheCounters {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    corrupt: AtomicU64,
+}
+
 /// An on-disk, content-addressed store of per-cell outcomes.
 ///
 /// The key is the canonical scenario JSON with every axis spelled out
@@ -207,9 +246,15 @@ fn fnv1a64(bytes: &[u8]) -> u64 {
 /// verify both the version stamp and the *full* key, and treat any
 /// unreadable, unparsable, stale or mismatched entry as a miss — the
 /// engine then recomputes and overwrites it.
+///
+/// Every lookup is tallied into shared [`CacheStats`] counters
+/// (hit / miss / corrupt-recovered); clones share the same counters,
+/// so a cache passed to many engines or connections reports one
+/// combined tally via [`ResultCache::stats`].
 #[derive(Debug, Clone)]
 pub struct ResultCache {
     dir: PathBuf,
+    counters: Arc<CacheCounters>,
 }
 
 impl ResultCache {
@@ -221,7 +266,20 @@ impl ResultCache {
     pub fn open(dir: impl Into<PathBuf>) -> io::Result<ResultCache> {
         let dir = dir.into();
         fs::create_dir_all(&dir)?;
-        Ok(ResultCache { dir })
+        Ok(ResultCache {
+            dir,
+            counters: Arc::new(CacheCounters::default()),
+        })
+    }
+
+    /// A snapshot of the lookup counters accumulated by this cache
+    /// and every clone of it since it was opened.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.counters.hits.load(Ordering::Relaxed),
+            misses: self.counters.misses.load(Ordering::Relaxed),
+            corrupt_recovered: self.counters.corrupt.load(Ordering::Relaxed),
+        }
     }
 
     /// The backing directory.
@@ -246,17 +304,30 @@ impl ResultCache {
 
     /// Fetches a verified outcome, or `None` on any miss: absent
     /// entry, I/O error, unparsable JSON, version mismatch, or a key
-    /// that does not match the scenario byte-for-byte.
+    /// that does not match the scenario byte-for-byte. Every call
+    /// increments exactly one [`CacheStats`] counter: `hits` for a
+    /// verified entry, `misses` when no entry could be read, and
+    /// `corrupt_recovered` when an entry was present but failed
+    /// verification (the caller recomputes and overwrites it).
     pub fn lookup(&self, scenario: &Scenario) -> Option<Value> {
-        let text = fs::read_to_string(self.entry_path(scenario)).ok()?;
-        let entry = Value::parse(&text).ok()?;
-        if entry.get("version").and_then(Value::as_u64) != Some(CACHE_FORMAT_VERSION) {
+        let Ok(text) = fs::read_to_string(self.entry_path(scenario)) else {
+            self.counters.misses.fetch_add(1, Ordering::Relaxed);
             return None;
-        }
-        if entry.get("key").and_then(Value::as_str) != Some(Self::key(scenario).as_str()) {
-            return None;
-        }
-        entry.get("outcome").cloned()
+        };
+        let verified = Value::parse(&text).ok().and_then(|entry| {
+            if entry.get("version").and_then(Value::as_u64) != Some(CACHE_FORMAT_VERSION) {
+                return None;
+            }
+            if entry.get("key").and_then(Value::as_str) != Some(Self::key(scenario).as_str()) {
+                return None;
+            }
+            entry.get("outcome").cloned()
+        });
+        match &verified {
+            Some(_) => self.counters.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.counters.corrupt.fetch_add(1, Ordering::Relaxed),
+        };
+        verified
     }
 
     /// Stores a cell outcome: serialize to a unique temp file in the
@@ -427,6 +498,7 @@ impl FaultPlan {
 pub struct Engine {
     cache: Option<ResultCache>,
     timeout: Option<Duration>,
+    workers: Option<usize>,
     fault: Option<FaultPlan>,
 }
 
@@ -448,6 +520,18 @@ impl Engine {
     #[must_use]
     pub fn with_timeout(mut self, timeout: Duration) -> Engine {
         self.timeout = Some(timeout);
+        self
+    }
+
+    /// Sizes this engine's jobs to `workers` threads via the per-run
+    /// [`RunCtrl`] override — the process-global
+    /// [`lru_channel::trials::set_worker_count`] is never touched, so
+    /// a long-lived host (the `lru-leak` server) can run consecutive
+    /// jobs at different widths without one request's setting
+    /// sticking. Results are bit-identical for any width.
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Engine {
+        self.workers = (workers > 0).then_some(workers);
         self
     }
 
@@ -484,12 +568,43 @@ impl Engine {
         progress: Option<ProgressFn>,
         cancel: &CancelToken,
     ) -> Result<(Vec<Value>, JobStatus), EngineError> {
+        let ctrl = self.job_ctrl(cancel);
+        self.run_job_ctrl(job, progress, &ctrl)
+    }
+
+    /// [`Engine::run_job`] with a rich [`JobProgress`] observer
+    /// instead of the cell-count callback: the observer sees cell
+    /// *and* trial completion counts (cached cells contribute their
+    /// whole trial count at once), which is what a streaming server
+    /// reports as progress events. The observer never influences the
+    /// result — bytes are identical to [`Engine::run_job`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Engine::run_job`].
+    pub fn run_job_observed(
+        &self,
+        job: &Job,
+        observer: Option<JobProgressFn>,
+        cancel: &CancelToken,
+    ) -> Result<(Vec<Value>, JobStatus), EngineError> {
+        let ctrl = self.job_ctrl(cancel);
+        self.run_job_inner(job, None, observer, &ctrl)
+    }
+
+    /// Derives one job's control block: deadline child token when a
+    /// timeout is configured, per-run worker override when a width
+    /// is.
+    fn job_ctrl(&self, cancel: &CancelToken) -> RunCtrl {
         let token = match self.timeout {
             Some(t) => cancel.child_with_timeout(t),
             None => cancel.clone(),
         };
-        let ctrl = RunCtrl::with_cancel(token);
-        self.run_job_ctrl(job, progress, &ctrl)
+        let mut ctrl = RunCtrl::with_cancel(token);
+        if let Some(w) = self.workers {
+            ctrl = ctrl.with_workers(w);
+        }
+        ctrl
     }
 
     /// [`Engine::run_job`] under a caller-supplied [`RunCtrl`] —
@@ -505,18 +620,32 @@ impl Engine {
         progress: Option<ProgressFn>,
         ctrl: &RunCtrl,
     ) -> Result<(Vec<Value>, JobStatus), EngineError> {
+        self.run_job_inner(job, progress, None, ctrl)
+    }
+
+    /// Shared body of the `run_job*` entry points.
+    fn run_job_inner(
+        &self,
+        job: &Job,
+        progress: Option<ProgressFn>,
+        observer: Option<JobProgressFn>,
+        ctrl: &RunCtrl,
+    ) -> Result<(Vec<Value>, JobStatus), EngineError> {
         let run = JobRun {
             engine: self,
             job,
             ctrl,
             progress,
+            observer,
+            trials_total: job.total_trials(),
             done: AtomicUsize::new(0),
+            trials_done: AtomicUsize::new(0),
             from_cache: AtomicUsize::new(0),
             computed: AtomicUsize::new(0),
         };
         let total = job.grid.len();
         let outcomes = run_trials_fold_ctrl(
-            worker_count(),
+            ctrl.workers(),
             total,
             ctrl,
             |i| run.cell(i),
@@ -580,24 +709,58 @@ impl Engine {
     }
 }
 
+/// A live snapshot of how far a running job has progressed, reported
+/// from worker threads. Trial counts are monotone but their
+/// interleaving with cell counts is scheduling-dependent — progress
+/// is advisory; the job's *result* stays bit-identical regardless.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JobProgress {
+    /// Grid cells fully completed (cached cells count).
+    pub cells_done: usize,
+    /// Grid cells in the job.
+    pub cells: usize,
+    /// Trial-units completed across all cells; a cell served from
+    /// the cache contributes its whole trial count at once.
+    pub trials_done: usize,
+    /// Total trial-units in the job ([`Job::total_trials`]).
+    pub trials: usize,
+}
+
+/// Observer invoked from worker threads after every completed trial
+/// and cell; see [`Engine::run_job_observed`].
+pub type JobProgressFn<'a> = &'a (dyn Fn(JobProgress) + Sync);
+
 /// Per-run state shared by the cell closures.
 struct JobRun<'a> {
     engine: &'a Engine,
     job: &'a Job,
     ctrl: &'a RunCtrl,
     progress: Option<ProgressFn<'a>>,
+    observer: Option<JobProgressFn<'a>>,
+    trials_total: usize,
     done: AtomicUsize,
+    trials_done: AtomicUsize,
     from_cache: AtomicUsize,
     computed: AtomicUsize,
 }
 
 impl JobRun<'_> {
+    fn snapshot(&self) -> JobProgress {
+        JobProgress {
+            cells_done: self.done.load(Ordering::Relaxed),
+            cells: self.job.grid.len(),
+            trials_done: self.trials_done.load(Ordering::Relaxed),
+            trials: self.trials_total,
+        }
+    }
+
     fn note_done(&self) {
+        let done = self.done.fetch_add(1, Ordering::Relaxed) + 1;
         if let Some(p) = self.progress {
-            p(
-                self.done.fetch_add(1, Ordering::Relaxed) + 1,
-                self.job.grid.len(),
-            );
+            p(done, self.job.grid.len());
+        }
+        if let Some(obs) = self.observer {
+            obs(self.snapshot());
         }
     }
 
@@ -613,11 +776,22 @@ impl JobRun<'_> {
         if let Some(cache) = &self.engine.cache {
             if let Some(outcome) = cache.lookup(scenario) {
                 self.from_cache.fetch_add(1, Ordering::Relaxed);
+                self.trials_done
+                    .fetch_add(scenario.trials.max(1), Ordering::Relaxed);
                 self.note_done();
                 return outcome;
             }
         }
-        match scenario.run_ctrl(self.ctrl) {
+        // Trial-level progress only when someone is listening: the
+        // callback path costs one atomic per trial otherwise.
+        let trial_cb = |_done: usize, _total: usize| {
+            self.trials_done.fetch_add(1, Ordering::Relaxed);
+            if let Some(obs) = self.observer {
+                obs(self.snapshot());
+            }
+        };
+        let trial_progress: Option<ProgressFn> = self.observer.is_some().then_some(&trial_cb);
+        match scenario.run_ctrl_with(trial_progress, self.ctrl) {
             Ok(outcome) => {
                 if let Some(cache) = &self.engine.cache {
                     // A failed store only loses the cache benefit.

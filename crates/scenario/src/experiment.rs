@@ -40,7 +40,7 @@ use lru_channel::multiset::run_parallel_alg1;
 use lru_channel::plru_study::{eviction_curve, InitCond, SequenceKind};
 use lru_channel::protocol::LruSender;
 use lru_channel::setup;
-use lru_channel::trials::{derive_seed, run_trials_fold_ctrl, worker_count, FoldError, RunCtrl};
+use lru_channel::trials::{derive_seed, run_trials_fold_ctrl, FoldError, RunCtrl};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -183,7 +183,7 @@ impl Scenario {
         let single = self.trials <= 1;
         let done = AtomicUsize::new(0);
         let acc = run_trials_fold_ctrl(
-            worker_count(),
+            ctrl.workers(),
             n,
             ctrl,
             |i| {
@@ -217,7 +217,25 @@ impl Scenario {
     ///
     /// See [`Scenario::run_reduced_ctrl`].
     pub fn run_ctrl(&self, ctrl: &RunCtrl) -> Result<Value, FoldError> {
-        let v = self.run_reduced_ctrl(&CollectMetrics, None, ctrl)?;
+        self.run_ctrl_with(None, ctrl)
+    }
+
+    /// [`Scenario::run_ctrl`] with a per-trial progress callback,
+    /// invoked from worker threads as `(completed, total)` after each
+    /// trial — the hook the job engine threads through so a streaming
+    /// server can report trial-level progress. The callback never
+    /// influences the result; the bytes stay identical to
+    /// [`Scenario::run`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Scenario::run_reduced_ctrl`].
+    pub fn run_ctrl_with(
+        &self,
+        progress: Option<ProgressFn>,
+        ctrl: &RunCtrl,
+    ) -> Result<Value, FoldError> {
+        let v = self.run_reduced_ctrl(&CollectMetrics, progress, ctrl)?;
         if self.trials <= 1 {
             // Scenario::run returns the bare metrics tree for a
             // single trial; unwrap the one-element array the

@@ -104,6 +104,107 @@ pub fn summary_to_csv(metrics: &Value) -> String {
     out
 }
 
+/// Renders a report's metrics as a self-contained Vega-Lite v5 spec:
+/// the same per-cell `summary` rows the CSV path flattens, embedded
+/// as inline `data.values`, with encodings inferred from the column
+/// types — first numeric column on x, second on y (falling back to
+/// the row index when only one numeric column exists), first string
+/// column as the color series. Pure renderer over [`Value`], built
+/// through the deterministic JSON writer, so repeated runs emit
+/// byte-identical specs; paste the output into any Vega editor or
+/// `vega-lite` CLI to get the plot.
+pub fn summary_to_vega(metrics: &Value) -> String {
+    let id = metrics.get("id").and_then(Value::as_str).unwrap_or("");
+    let paper_ref = metrics.get("paper_ref").and_then(Value::as_str);
+    let what = metrics.get("what").and_then(Value::as_str);
+    let rows: Vec<&Value> = match metrics.get("summary") {
+        Some(Value::Arr(items)) => items.iter().collect(),
+        Some(other) => vec![other],
+        None => Vec::new(),
+    };
+    // Column order mirrors the CSV renderer: first appearance across
+    // all rows. A column is quantitative when every present value is
+    // numeric, nominal otherwise.
+    let mut columns: Vec<&str> = Vec::new();
+    for row in &rows {
+        if let Value::Obj(pairs) = row {
+            for (k, _) in pairs {
+                if !columns.iter().any(|c| c == k) {
+                    columns.push(k);
+                }
+            }
+        }
+    }
+    let numeric = |col: &str| {
+        let mut seen = false;
+        for row in &rows {
+            if let Some(v) = row.get(col) {
+                if v.as_f64().is_none() {
+                    return false;
+                }
+                seen = true;
+            }
+        }
+        seen
+    };
+    let quantitative: Vec<&str> = columns.iter().copied().filter(|c| numeric(c)).collect();
+    let nominal: Vec<&str> = columns
+        .iter()
+        .copied()
+        .filter(|c| !quantitative.contains(c))
+        .collect();
+    let scalar_rows = rows.iter().any(|r| !matches!(r, Value::Obj(_)));
+    // Inline data: one flat object per row; nested values embed as
+    // compact JSON strings, scalar rows become {index, value}.
+    let values: Vec<Value> = rows
+        .iter()
+        .enumerate()
+        .map(|(i, row)| {
+            let mut out = Value::obj().with("artifact", id).with("index", i);
+            if let Value::Obj(pairs) = row {
+                for (k, v) in pairs {
+                    let flat = match v {
+                        Value::Arr(_) | Value::Obj(_) => Value::Str(v.to_string()),
+                        scalar => scalar.clone(),
+                    };
+                    out = out.with(k, flat);
+                }
+            } else if scalar_rows {
+                out = out.with("value", (*row).clone());
+            }
+            out
+        })
+        .collect();
+    let field = |name: &str, kind: &str| Value::obj().with("field", name).with("type", kind);
+    let (x, y) = match (quantitative.first(), quantitative.get(1)) {
+        (Some(&x), Some(&y)) => (field(x, "quantitative"), field(y, "quantitative")),
+        (Some(&y), None) => (field("index", "ordinal"), field(y, "quantitative")),
+        (None, _) if scalar_rows => (field("index", "ordinal"), field("value", "quantitative")),
+        (None, _) => (field("index", "ordinal"), field("index", "ordinal")),
+    };
+    let mut encoding = Value::obj().with("x", x).with("y", y);
+    if let Some(&series) = nominal.first() {
+        encoding = encoding.with("color", field(series, "nominal"));
+    }
+    let mut description = String::from(id);
+    if let Some(r) = paper_ref {
+        let _ = write!(description, " — {r}");
+    }
+    if let Some(w) = what {
+        let _ = write!(description, ": {w}");
+    }
+    let spec = Value::obj()
+        .with("$schema", "https://vega.github.io/schema/vega-lite/v5.json")
+        .with("description", description)
+        .with("data", Value::obj().with("values", Value::Arr(values)))
+        .with(
+            "mark",
+            Value::obj().with("type", "line").with("point", true),
+        )
+        .with("encoding", encoding);
+    format!("{}\n", spec.pretty())
+}
+
 /// One CSV cell: scalars print through the deterministic JSON
 /// writer, strings are CSV-escaped, nested trees embed as quoted
 /// compact JSON.
@@ -215,6 +316,109 @@ mod tests {
         let lines: Vec<&str> = csv.lines().collect();
         assert_eq!(lines[0], "artifact,nested");
         assert_eq!(lines[1], "x,\"{\"\"k\"\":1}\"");
+    }
+
+    #[test]
+    fn summary_vega_infers_encodings_from_columns() {
+        let metrics = Value::obj()
+            .with("id", "fig6")
+            .with("paper_ref", "Fig. 6")
+            .with("what", "error vs distance")
+            .with(
+                "summary",
+                Value::Arr(vec![
+                    Value::obj()
+                        .with("d", 8u64)
+                        .with("fraction", 0.25)
+                        .with("policy", "tree_plru"),
+                    Value::obj()
+                        .with("d", 4u64)
+                        .with("fraction", 0.5)
+                        .with("policy", "bit_plru"),
+                ]),
+            );
+        let spec = Value::parse(&summary_to_vega(&metrics)).unwrap();
+        assert_eq!(
+            spec.get("$schema").and_then(Value::as_str),
+            Some("https://vega.github.io/schema/vega-lite/v5.json")
+        );
+        assert_eq!(
+            spec.get("description").and_then(Value::as_str),
+            Some("fig6 — Fig. 6: error vs distance")
+        );
+        let enc = spec.get("encoding").unwrap();
+        let axis = |k: &str| {
+            let f = enc.get(k).unwrap();
+            (
+                f.get("field").and_then(Value::as_str).unwrap().to_string(),
+                f.get("type").and_then(Value::as_str).unwrap().to_string(),
+            )
+        };
+        assert_eq!(axis("x"), ("d".into(), "quantitative".into()));
+        assert_eq!(axis("y"), ("fraction".into(), "quantitative".into()));
+        assert_eq!(axis("color"), ("policy".into(), "nominal".into()));
+        let values = match spec.get("data").unwrap().get("values").unwrap() {
+            Value::Arr(v) => v,
+            other => panic!("values not an array: {other}"),
+        };
+        assert_eq!(values.len(), 2);
+        assert_eq!(
+            values[0].get("artifact").and_then(Value::as_str),
+            Some("fig6")
+        );
+        assert_eq!(values[1].get("index").and_then(Value::as_u64), Some(1));
+    }
+
+    #[test]
+    fn summary_vega_falls_back_to_index_axis_and_flattens_nested() {
+        let metrics = Value::obj().with("id", "t1").with(
+            "summary",
+            Value::Arr(vec![Value::obj()
+                .with("rate", 0.75)
+                .with("noise", Value::obj().with("k", 1u64))]),
+        );
+        let spec = Value::parse(&summary_to_vega(&metrics)).unwrap();
+        let enc = spec.get("encoding").unwrap();
+        assert_eq!(
+            enc.get("x").unwrap().get("field").and_then(Value::as_str),
+            Some("index")
+        );
+        assert_eq!(
+            enc.get("y").unwrap().get("field").and_then(Value::as_str),
+            Some("rate")
+        );
+        // Nested values embed as compact JSON strings and read as nominal.
+        assert_eq!(
+            enc.get("color")
+                .unwrap()
+                .get("field")
+                .and_then(Value::as_str),
+            Some("noise")
+        );
+        let values = match spec.get("data").unwrap().get("values").unwrap() {
+            Value::Arr(v) => v,
+            other => panic!("values not an array: {other}"),
+        };
+        assert_eq!(
+            values[0].get("noise").and_then(Value::as_str),
+            Some("{\"k\":1}")
+        );
+    }
+
+    #[test]
+    fn summary_vega_handles_scalar_summary_and_is_deterministic() {
+        let metrics = Value::obj()
+            .with("id", "s")
+            .with("summary", Value::Num(0.5));
+        let spec_text = summary_to_vega(&metrics);
+        assert_eq!(spec_text, summary_to_vega(&metrics));
+        let spec = Value::parse(&spec_text).unwrap();
+        let enc = spec.get("encoding").unwrap();
+        assert_eq!(
+            enc.get("y").unwrap().get("field").and_then(Value::as_str),
+            Some("value")
+        );
+        assert!(enc.get("color").is_none());
     }
 
     #[test]

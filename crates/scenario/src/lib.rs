@@ -96,7 +96,10 @@ pub mod spec;
 pub use aggregate::{
     Aggregate, CapacityStats, CollectMetrics, KeyHistogram, ProgressFn, Reducer, ScalarStats,
 };
-pub use engine::{CancelToken, Engine, EngineError, FaultPlan, Job, JobStatus, ResultCache};
+pub use engine::{
+    CacheStats, CancelToken, Engine, EngineError, FaultPlan, Job, JobProgress, JobStatus,
+    ResultCache,
+};
 pub use experiment::{Experiment, Outcome};
 pub use fmt::BENCH_SEED;
 pub use json::Value;

@@ -65,6 +65,7 @@ pub struct Report {
 type RenderFn = fn(&RunOpts, &[Scenario], &[Value]) -> (String, Value);
 
 /// One registered paper artifact.
+#[derive(Debug)]
 pub struct Artifact {
     /// Stable ID (`fig6`, `table4`, `ablation_multiset`, …).
     pub id: &'static str,
@@ -150,12 +151,12 @@ impl Artifact {
         self.render_report(opts, &grid, &outcomes)
     }
 
-    pub(crate) fn render_report(
-        &self,
-        opts: &RunOpts,
-        grid: &[Scenario],
-        outcomes: &[Value],
-    ) -> Report {
+    /// Renders already-computed grid outcomes into this artifact's
+    /// [`Report`] — the pure presentation half of [`Artifact::run`],
+    /// split out so callers that execute the grid elsewhere (the job
+    /// engine, the experiment service) produce byte-identical
+    /// reports. `grid` and `outcomes` must line up index-for-index.
+    pub fn render_report(&self, opts: &RunOpts, grid: &[Scenario], outcomes: &[Value]) -> Report {
         let (body, summary) = (self.render)(opts, grid, outcomes);
         let mut text = String::new();
         header(&mut text, self.bench, self.paper_ref, self.what);

@@ -1,0 +1,66 @@
+//! A minimal blocking client for the NDJSON protocol — the transport
+//! behind `lru-leak submit/status/shutdown` and the integration
+//! tests. One request per connection: write the request line, stream
+//! event lines back, return the first *final* event (`result`,
+//! `error`, `status` or `shutdown`); `accepted` and `progress`
+//! events are handed to the callback as they arrive.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+use scenario::Value;
+
+/// Sends `request` to the server at `addr` and returns the final
+/// event. Intermediate `accepted`/`progress` events invoke
+/// `on_event` in arrival order.
+///
+/// # Errors
+///
+/// Connection and I/O failures, an unparsable event line, or the
+/// server closing the connection before a final event.
+pub fn request(addr: &str, request: &Value, mut on_event: impl FnMut(&Value)) -> io::Result<Value> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.write_all(request.to_string().as_bytes())?;
+    stream.write_all(b"\n")?;
+    stream.flush()?;
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let event = Value::parse(&line).map_err(|e| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unparsable event line {line:?}: {e}"),
+            )
+        })?;
+        match event.get("event").and_then(Value::as_str) {
+            Some("accepted" | "progress") => on_event(&event),
+            _ => return Ok(event),
+        }
+    }
+    Err(io::Error::new(
+        io::ErrorKind::UnexpectedEof,
+        "server closed the connection before a final event",
+    ))
+}
+
+/// Fetches the service counters (`{"cmd":"status"}`).
+///
+/// # Errors
+///
+/// See [`request`].
+pub fn status(addr: &str) -> io::Result<Value> {
+    request(addr, &Value::obj().with("cmd", "status"), |_| {})
+}
+
+/// Asks the server to begin its graceful drain
+/// (`{"cmd":"shutdown"}`).
+///
+/// # Errors
+///
+/// See [`request`].
+pub fn shutdown(addr: &str) -> io::Result<Value> {
+    request(addr, &Value::obj().with("cmd", "shutdown"), |_| {})
+}

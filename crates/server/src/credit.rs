@@ -1,0 +1,268 @@
+//! Credit-based admission control.
+//!
+//! Every request costs `cells × trials` **trial-units** — the same
+//! number [`scenario::engine::Job::total_trials`] reports and the
+//! progress stream counts down. A [`Ledger`] holds two budgets:
+//!
+//! * a **global capacity**: the sum of in-flight trial-units may not
+//!   exceed it, so a burst of large grids degrades into an orderly
+//!   queue instead of oversubscribing the worker pool;
+//! * a **per-connection cap**: one client may not occupy more than
+//!   its share while others wait, so a single connection cannot
+//!   monopolize the service by pipelining jobs.
+//!
+//! Over-budget requests park on a FIFO ticket queue. Admission is
+//! deterministic: tickets are numbered at arrival, and a waiter runs
+//! only when it is the *first admissible* ticket in arrival order —
+//! an earlier ticket that fits always wins, and an earlier ticket
+//! that does not fit never blocks a later one forever (a request
+//! whose connection holds nothing, or whose cost exceeds the whole
+//! capacity while the ledger is empty, is always admissible — an
+//! oversized job runs alone rather than deadlocking).
+//!
+//! Credits release on [`CreditGuard`] drop, so a panicking or
+//! erroring job can never leak budget.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::Duration;
+
+use lru_channel::trials::CancelToken;
+
+/// How often a queued waiter re-checks its cancellation token while
+/// parked on the admission condvar.
+const WAIT_SLICE: Duration = Duration::from_millis(25);
+
+/// One queued admission request.
+#[derive(Debug, Clone, Copy)]
+struct Ticket {
+    id: u64,
+    conn: u64,
+    cost: usize,
+}
+
+#[derive(Debug, Default)]
+struct State {
+    inflight: usize,
+    by_conn: BTreeMap<u64, usize>,
+    queue: VecDeque<Ticket>,
+    next_ticket: u64,
+}
+
+/// The admission ledger: global + per-connection trial-unit budgets
+/// with a deterministic FIFO wait queue. See the module docs.
+#[derive(Debug)]
+pub struct Ledger {
+    capacity: usize,
+    per_conn: usize,
+    state: Mutex<State>,
+    cv: Condvar,
+}
+
+impl Ledger {
+    /// A ledger admitting up to `capacity` in-flight trial-units
+    /// globally and `per_conn` per connection. Both are clamped to at
+    /// least 1; a request larger than its budget still runs — alone —
+    /// when that budget is otherwise idle.
+    pub fn new(capacity: usize, per_conn: usize) -> Ledger {
+        Ledger {
+            capacity: capacity.max(1),
+            per_conn: per_conn.max(1),
+            state: Mutex::new(State::default()),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// The global capacity in trial-units.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The per-connection cap in trial-units.
+    pub fn per_conn(&self) -> usize {
+        self.per_conn
+    }
+
+    /// Currently admitted trial-units.
+    pub fn inflight(&self) -> usize {
+        self.lock().inflight
+    }
+
+    /// Requests parked in the admission queue.
+    pub fn queued(&self) -> usize {
+        self.lock().queue.len()
+    }
+
+    fn lock(&self) -> MutexGuard<'_, State> {
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn admissible(&self, state: &State, t: &Ticket) -> bool {
+        let globally = state.inflight == 0 || state.inflight + t.cost <= self.capacity;
+        let held = state.by_conn.get(&t.conn).copied().unwrap_or(0);
+        let fairly = held == 0 || held + t.cost <= self.per_conn;
+        globally && fairly
+    }
+
+    /// Whether `t` is the first admissible ticket in arrival order.
+    fn my_turn(&self, state: &State, t: &Ticket) -> bool {
+        state
+            .queue
+            .iter()
+            .find(|q| self.admissible(state, q))
+            .is_some_and(|q| q.id == t.id)
+    }
+
+    /// Blocks until `cost` trial-units are admitted for connection
+    /// `conn`, or until `cancel` fires (checked every 25ms slice).
+    /// Returns a guard that releases the credits on drop, or `None`
+    /// when the token fired before admission — the ticket is removed
+    /// from the queue so later arrivals are not blocked.
+    pub fn acquire(
+        self: &Arc<Self>,
+        conn: u64,
+        cost: usize,
+        cancel: &CancelToken,
+    ) -> Option<CreditGuard> {
+        let cost = cost.max(1);
+        let mut state = self.lock();
+        let ticket = Ticket {
+            id: state.next_ticket,
+            conn,
+            cost,
+        };
+        state.next_ticket += 1;
+        state.queue.push_back(ticket);
+        loop {
+            if self.my_turn(&state, &ticket) {
+                state.queue.retain(|q| q.id != ticket.id);
+                state.inflight += cost;
+                *state.by_conn.entry(conn).or_insert(0) += cost;
+                // Another queued ticket may also fit now.
+                self.cv.notify_all();
+                return Some(CreditGuard {
+                    ledger: Arc::clone(self),
+                    conn,
+                    cost,
+                });
+            }
+            if cancel.is_cancelled() {
+                state.queue.retain(|q| q.id != ticket.id);
+                self.cv.notify_all();
+                return None;
+            }
+            state = self
+                .cv
+                .wait_timeout(state, WAIT_SLICE)
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .0;
+        }
+    }
+}
+
+/// Admitted credits; dropping releases them and wakes the queue.
+#[derive(Debug)]
+pub struct CreditGuard {
+    ledger: Arc<Ledger>,
+    conn: u64,
+    cost: usize,
+}
+
+impl Drop for CreditGuard {
+    fn drop(&mut self) {
+        let mut state = self.ledger.lock();
+        state.inflight = state.inflight.saturating_sub(self.cost);
+        if let Some(held) = state.by_conn.get_mut(&self.conn) {
+            *held = held.saturating_sub(self.cost);
+            if *held == 0 {
+                state.by_conn.remove(&self.conn);
+            }
+        }
+        drop(state);
+        self.ledger.cv.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn admits_within_capacity_and_releases_on_drop() {
+        let ledger = Arc::new(Ledger::new(10, 10));
+        let token = CancelToken::new();
+        let a = ledger.acquire(1, 4, &token).unwrap();
+        let b = ledger.acquire(2, 4, &token).unwrap();
+        assert_eq!(ledger.inflight(), 8);
+        drop(a);
+        assert_eq!(ledger.inflight(), 4);
+        drop(b);
+        assert_eq!(ledger.inflight(), 0);
+    }
+
+    #[test]
+    fn oversized_request_runs_alone_when_idle() {
+        let ledger = Arc::new(Ledger::new(10, 10));
+        let token = CancelToken::new();
+        let g = ledger.acquire(1, 1000, &token).unwrap();
+        assert_eq!(ledger.inflight(), 1000);
+        drop(g);
+    }
+
+    #[test]
+    fn over_budget_request_waits_until_credits_release() {
+        let ledger = Arc::new(Ledger::new(10, 10));
+        let token = CancelToken::new();
+        let g = ledger.acquire(1, 8, &token).unwrap();
+        let l2 = Arc::clone(&ledger);
+        let waiter = thread::spawn(move || {
+            let token = CancelToken::new();
+            let g = l2.acquire(2, 8, &token).unwrap();
+            let held = l2.inflight();
+            drop(g);
+            held
+        });
+        // The waiter is parked until we release.
+        thread::sleep(Duration::from_millis(60));
+        assert_eq!(ledger.queued(), 1);
+        drop(g);
+        assert_eq!(waiter.join().unwrap(), 8);
+        assert_eq!(ledger.queued(), 0);
+    }
+
+    #[test]
+    fn per_connection_cap_blocks_a_monopolizing_client() {
+        let ledger = Arc::new(Ledger::new(100, 5));
+        let token = CancelToken::new();
+        let g1 = ledger.acquire(7, 5, &token).unwrap();
+        // Same connection, over its cap: parks even though the global
+        // budget has room...
+        let l2 = Arc::clone(&ledger);
+        let blocked = thread::spawn(move || {
+            let token = CancelToken::new();
+            l2.acquire(7, 5, &token).map(drop).is_some()
+        });
+        thread::sleep(Duration::from_millis(60));
+        assert_eq!(ledger.queued(), 1);
+        // ...while a different connection sails through.
+        let g2 = ledger.acquire(8, 5, &token).unwrap();
+        drop(g2);
+        drop(g1);
+        assert!(blocked.join().unwrap());
+    }
+
+    #[test]
+    fn cancelled_waiter_leaves_the_queue() {
+        let ledger = Arc::new(Ledger::new(4, 4));
+        let token = CancelToken::new();
+        let g = ledger.acquire(1, 4, &token).unwrap();
+        let cancelled = CancelToken::new();
+        cancelled.cancel();
+        assert!(ledger.acquire(2, 4, &cancelled).is_none());
+        assert_eq!(ledger.queued(), 0);
+        drop(g);
+    }
+}

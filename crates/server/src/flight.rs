@@ -1,0 +1,198 @@
+//! Single-flight request coalescing.
+//!
+//! Requests are keyed by the same canonical content address the
+//! result cache hashes — the job label plus every grid cell's
+//! [`scenario::engine::ResultCache::key`] (the fully spelled-out
+//! scenario JSON, seed and trial count included). Because every
+//! cell's outcome is a pure function of that key, N concurrent
+//! identical requests need exactly one simulation: the first arrival
+//! becomes the **leader** and runs the job, later arrivals become
+//! **followers** and receive the leader's finished response line
+//! *verbatim* — the bytes are shared, not re-rendered, so identical
+//! requests get byte-identical responses by construction.
+//!
+//! The flight slot is inserted *before* credit admission, so a
+//! racing duplicate always finds the leader's slot no matter how
+//! long the leader queues for credits.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::Duration;
+
+use lru_channel::trials::CancelToken;
+
+/// How often a follower re-checks its own cancellation token while
+/// waiting for the leader.
+const WAIT_SLICE: Duration = Duration::from_millis(25);
+
+/// What a flight resolved to: the leader's finished response line,
+/// shared verbatim, or the leader's failure (status tag + message)
+/// which followers re-emit as their own error event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FlightOutcome {
+    /// The complete `result` event line the leader wrote.
+    Line(String),
+    /// The leader failed; followers report the same cause.
+    Fail {
+        /// Machine-readable status tag (`"timeout"`, `"panicked"`, …).
+        status: String,
+        /// Human-readable cause.
+        message: String,
+    },
+}
+
+/// One in-progress request all duplicates rendezvous on.
+#[derive(Debug, Default)]
+pub struct Slot {
+    done: Mutex<Option<FlightOutcome>>,
+    cv: Condvar,
+}
+
+impl Slot {
+    /// Follower side: blocks until the leader finishes, or until the
+    /// follower's own `cancel` token fires (`None` — the follower
+    /// reports its own timeout/disconnect rather than the leader's).
+    pub fn wait(&self, cancel: &CancelToken) -> Option<FlightOutcome> {
+        let mut done = self.lock();
+        loop {
+            if let Some(outcome) = done.as_ref() {
+                return Some(outcome.clone());
+            }
+            if cancel.is_cancelled() {
+                return None;
+            }
+            done = self
+                .cv
+                .wait_timeout(done, WAIT_SLICE)
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .0;
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Option<FlightOutcome>> {
+        self.done
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+/// Which side of a flight this request landed on.
+#[derive(Debug)]
+pub enum Role {
+    /// First arrival: run the job, then [`Flights::finish`].
+    Leader,
+    /// Duplicate of an in-progress request: wait on the slot.
+    Follower(Arc<Slot>),
+}
+
+/// The single-flight map: canonical request key → in-progress slot.
+#[derive(Debug, Default)]
+pub struct Flights {
+    map: Mutex<HashMap<String, Arc<Slot>>>,
+}
+
+impl Flights {
+    /// Joins the flight for `key`: the first caller becomes the
+    /// leader (a fresh slot is published for duplicates to find),
+    /// every concurrent duplicate becomes a follower of that slot.
+    pub fn join(&self, key: &str) -> Role {
+        let mut map = self.lock();
+        match map.get(key) {
+            Some(slot) => Role::Follower(Arc::clone(slot)),
+            None => {
+                map.insert(key.to_string(), Arc::new(Slot::default()));
+                Role::Leader
+            }
+        }
+    }
+
+    /// Leader side: publishes the outcome to every follower and
+    /// retires the flight (the next identical request starts fresh —
+    /// typically served from the result cache).
+    pub fn finish(&self, key: &str, outcome: FlightOutcome) {
+        let slot = self.lock().remove(key);
+        if let Some(slot) = slot {
+            *slot.lock() = Some(outcome);
+            slot.cv.notify_all();
+        }
+    }
+
+    /// In-progress flight count.
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// Whether no flight is in progress.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn lock(&self) -> MutexGuard<'_, HashMap<String, Arc<Slot>>> {
+        self.map
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn followers_receive_the_leaders_line_verbatim() {
+        let flights = Arc::new(Flights::default());
+        assert!(matches!(flights.join("k"), Role::Leader));
+        let mut followers = Vec::new();
+        for _ in 0..3 {
+            let Role::Follower(slot) = flights.join("k") else {
+                panic!("duplicate must follow the in-progress flight");
+            };
+            followers.push(thread::spawn(move || slot.wait(&CancelToken::new())));
+        }
+        assert_eq!(flights.len(), 1);
+        flights.finish("k", FlightOutcome::Line("{\"event\":\"result\"}".into()));
+        for f in followers {
+            assert_eq!(
+                f.join().unwrap(),
+                Some(FlightOutcome::Line("{\"event\":\"result\"}".into()))
+            );
+        }
+        // The flight is retired: the next arrival leads again.
+        assert!(flights.is_empty());
+        assert!(matches!(flights.join("k"), Role::Leader));
+    }
+
+    #[test]
+    fn follower_cancellation_is_its_own() {
+        let flights = Flights::default();
+        assert!(matches!(flights.join("k"), Role::Leader));
+        let Role::Follower(slot) = flights.join("k") else {
+            panic!("duplicate must follow");
+        };
+        let cancelled = CancelToken::new();
+        cancelled.cancel();
+        assert_eq!(slot.wait(&cancelled), None);
+        flights.finish("k", FlightOutcome::Line("late".into()));
+    }
+
+    #[test]
+    fn leader_failure_propagates_to_followers() {
+        let flights = Flights::default();
+        assert!(matches!(flights.join("k"), Role::Leader));
+        let Role::Follower(slot) = flights.join("k") else {
+            panic!("duplicate must follow");
+        };
+        flights.finish(
+            "k",
+            FlightOutcome::Fail {
+                status: "timeout".into(),
+                message: "deadline exceeded".into(),
+            },
+        );
+        assert!(matches!(
+            slot.wait(&CancelToken::new()),
+            Some(FlightOutcome::Fail { .. })
+        ));
+    }
+}

@@ -1,0 +1,765 @@
+//! # lru-leak-server — the experiment service
+//!
+//! A std-only TCP service (`lru-leak serve`) that accepts
+//! scenario/artifact requests as JSON and schedules them as
+//! [`scenario::engine`] jobs, built on three pillars:
+//!
+//! 1. **Credit-based admission** ([`credit`]): every request costs
+//!    `cells × trials` trial-units; a global ledger caps the
+//!    in-flight total and a per-connection cap stops one client from
+//!    monopolizing the service. Over-budget requests queue FIFO
+//!    deterministically.
+//! 2. **Request coalescing** ([`flight`]): requests are single-flight
+//!    keyed by the same canonical scenario JSON the
+//!    [`scenario::engine::ResultCache`] hashes, so N concurrent
+//!    identical requests cost one simulation and all N receive the
+//!    leader's response line verbatim — byte-identical by
+//!    construction, and byte-identical to `lru-leak run <id> --json`
+//!    because the body *is* that command's output. One shared
+//!    [`ResultCache`] serves every connection, so repeats after the
+//!    flight retires are cache hits, not recomputations.
+//! 3. **Streaming** ([`proto`]): progress events (cells/trials done)
+//!    flow back as JSON lines while a job runs, per-request deadlines
+//!    ride a [`CancelToken`] timeout child, a client disconnect
+//!    cancels its in-flight job cooperatively, and a `shutdown`
+//!    request drains gracefully — in-flight and queued jobs complete,
+//!    new connections are refused, then the accept loop exits.
+//!
+//! The protocol is hand-rolled newline-delimited JSON over
+//! `std::net::TcpListener` (no async runtime, no serde), plus a
+//! minimal HTTP/1.1 shim (`GET /status`, `POST /run`,
+//! `POST /shutdown`) for curl-style one-shots. See [`proto`] for the
+//! grammar and [`client`] for the blocking client the CLI uses.
+//!
+//! ```no_run
+//! use lru_leak_server::{Server, ServerConfig};
+//!
+//! let server = Server::bind(ServerConfig {
+//!     addr: "127.0.0.1:0".into(),
+//!     ..ServerConfig::default()
+//! })?;
+//! println!("listening on {}", server.local_addr()?);
+//! let summary = server.run()?; // blocks until a shutdown request drains
+//! println!("served {} requests ({} coalesced)", summary.requests, summary.coalesced);
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod credit;
+pub mod flight;
+pub mod proto;
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{self, RecvTimeoutError};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use lru_channel::trials::CancelToken;
+use scenario::engine::JobProgressFn;
+use scenario::{Engine, JobProgress, ResultCache, Value};
+
+use credit::Ledger;
+use flight::{FlightOutcome, Flights, Role};
+use proto::{Request, RunRequest};
+
+/// The default listen address of `lru-leak serve`.
+pub const DEFAULT_ADDR: &str = "127.0.0.1:4517";
+
+/// Default global admission budget in trial-units (cells × trials).
+pub const DEFAULT_MAX_INFLIGHT_TRIALS: usize = 1 << 20;
+
+/// How long the accept loop sleeps between polls.
+const ACCEPT_SLICE: Duration = Duration::from_millis(20);
+
+/// How long an idle connection handler waits for the next request
+/// before re-checking the drain flag.
+const IDLE_SLICE: Duration = Duration::from_millis(100);
+
+/// Server construction options; `..Default::default()` fills the
+/// rest.
+#[derive(Debug, Clone, Default)]
+pub struct ServerConfig {
+    /// Listen address (`host:port`; port 0 picks a free one). Empty
+    /// means [`DEFAULT_ADDR`].
+    pub addr: String,
+    /// Default worker-pool width per job (a request's own `threads`
+    /// field wins). Applied per-run — the process-global worker count
+    /// is never touched, so consecutive jobs can run at different
+    /// widths.
+    pub threads: Option<usize>,
+    /// Content-addressed result cache shared by every connection.
+    pub cache_dir: Option<PathBuf>,
+    /// Global admission budget in trial-units; 0 means
+    /// [`DEFAULT_MAX_INFLIGHT_TRIALS`].
+    pub max_inflight_trials: usize,
+    /// Per-connection admission cap; defaults to half the global
+    /// budget.
+    pub per_conn_trials: Option<usize>,
+    /// Test support: sleep this long after admission, before running
+    /// each job — widens the coalescing/queueing windows the
+    /// integration suite pins down. Never set in production.
+    pub job_delay: Option<Duration>,
+}
+
+/// Counters the status event and exit summary report.
+#[derive(Debug, Default)]
+struct Stats {
+    requests: AtomicU64,
+    coalesced: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    computed_cells: AtomicU64,
+    cached_cells: AtomicU64,
+}
+
+/// A point-in-time snapshot of the service counters, returned by
+/// [`Server::run`] on exit and [`ServerHandle::summary`] any time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerSummary {
+    /// Run/adhoc requests received, coalesced followers and
+    /// malformed requests included.
+    pub requests: u64,
+    /// Requests served as followers of an identical in-flight job.
+    pub coalesced: u64,
+    /// Requests that received a `result` event.
+    pub completed: u64,
+    /// Requests that received an `error` event.
+    pub failed: u64,
+    /// Grid cells actually simulated across all jobs.
+    pub computed_cells: u64,
+    /// Grid cells served from the shared result cache.
+    pub cached_cells: u64,
+}
+
+/// State shared by the accept loop and every connection thread.
+#[derive(Debug)]
+struct Shared {
+    threads: Option<usize>,
+    cache: Option<ResultCache>,
+    ledger: Arc<Ledger>,
+    flights: Flights,
+    stats: Stats,
+    draining: AtomicBool,
+    job_delay: Option<Duration>,
+}
+
+impl Shared {
+    fn summary(&self) -> ServerSummary {
+        ServerSummary {
+            requests: self.stats.requests.load(Ordering::Relaxed),
+            coalesced: self.stats.coalesced.load(Ordering::Relaxed),
+            completed: self.stats.completed.load(Ordering::Relaxed),
+            failed: self.stats.failed.load(Ordering::Relaxed),
+            computed_cells: self.stats.computed_cells.load(Ordering::Relaxed),
+            cached_cells: self.stats.cached_cells.load(Ordering::Relaxed),
+        }
+    }
+
+    fn status_json(&self) -> Value {
+        let s = self.summary();
+        let mut v = Value::obj()
+            .with("event", "status")
+            .with("capacity", self.ledger.capacity())
+            .with("per_conn_trials", self.ledger.per_conn())
+            .with("inflight_trials", self.ledger.inflight())
+            .with("queued_requests", self.ledger.queued())
+            .with("active_flights", self.flights.len())
+            .with("requests", s.requests)
+            .with("coalesced", s.coalesced)
+            .with("completed", s.completed)
+            .with("failed", s.failed)
+            .with("computed_cells", s.computed_cells)
+            .with("cached_cells", s.cached_cells);
+        if let Some(cache) = &self.cache {
+            v = v.with("cache", cache.stats().to_json());
+        }
+        v.with("draining", self.draining.load(Ordering::SeqCst))
+    }
+
+    fn shutdown_json(&self) -> Value {
+        Value::obj()
+            .with("event", "shutdown")
+            .with("draining", true)
+    }
+}
+
+/// A handle for observing and stopping a running server from another
+/// thread (tests, signal plumbing).
+#[derive(Debug, Clone)]
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+}
+
+impl ServerHandle {
+    /// Begins the graceful drain: the accept loop stops taking new
+    /// connections, in-flight and queued jobs complete, idle
+    /// connections close, then [`Server::run`] returns.
+    pub fn begin_shutdown(&self) {
+        self.shared.draining.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether the drain has begun.
+    pub fn is_draining(&self) -> bool {
+        self.shared.draining.load(Ordering::SeqCst)
+    }
+
+    /// A live snapshot of the service counters.
+    pub fn summary(&self) -> ServerSummary {
+        self.shared.summary()
+    }
+}
+
+/// The bound-but-not-yet-running service; [`Server::run`] blocks the
+/// calling thread until a shutdown request (or
+/// [`ServerHandle::begin_shutdown`]) drains it.
+#[derive(Debug)]
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Binds the listen socket and opens the shared result cache.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind and cache-directory failures.
+    pub fn bind(config: ServerConfig) -> io::Result<Server> {
+        let addr = if config.addr.is_empty() {
+            DEFAULT_ADDR
+        } else {
+            &config.addr
+        };
+        let listener = TcpListener::bind(addr)?;
+        let cache = config.cache_dir.map(ResultCache::open).transpose()?;
+        let capacity = if config.max_inflight_trials == 0 {
+            DEFAULT_MAX_INFLIGHT_TRIALS
+        } else {
+            config.max_inflight_trials
+        };
+        let per_conn = config.per_conn_trials.unwrap_or(capacity / 2);
+        Ok(Server {
+            listener,
+            shared: Arc::new(Shared {
+                threads: config.threads,
+                cache,
+                ledger: Arc::new(Ledger::new(capacity, per_conn)),
+                flights: Flights::default(),
+                stats: Stats::default(),
+                draining: AtomicBool::new(false),
+                job_delay: config.job_delay,
+            }),
+        })
+    }
+
+    /// The bound address (resolves port 0 to the actual port).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket query failure.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A handle for stopping/observing the server from elsewhere.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Runs the accept loop until drained; returns the final
+    /// counters. Each connection gets its own thread; on drain the
+    /// loop stops accepting and joins every connection (in-flight and
+    /// queued jobs complete first — that is the drain guarantee).
+    ///
+    /// # Errors
+    ///
+    /// Propagates fatal listener failures (transient accept errors
+    /// are retried).
+    pub fn run(self) -> io::Result<ServerSummary> {
+        self.listener.set_nonblocking(true)?;
+        let mut conns = Vec::new();
+        let mut next_conn: u64 = 0;
+        while !self.shared.draining.load(Ordering::SeqCst) {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    let _ = stream.set_nodelay(true);
+                    // Accepted sockets must block: connection threads
+                    // use plain reads with their own liveness story.
+                    stream.set_nonblocking(false)?;
+                    let shared = Arc::clone(&self.shared);
+                    let conn_id = next_conn;
+                    next_conn += 1;
+                    conns.push(thread::spawn(move || {
+                        handle_connection(&shared, stream, conn_id);
+                    }));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => thread::sleep(ACCEPT_SLICE),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        drop(self.listener);
+        for conn in conns {
+            let _ = conn.join();
+        }
+        Ok(self.shared.summary())
+    }
+}
+
+/// Writes one event line (payload + `\n`) and flushes.
+fn write_line(writer: &Mutex<TcpStream>, line: &str) -> io::Result<()> {
+    let mut w = writer
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    w.write_all(line.as_bytes())?;
+    w.write_all(b"\n")?;
+    w.flush()
+}
+
+/// Sniffs the first byte: NDJSON requests start with `{`, anything
+/// else is handed to the HTTP/1.1 shim.
+fn handle_connection(shared: &Arc<Shared>, stream: TcpStream, conn_id: u64) {
+    let mut first = [0u8; 1];
+    match stream.peek(&mut first) {
+        Ok(0) | Err(_) => return,
+        Ok(_) => {}
+    }
+    if first[0] == b'{' {
+        serve_ndjson(shared, stream, conn_id);
+    } else {
+        serve_http(shared, stream, conn_id);
+    }
+}
+
+/// The NDJSON connection loop. A dedicated reader thread feeds
+/// request lines through a channel; when it sees EOF or a read error
+/// — the client hung up — it cancels whatever request is active, so a
+/// disconnected client's job stops at the next chunk boundary instead
+/// of running to completion for nobody.
+fn serve_ndjson(shared: &Arc<Shared>, stream: TcpStream, conn_id: u64) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let writer = Mutex::new(stream);
+    let active: Arc<Mutex<Option<CancelToken>>> = Arc::new(Mutex::new(None));
+    let (tx, rx) = mpsc::channel::<String>();
+    let reader_active = Arc::clone(&active);
+    let reader = thread::spawn(move || {
+        let mut lines = BufReader::new(read_half);
+        loop {
+            let mut line = String::new();
+            match lines.read_line(&mut line) {
+                Ok(0) | Err(_) => break,
+                Ok(_) => {
+                    if tx.send(line).is_err() {
+                        break;
+                    }
+                }
+            }
+        }
+        // Client gone: cancel the in-flight request, if any.
+        let token = reader_active
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .take();
+        if let Some(token) = token {
+            token.cancel();
+        }
+    });
+    loop {
+        match rx.recv_timeout(IDLE_SLICE) {
+            Ok(line) => {
+                let line = line.trim();
+                if line.is_empty() {
+                    continue;
+                }
+                match proto::parse_request(line) {
+                    Err(message) => {
+                        // A malformed request is still a (failed)
+                        // request — the counters match the events the
+                        // client saw.
+                        shared.stats.requests.fetch_add(1, Ordering::Relaxed);
+                        shared.stats.failed.fetch_add(1, Ordering::Relaxed);
+                        let event = proto::error_event("bad_request", &message);
+                        if write_line(&writer, &event.to_string()).is_err() {
+                            break;
+                        }
+                    }
+                    Ok(Request::Status) => {
+                        if write_line(&writer, &shared.status_json().to_string()).is_err() {
+                            break;
+                        }
+                    }
+                    Ok(Request::Shutdown) => {
+                        shared.draining.store(true, Ordering::SeqCst);
+                        let _ = write_line(&writer, &shared.shutdown_json().to_string());
+                        break;
+                    }
+                    Ok(Request::Run(req)) => {
+                        run_on_connection(shared, conn_id, &writer, &active, &req);
+                    }
+                }
+            }
+            // Queued request lines are still drained and served after
+            // the shutdown request arrives — only *idle* connections
+            // close here.
+            Err(RecvTimeoutError::Timeout) => {
+                if shared.draining.load(Ordering::SeqCst) {
+                    break;
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+    }
+    let _ = writer
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .shutdown(Shutdown::Both);
+    let _ = reader.join();
+}
+
+/// Serves one run/adhoc request on an NDJSON connection: accepted
+/// event, coalesce-or-execute, then the shared result line or an
+/// error event.
+fn run_on_connection(
+    shared: &Arc<Shared>,
+    conn_id: u64,
+    writer: &Mutex<TcpStream>,
+    active: &Mutex<Option<CancelToken>>,
+    req: &RunRequest,
+) {
+    shared.stats.requests.fetch_add(1, Ordering::Relaxed);
+    let root = CancelToken::new();
+    let token = match req.timeout {
+        Some(t) => root.child_with_timeout(t),
+        None => root.clone(),
+    };
+    *active
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(token.clone());
+    let accepted = |coalesced: bool| {
+        let event = proto::accepted_event(&req.job.label, req.cost(), coalesced);
+        if write_line(writer, &event.to_string()).is_err() {
+            token.cancel();
+        }
+    };
+    let progress = req.stream.then_some(writer);
+    let outcome = serve_request(shared, conn_id, req, &token, progress, &accepted);
+    match &outcome {
+        FlightOutcome::Line(line) => {
+            shared.stats.completed.fetch_add(1, Ordering::Relaxed);
+            let _ = write_line(writer, line);
+        }
+        FlightOutcome::Fail { status, message } => {
+            shared.stats.failed.fetch_add(1, Ordering::Relaxed);
+            let _ = write_line(writer, &proto::error_event(status, message).to_string());
+        }
+    }
+    *active
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner) = None;
+}
+
+/// The transport-independent request path: single-flight join, then
+/// either follow the in-progress leader or lead (admission, job
+/// execution, flight publication). Returns the final outcome; the
+/// caller renders it for its transport.
+fn serve_request(
+    shared: &Arc<Shared>,
+    conn_id: u64,
+    req: &RunRequest,
+    token: &CancelToken,
+    progress: Option<&Mutex<TcpStream>>,
+    accepted: &dyn Fn(bool),
+) -> FlightOutcome {
+    let key = req.flight_key();
+    match shared.flights.join(&key) {
+        Role::Follower(slot) => {
+            shared.stats.coalesced.fetch_add(1, Ordering::Relaxed);
+            accepted(true);
+            match slot.wait(token) {
+                Some(outcome) => outcome,
+                // The follower's own deadline or disconnect fired
+                // first; the leader keeps running for everyone else.
+                None => FlightOutcome::Fail {
+                    status: own_cancel_status(token).into(),
+                    message: format!(
+                        "request {:?} abandoned while coalesced on an in-flight job",
+                        req.job.label
+                    ),
+                },
+            }
+        }
+        Role::Leader => {
+            accepted(false);
+            // Publish exactly once, even if execution panics — a
+            // stuck flight would wedge every future duplicate.
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                execute_leader(shared, conn_id, req, token, progress)
+            }))
+            .unwrap_or_else(|payload| FlightOutcome::Fail {
+                status: "panicked".into(),
+                message: format!(
+                    "request {:?} panicked outside the isolated job driver: {}",
+                    req.job.label,
+                    panic_text(&payload)
+                ),
+            });
+            shared.flights.finish(&key, outcome.clone());
+            outcome
+        }
+    }
+}
+
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "opaque panic payload".into())
+}
+
+/// Classifies a fired request token from the requester's own side.
+fn own_cancel_status(token: &CancelToken) -> &'static str {
+    if token.timed_out() {
+        "timeout"
+    } else {
+        "cancelled"
+    }
+}
+
+/// Leader side: admission, optional injected delay, engine run,
+/// response rendering. The returned [`FlightOutcome`] carries the
+/// complete result line so followers can share it verbatim.
+fn execute_leader(
+    shared: &Arc<Shared>,
+    conn_id: u64,
+    req: &RunRequest,
+    token: &CancelToken,
+    progress: Option<&Mutex<TcpStream>>,
+) -> FlightOutcome {
+    let started = Instant::now();
+    let Some(_credits) = shared.ledger.acquire(conn_id, req.cost(), token) else {
+        return FlightOutcome::Fail {
+            status: own_cancel_status(token).into(),
+            message: deadline_message(req, "while queued for admission credits"),
+        };
+    };
+    if let Some(delay) = shared.job_delay {
+        thread::sleep(delay);
+    }
+    let mut engine = Engine::new();
+    if let Some(cache) = &shared.cache {
+        engine = engine.with_cache(cache.clone());
+    }
+    if let Some(workers) = req.threads.or(shared.threads) {
+        engine = engine.with_workers(workers);
+    }
+    // Throttled trial-level progress (~20 lines per job). A write
+    // failure means the client hung up — cancel cooperatively.
+    let step = (req.job.total_trials() / 20).max(1);
+    let observe = |p: JobProgress| {
+        if p.trials_done == p.trials || p.trials_done.is_multiple_of(step) {
+            if let Some(writer) = progress {
+                if write_line(writer, &proto::progress_event(p).to_string()).is_err() {
+                    token.cancel();
+                }
+            }
+        }
+    };
+    let observer: Option<JobProgressFn> = progress.is_some().then_some(&observe);
+    match engine.run_job_observed(&req.job, observer, token) {
+        Ok((outcomes, status)) => {
+            shared
+                .stats
+                .computed_cells
+                .fetch_add(status.computed as u64, Ordering::Relaxed);
+            shared
+                .stats
+                .cached_cells
+                .fetch_add(status.from_cache as u64, Ordering::Relaxed);
+            let body = render_body(req, &outcomes);
+            let wall_ms = u64::try_from(started.elapsed().as_millis()).unwrap_or(u64::MAX);
+            let event = proto::result_event(
+                &req.job.label,
+                &body,
+                &status,
+                shared.cache.as_ref().map(ResultCache::stats),
+                wall_ms,
+            );
+            FlightOutcome::Line(event.to_string())
+        }
+        Err(e) => {
+            if token.timed_out() {
+                FlightOutcome::Fail {
+                    status: "timeout".into(),
+                    message: deadline_message(req, "mid-job"),
+                }
+            } else {
+                FlightOutcome::Fail {
+                    status: e.status().into(),
+                    message: format!("{}: {e}", req.job.label),
+                }
+            }
+        }
+    }
+}
+
+fn deadline_message(req: &RunRequest, stage: &str) -> String {
+    match req.timeout {
+        Some(t) => format!(
+            "{}: deadline exceeded {stage} (timeout {}s)",
+            req.job.label,
+            t.as_secs()
+        ),
+        None => format!("{}: cancelled {stage}", req.job.label),
+    }
+}
+
+/// Renders the response body — the *exact* bytes the CLI prints for
+/// the same request (`run <id> --json` / `adhoc ... --json`), which
+/// is the service's byte-identity contract.
+fn render_body(req: &RunRequest, outcomes: &[Value]) -> String {
+    if let Some(artifact) = req.artifact {
+        let report = artifact.render_report(&req.opts, &req.job.grid, outcomes);
+        format!("{}\n", report.metrics.pretty())
+    } else {
+        let scenario = req
+            .scenario
+            .as_ref()
+            .expect("adhoc request carries its scenario");
+        let result = Value::obj()
+            .with("scenario", scenario.to_json())
+            .with("outcome", outcomes.first().cloned().unwrap_or(Value::Null));
+        format!("{}\n", result.pretty())
+    }
+}
+
+/// The minimal HTTP/1.1 shim: `GET /status`, `POST /run` (body = one
+/// run/adhoc request object), `POST /shutdown`. One request per
+/// connection, `Connection: close`, no streaming — curl support, not
+/// a web server.
+fn serve_http(shared: &Arc<Shared>, stream: TcpStream, conn_id: u64) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut request_line = String::new();
+    if reader.read_line(&mut request_line).is_err() || request_line.is_empty() {
+        return;
+    }
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let mut content_length: usize = 0;
+    loop {
+        let mut header = String::new();
+        match reader.read_line(&mut header) {
+            Ok(0) | Err(_) => return,
+            Ok(_) => {
+                let header = header.trim();
+                if header.is_empty() {
+                    break;
+                }
+                if let Some(v) = header.to_ascii_lowercase().strip_prefix("content-length:") {
+                    content_length = v.trim().parse().unwrap_or(0);
+                }
+            }
+        }
+    }
+    // A megabyte of request JSON is already absurd; cap the read so a
+    // bogus Content-Length cannot pin the thread.
+    let mut body = vec![0u8; content_length.min(1 << 20)];
+    if !body.is_empty() && reader.read_exact(&mut body).is_err() {
+        return;
+    }
+    let body = String::from_utf8_lossy(&body).into_owned();
+    let (code, reason, payload) = match (method, path) {
+        ("GET", "/status") => (200, "OK", shared.status_json().to_string()),
+        ("POST", "/shutdown") => {
+            shared.draining.store(true, Ordering::SeqCst);
+            (200, "OK", shared.shutdown_json().to_string())
+        }
+        ("POST", "/run") => match proto::parse_request(&body) {
+            Ok(Request::Run(req)) => {
+                shared.stats.requests.fetch_add(1, Ordering::Relaxed);
+                let token = match req.timeout {
+                    Some(t) => CancelToken::new().child_with_timeout(t),
+                    None => CancelToken::new(),
+                };
+                let outcome = serve_request(shared, conn_id, &req, &token, None, &|_| {});
+                match outcome {
+                    FlightOutcome::Line(line) => {
+                        shared.stats.completed.fetch_add(1, Ordering::Relaxed);
+                        (200, "OK", line)
+                    }
+                    FlightOutcome::Fail { status, message } => {
+                        shared.stats.failed.fetch_add(1, Ordering::Relaxed);
+                        let (code, reason) = match status.as_str() {
+                            "bad_request" => (400, "Bad Request"),
+                            "timeout" => (504, "Gateway Timeout"),
+                            "cancelled" => (503, "Service Unavailable"),
+                            _ => (500, "Internal Server Error"),
+                        };
+                        (
+                            code,
+                            reason,
+                            proto::error_event(&status, &message).to_string(),
+                        )
+                    }
+                }
+            }
+            Ok(_) => {
+                shared.stats.requests.fetch_add(1, Ordering::Relaxed);
+                shared.stats.failed.fetch_add(1, Ordering::Relaxed);
+                (
+                    400,
+                    "Bad Request",
+                    proto::error_event("bad_request", "POST /run takes a run or adhoc request")
+                        .to_string(),
+                )
+            }
+            Err(message) => {
+                shared.stats.requests.fetch_add(1, Ordering::Relaxed);
+                shared.stats.failed.fetch_add(1, Ordering::Relaxed);
+                (
+                    400,
+                    "Bad Request",
+                    proto::error_event("bad_request", &message).to_string(),
+                )
+            }
+        },
+        _ => (
+            404,
+            "Not Found",
+            proto::error_event(
+                "bad_request",
+                "unknown route (GET /status, POST /run, POST /shutdown)",
+            )
+            .to_string(),
+        ),
+    };
+    respond_http(stream, code, reason, &payload);
+}
+
+fn respond_http(mut stream: TcpStream, code: u16, reason: &str, payload: &str) {
+    let head = format!(
+        "HTTP/1.1 {code} {reason}\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        payload.len() + 1
+    );
+    let _ = stream.write_all(head.as_bytes());
+    let _ = stream.write_all(payload.as_bytes());
+    let _ = stream.write_all(b"\n");
+    let _ = stream.flush();
+}

@@ -160,14 +160,50 @@ fn interrupted_run_all_resumes_from_the_cache_byte_identically() {
     let cache = ResultCache::open(&dir).unwrap();
     assert!(cache.entry_count() > 0, "the partial batch left entries");
 
-    // The resumed batch serves those cells from the cache and must
-    // be byte-identical to the undisturbed run.
-    let resumed = all(&["--cache-dir", dir_s]);
-    assert_eq!(resumed, reference, "resumed run-all differs from cold");
+    // A cached batch additionally reports its hit/miss counters; the
+    // artifacts themselves must stay byte-identical to the cold run,
+    // so the comparison strips exactly that one top-level key.
+    let strip_cache = |out: &str| {
+        let mut v = Value::parse(out.trim()).unwrap();
+        if let Value::Obj(pairs) = &mut v {
+            pairs.retain(|(k, _)| k != "cache");
+        }
+        format!("{}\n", v.pretty())
+    };
+    let counters = |out: &str| {
+        let v = Value::parse(out.trim()).unwrap();
+        let n = |k: &str| {
+            v.get("cache")
+                .and_then(|c| c.get(k))
+                .and_then(Value::as_u64)
+                .unwrap()
+        };
+        (n("hits"), n("misses"))
+    };
 
-    // And a fully warm rerun is byte-identical again.
+    // The resumed batch serves the interrupted cells from the cache
+    // and computes (and records) the rest.
+    let resumed = all(&["--cache-dir", dir_s]);
+    assert_eq!(
+        strip_cache(&resumed),
+        reference,
+        "resumed run-all differs from cold"
+    );
+    let (hits, misses) = counters(&resumed);
+    assert!(hits > 0, "resume must hit the interrupted cells");
+    assert!(misses > 0, "resume must compute the remaining cells");
+
+    // And a fully warm rerun is byte-identical again, with every
+    // cell a hit.
     let warm = all(&["--cache-dir", dir_s]);
-    assert_eq!(warm, reference, "warm run-all differs from cold");
+    assert_eq!(
+        strip_cache(&warm),
+        reference,
+        "warm run-all differs from cold"
+    );
+    let (warm_hits, warm_misses) = counters(&warm);
+    assert_eq!(warm_misses, 0, "warm rerun recomputed a cell");
+    assert_eq!(warm_hits, hits + misses, "warm rerun must hit every cell");
 
     // The warm batch really came from the cache.
     let engine = Engine::new().with_cache(ResultCache::open(&dir).unwrap());
