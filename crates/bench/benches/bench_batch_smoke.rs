@@ -162,6 +162,15 @@ fn main() {
     );
 
     // ---- record the trajectory ----
+    bench_harness::delta_line(
+        "BENCH_scenario.json",
+        "run-all total secs",
+        &["batch", "total_secs"],
+        batch_secs,
+    );
+    // This gate rewrites the whole file; carry the lockstep gate's
+    // block over so the two trajectories coexist.
+    let lockstep_block = bench_harness::bench_json_get("BENCH_scenario.json", "lockstep");
     let host_threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -211,5 +220,8 @@ fn main() {
     // report at the workspace root.
     let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_scenario.json");
     std::fs::write(out, &json).expect("write BENCH_scenario.json");
+    if let Some(block) = lockstep_block {
+        bench_harness::bench_json_upsert("BENCH_scenario.json", "lockstep", &block);
+    }
     println!("\nwrote BENCH_scenario.json");
 }

@@ -152,6 +152,12 @@ fn main() {
     );
 
     // ---- record the trajectory ----
+    bench_harness::delta_line(
+        "BENCH_execsim.json",
+        "time-sliced speedup",
+        &["timesliced_percent_ones", "speedup"],
+        ts_speedup,
+    );
     let host_threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);

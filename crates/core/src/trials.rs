@@ -18,18 +18,26 @@
 //!   memory stays `O(workers × chunk)` no matter how many trials run.
 //!   Million-trial sweeps reduce to a few counters.
 //!
-//! The scheduler claims *chunks* of consecutive indices from a shared
-//! atomic counter — work-stealing in its simplest form. A worker that
-//! drew a long trial simply claims fewer chunks; nothing piles up on
-//! a statically chosen thread the way it did under the old
-//! round-robin split. Determinism survives because scheduling only
-//! decides *who* computes a chunk, never *how* results combine: the
-//! chunk layout is a function of `n` alone ([`fold_chunk_size`]), each
-//! chunk folds its indices in ascending order, and chunk accumulators
-//! merge in ascending chunk order. Sequential execution uses the
-//! *same* chunk/merge structure, so parallel and sequential runs are
-//! bit-identical even for non-associative (floating-point)
-//! reductions — the `trial_driver_determinism` suite asserts it.
+//! The scheduler claims *chunks* of consecutive indices and hands
+//! finished chunk accumulators over through a **two-phase wave**: in
+//! the compute phase, workers claim the chunks of the current wave (a
+//! window of consecutive chunks) and fill one pre-allocated slot per
+//! chunk; when the wave's last chunk lands, that worker runs the merge
+//! phase — draining the slots in ascending chunk order into the global
+//! accumulator — then opens the next wave. There is no queueing and no
+//! bounded-buffer backpressure: a wave *is* the buffer, its slots are
+//! written exactly once, and the wave width caps live memory at
+//! `O(workers × chunk)` regardless of `n`. Work-stealing survives
+//! inside each wave (a worker that drew a long trial simply claims
+//! fewer of the wave's chunks). Determinism survives because
+//! scheduling only decides *who* computes a chunk, never *how* results
+//! combine: the chunk layout is a function of `n` alone
+//! ([`fold_chunk_size`]), each chunk folds its indices in ascending
+//! order, and the merge phase drains slots in ascending chunk order.
+//! Sequential execution uses the *same* chunk/merge structure, so
+//! parallel and sequential runs are bit-identical even for
+//! non-associative (floating-point) reductions — the
+//! `trial_driver_determinism` suite asserts it.
 //!
 //! The worker count defaults to the host's available parallelism,
 //! clamped by the `LRU_LEAK_THREADS` environment variable
@@ -48,11 +56,11 @@
 //! makes the re-run bit-identical, so a transient fault leaves no trace
 //! in the result), and a chunk that panics twice surfaces as a
 //! structured [`FoldError::ChunkPanicked`] instead of aborting the
-//! process. A dying worker can never deadlock the bounded merge buffer:
+//! process. A dying worker can never deadlock the wave handoff:
 //! failure is recorded in the shared fold state, every condvar waiter is
 //! woken, and the remaining workers drain (drop their in-flight
-//! accumulators) instead of waiting on a frontier chunk that will never
-//! merge. Mutex poisoning is likewise drained (`PoisonError::into_inner`)
+//! accumulators) instead of waiting on a wave that will never
+//! complete. Mutex poisoning is likewise drained (`PoisonError::into_inner`)
 //! rather than cascaded.
 //!
 //! Cancellation is cooperative: a [`CancelToken`] (optionally carrying a
@@ -64,7 +72,6 @@
 //! default `RunCtrl` (never cancelled) and re-raise a persistent chunk
 //! panic, preserving their historical panicking contract.
 
-use std::collections::BTreeMap;
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
@@ -132,10 +139,10 @@ pub fn fold_chunk_size(n: usize) -> usize {
     (n / 64).clamp(1, 64)
 }
 
-/// How many completed-but-unmerged chunk accumulators may exist
-/// before workers pause claiming (per worker). Bounds live memory at
-/// `(PENDING_PER_WORKER + 1) × workers` accumulators plus one
-/// in-flight chunk per worker.
+/// Wave width per worker: how many chunk slots one two-phase wave
+/// holds for each worker. Bounds live memory at
+/// `PENDING_PER_WORKER × workers` slot accumulators plus one
+/// in-flight chunk per worker plus the global accumulator.
 const PENDING_PER_WORKER: usize = 2;
 
 /// Shared cancellation state. A token is cancelled when its own flag
@@ -383,9 +390,9 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
-    // Collecting materializes all n results anyway, so the streaming
-    // path's pending-buffer backpressure would cap nothing — run
-    // unbounded and let workers race past a slow frontier chunk.
+    // Collecting materializes all n results anyway, so a narrow wave
+    // would cap nothing — run one wave over every chunk and let
+    // workers race past a slow chunk freely.
     let cfg = FoldCfg {
         workers,
         n,
@@ -421,14 +428,15 @@ where
 /// without ever materializing all `n` of them.
 ///
 /// The index range is cut into chunks of [`fold_chunk_size`]`(n)`
-/// consecutive indices. Workers claim chunks from an atomic counter;
-/// each claimed chunk folds its trials **in ascending index order**
-/// into a fresh `init()` accumulator, and finished chunk accumulators
-/// are `merge`d into the global one **in ascending chunk order**
-/// (out-of-order chunks wait in a bounded buffer; claiming pauses
-/// when the buffer is full). Live memory is therefore
-/// `O(workers × chunk)` trial results plus `O(workers)` accumulators,
-/// regardless of `n`.
+/// consecutive indices and processed in two-phase *waves*: workers
+/// claim the current wave's chunks, fold each chunk's trials **in
+/// ascending index order** into a fresh `init()` accumulator, and park
+/// it in the chunk's pre-assigned slot (compute phase); the worker
+/// that fills the wave's last slot drains every slot **in ascending
+/// chunk order** into the global accumulator and opens the next wave
+/// (merge phase). No queue, no backpressure waits — the wave is the
+/// buffer. Live memory is therefore `O(workers × chunk)` trial
+/// results plus `O(workers)` accumulators, regardless of `n`.
 ///
 /// Sequential execution (`workers == 1`) walks the *same*
 /// chunk/merge structure, so the result is bit-identical for every
@@ -501,18 +509,88 @@ where
     fold_impl(cfg, ctrl, trial, init, fold, merge)
 }
 
-/// Scheduler geometry: `pending_cap` bounds the
-/// completed-but-unmerged buffer (streaming callers) or is
-/// `usize::MAX` to let workers race past a slow frontier chunk
-/// (collecting callers, whose output is `O(n)` regardless).
+/// The lockstep fold driver: [`run_trials_fold_ctrl`] with the
+/// per-index trial function replaced by a **per-chunk batch
+/// function** — `batch(lo, hi)` produces the results of trials
+/// `lo..hi` in one call, in ascending index order.
+///
+/// This is the scheduling half of lockstep batched simulation: the
+/// chunk layout ([`fold_chunk_size`]), fold order and merge order are
+/// *identical* to [`run_trials_fold_ctrl`], so as long as
+/// `batch(lo, hi)` returns exactly `[trial(lo), …, trial(hi-1)]`, the
+/// accumulated result is bit-identical to the per-index driver for
+/// any worker count — while the batch implementation amortizes setup
+/// (one allocation, one warmup) across the whole chunk.
+///
+/// Resilience is inherited unchanged, at the same granularity: the
+/// whole `batch` call runs inside the chunk's `catch_unwind`, so a
+/// panicking lane takes down one chunk attempt, which is retried
+/// deterministically once before surfacing as
+/// [`FoldError::ChunkPanicked`]; the [`CancelToken`] is polled at
+/// chunk — here, batch — boundaries.
+///
+/// # Panics
+///
+/// Panics if `batch` returns a result slice of the wrong length.
+///
+/// # Errors
+///
+/// [`FoldError::Cancelled`] on cooperative cancellation,
+/// [`FoldError::ChunkPanicked`] when a batch fails twice.
+pub fn run_trials_lockstep<T, A, B, I, Fo, M>(
+    workers: usize,
+    n: usize,
+    ctrl: &RunCtrl,
+    batch: B,
+    init: I,
+    fold: Fo,
+    merge: M,
+) -> Result<A, FoldError>
+where
+    T: Send,
+    A: Send,
+    B: Fn(usize, usize) -> Vec<T> + Sync,
+    I: Fn() -> A + Sync,
+    Fo: Fn(&mut A, usize, T) + Sync,
+    M: Fn(&mut A, A) + Sync,
+{
+    let cfg = FoldCfg {
+        workers,
+        n,
+        pending_cap: PENDING_PER_WORKER * workers.max(1),
+    };
+    fold_chunked_impl(
+        cfg,
+        ctrl,
+        |lo, hi, part: &mut A| {
+            let results = batch(lo, hi);
+            assert_eq!(
+                results.len(),
+                hi - lo,
+                "batch(lo, hi) must yield hi-lo results"
+            );
+            for (k, v) in results.into_iter().enumerate() {
+                fold(part, lo + k, v);
+            }
+        },
+        init,
+        merge,
+    )
+}
+
+/// Scheduler geometry: `pending_cap` is the wave width in chunks —
+/// how many chunk slots one compute phase fills before the merge
+/// phase drains them — or `usize::MAX` to run a single wave over
+/// every chunk (collecting callers, whose output is `O(n)`
+/// regardless).
 struct FoldCfg {
     workers: usize,
     n: usize,
     pending_cap: usize,
 }
 
-/// Shared scheduler body. See [`run_trials_fold_ctrl`] for the
-/// resilience contract.
+/// Per-index scheduler body: wraps the trial/fold pair into the
+/// chunk-filling shape of [`fold_chunked_impl`].
 fn fold_impl<T, A, F, I, Fo, M>(
     cfg: FoldCfg,
     ctrl: &RunCtrl,
@@ -529,6 +607,36 @@ where
     Fo: Fn(&mut A, usize, T) + Sync,
     M: Fn(&mut A, A) + Sync,
 {
+    fold_chunked_impl(
+        cfg,
+        ctrl,
+        |lo, hi, part: &mut A| {
+            for i in lo..hi {
+                fold(part, i, trial(i));
+            }
+        },
+        init,
+        merge,
+    )
+}
+
+/// Shared scheduler body. `fill` computes one chunk: it folds the
+/// results of trials `lo..hi` (in ascending index order) into the
+/// fresh accumulator it is handed. See [`run_trials_fold_ctrl`] for
+/// the resilience contract.
+fn fold_chunked_impl<A, Fill, I, M>(
+    cfg: FoldCfg,
+    ctrl: &RunCtrl,
+    fill: Fill,
+    init: I,
+    merge: M,
+) -> Result<A, FoldError>
+where
+    A: Send,
+    Fill: Fn(usize, usize, &mut A) + Sync,
+    I: Fn() -> A + Sync,
+    M: Fn(&mut A, A) + Sync,
+{
     let FoldCfg {
         workers,
         n,
@@ -539,16 +647,14 @@ where
     let workers = workers.max(1).min(chunks.max(1));
     let cancel = ctrl.cancel_token();
     let chunk_range = |c: usize| (c * chunk, ((c + 1) * chunk).min(n));
-    // One guarded attempt at chunk `c`: fold its trials in ascending
-    // index order into a fresh accumulator, catching unwinds so a
-    // panicking trial takes down this chunk attempt, not the process.
+    // One guarded attempt at chunk `c`: fill a fresh accumulator with
+    // the chunk's trials, catching unwinds so a panicking trial takes
+    // down this chunk attempt, not the process.
     let attempt_chunk = |c: usize| {
         panic::catch_unwind(AssertUnwindSafe(|| {
             let mut part = init();
             let (lo, hi) = chunk_range(c);
-            for i in lo..hi {
-                fold(&mut part, i, trial(i));
-            }
+            fill(lo, hi, &mut part);
             part
         }))
     };
@@ -590,58 +696,77 @@ where
         return Ok(acc);
     }
 
-    /// In-order merge frontier shared by the workers.
+    // ---- Two-phase wave handoff (SwapChannel-style) ----
+    //
+    // The chunk range is processed in waves of `wave_cap` consecutive
+    // chunks. Compute phase: workers claim the current wave's chunks
+    // and park each finished accumulator in the chunk's pre-assigned
+    // slot (`slots[c % wave_cap]` — wave starts are multiples of
+    // `wave_cap`, so slots never collide within a wave). Merge phase:
+    // the worker that fills the wave's *last* slot drains every slot
+    // in ascending chunk order into the global accumulator, then
+    // advances the wave and wakes the others. There is no queue and
+    // no backpressure wait; the only blocking is a worker arriving at
+    // an exhausted wave while a sibling still computes.
+    let wave_cap = pending_cap.min(chunks).max(1);
+
+    /// Shared wave state.
     struct FoldState<A> {
-        /// Next chunk index the global accumulator is waiting for.
-        next_merge: usize,
-        /// Finished chunks that ran ahead of the frontier.
-        pending: BTreeMap<usize, A>,
-        /// The global accumulator (`None` only while a worker merges).
+        /// First chunk of the current wave (a multiple of the wave
+        /// width; `== chunks` once every wave has merged).
+        wave_start: usize,
+        /// Next chunk to hand out (claims never pass the wave end).
+        next_claim: usize,
+        /// Slots of the current wave already filled.
+        filled: usize,
+        /// The global accumulator (taken only during a merge phase).
         acc: Option<A>,
         /// First terminal failure (cancellation or a twice-panicked
         /// chunk). Once set, every worker drains and exits instead of
-        /// waiting on a frontier that will never advance.
+        /// waiting on a wave that will never complete.
         failed: Option<FoldError>,
     }
 
-    let claim = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<A>>> = (0..wave_cap).map(|_| Mutex::new(None)).collect();
     let state = Mutex::new(FoldState {
-        next_merge: 0,
-        pending: BTreeMap::new(),
+        wave_start: 0,
+        next_claim: 0,
+        filled: 0,
         acc: Some(init()),
         failed: None,
     });
-    let drained = Condvar::new();
+    let wave_open = Condvar::new();
     let fail_with = |e: FoldError| {
         let mut st = drain_lock(&state);
         st.failed.get_or_insert(e);
         drop(st);
-        // Wake every backpressure waiter so nobody blocks on a
-        // frontier chunk that will never merge.
-        drained.notify_all();
+        // Wake every wave waiter so nobody blocks on a wave that will
+        // never complete.
+        wave_open.notify_all();
     };
     thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
-                // Backpressure: don't run further ahead of the merge
-                // frontier than the pending buffer allows. A recorded
-                // failure releases the wait — drop-aware draining.
-                {
+                // Claim a chunk of the current wave, or wait for the
+                // next wave to open. A recorded failure releases the
+                // wait — drop-aware draining.
+                let c = {
                     let mut st = drain_lock(&state);
-                    while st.pending.len() >= pending_cap && st.failed.is_none() {
-                        st = drained.wait(st).unwrap_or_else(PoisonError::into_inner);
+                    loop {
+                        if st.failed.is_some() || st.next_claim >= chunks {
+                            return;
+                        }
+                        let wave_end = (st.wave_start + wave_cap).min(chunks);
+                        if st.next_claim < wave_end {
+                            st.next_claim += 1;
+                            break st.next_claim - 1;
+                        }
+                        st = wave_open.wait(st).unwrap_or_else(PoisonError::into_inner);
                     }
-                    if st.failed.is_some() {
-                        return;
-                    }
-                }
+                };
                 // Chunk boundary: the only cancellation point.
                 if cancel.is_cancelled() {
                     fail_with(FoldError::Cancelled);
-                    return;
-                }
-                let c = claim.fetch_add(1, Ordering::Relaxed);
-                if c >= chunks {
                     return;
                 }
                 let part = match run_chunk(c) {
@@ -651,31 +776,38 @@ where
                         return;
                     }
                 };
+                *drain_lock(&slots[c % wave_cap]) = Some(part);
                 let mut st = drain_lock(&state);
                 if st.failed.is_some() {
-                    // A sibling already failed: drop this chunk's
-                    // accumulator and exit instead of inserting work
-                    // the frontier will never consume.
+                    // A sibling already failed: the parked slot will
+                    // never merge; exit (slots drop with the scope).
                     return;
                 }
-                st.pending.insert(c, part);
-                // Merge the ready in-order prefix; strictly ascending
-                // chunk order keeps the reduction deterministic. A
-                // panicking merge is caught with the accumulator
-                // checked out, so the lock is never poisoned mid-merge.
+                st.filled += 1;
+                let wave_end = (st.wave_start + wave_cap).min(chunks);
+                if st.wave_start + st.filled < wave_end {
+                    continue;
+                }
+                // Merge phase: this worker filled the wave's last
+                // slot. Every sibling is computing a claimed chunk of
+                // *this* wave (all are filled) or waiting for the
+                // next, so draining under the lock races nobody.
+                // Strictly ascending chunk order keeps the reduction
+                // deterministic; a panicking merge is caught with the
+                // accumulator checked out, so the lock is never
+                // poisoned mid-merge.
                 let mut acc = st.acc.take().expect("accumulator present");
                 let mut merge_err = None;
-                loop {
-                    let frontier = st.next_merge;
-                    let Some(ready) = st.pending.remove(&frontier) else {
-                        break;
-                    };
+                for chunk in st.wave_start..wave_end {
+                    let ready = drain_lock(&slots[chunk % wave_cap])
+                        .take()
+                        .expect("wave slot filled");
                     match panic::catch_unwind(AssertUnwindSafe(|| merge(&mut acc, ready))) {
-                        Ok(()) => st.next_merge += 1,
+                        Ok(()) => {}
                         Err(p) => {
                             merge_err = Some(FoldError::ChunkPanicked {
-                                chunk: frontier,
-                                trial_range: chunk_range(frontier),
+                                chunk,
+                                trial_range: chunk_range(chunk),
                                 payload: panic_message(p.as_ref()),
                             });
                             break;
@@ -686,11 +818,13 @@ where
                 if let Some(e) = merge_err {
                     st.failed.get_or_insert(e);
                     drop(st);
-                    drained.notify_all();
+                    wave_open.notify_all();
                     return;
                 }
+                st.wave_start = wave_end;
+                st.filled = 0;
                 drop(st);
-                drained.notify_all();
+                wave_open.notify_all();
             });
         }
     });
@@ -698,7 +832,7 @@ where
     if let Some(e) = st.failed.take() {
         return Err(e);
     }
-    debug_assert_eq!(st.next_merge, chunks, "every chunk merged");
+    debug_assert_eq!(st.wave_start, chunks, "every wave merged");
     Ok(st.acc.take().expect("accumulator present"))
 }
 
@@ -1060,6 +1194,108 @@ mod tests {
                 "workers={workers}: {err:?}"
             );
         }
+    }
+
+    #[test]
+    fn lockstep_driver_matches_per_index_fold_bit_exactly() {
+        // Same non-associative float reduction as the per-index test:
+        // the chunk/fold/merge structure must line up exactly.
+        let trial = |i: usize| (derive_seed(0xf0, i as u64) % 1_000) as f64 / 7.0;
+        let per_index = run_trials_fold_on(
+            3,
+            10_000,
+            trial,
+            || 0.0f64,
+            |acc, _i, x| *acc += x,
+            |acc, part| *acc += part,
+        );
+        for workers in [1, 4, 8] {
+            let batched = run_trials_lockstep(
+                workers,
+                10_000,
+                &RunCtrl::new(),
+                |lo, hi| (lo..hi).map(trial).collect::<Vec<_>>(),
+                || 0.0f64,
+                |acc, _i, x| *acc += x,
+                |acc, part| *acc += part,
+            )
+            .unwrap();
+            assert_eq!(per_index.to_bits(), batched.to_bits(), "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn lockstep_batch_panic_is_retried_once_then_structured() {
+        // One-shot fault: the whole batch is retried and the result
+        // is indistinguishable from a fault-free run.
+        let expected = (0..1000u64).sum::<u64>();
+        let boom = AtomicUsize::new(1);
+        let ctrl = RunCtrl::new();
+        let batch = |lo: usize, hi: usize| {
+            if lo <= 7
+                && 7 < hi
+                && boom
+                    .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |b| b.checked_sub(1))
+                    .is_ok()
+            {
+                panic!("injected batch panic");
+            }
+            (lo..hi).map(|i| i as u64).collect::<Vec<_>>()
+        };
+        let sum = run_trials_lockstep(
+            4,
+            1000,
+            &ctrl,
+            batch,
+            || 0u64,
+            |acc, _i, v| *acc += v,
+            |acc, part| *acc += part,
+        )
+        .unwrap();
+        assert_eq!(sum, expected);
+        assert_eq!(ctrl.retried_chunks(), 1);
+        // Persistent fault: surfaces as the chunk's structured error.
+        let err = run_trials_lockstep(
+            4,
+            1000,
+            &RunCtrl::new(),
+            |lo: usize, hi: usize| {
+                if lo <= 7 && 7 < hi {
+                    panic!("persistent batch panic");
+                }
+                (lo..hi).map(|i| i as u64).collect::<Vec<_>>()
+            },
+            || 0u64,
+            |acc, _i, v| *acc += v,
+            |acc, part| *acc += part,
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, FoldError::ChunkPanicked { ref payload, .. }
+                if payload.contains("persistent batch panic")),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn lockstep_driver_honours_cancellation_at_batch_boundaries() {
+        let token = CancelToken::new();
+        token.cancel();
+        let ran = AtomicUsize::new(0);
+        let out = run_trials_lockstep(
+            4,
+            10_000,
+            &RunCtrl::with_cancel(token),
+            |lo, hi| {
+                ran.fetch_add(hi - lo, Ordering::SeqCst);
+                (lo..hi).collect::<Vec<_>>()
+            },
+            || 0usize,
+            |acc, _i, _v| *acc += 1,
+            |acc, part| *acc += part,
+        );
+        assert_eq!(out, Err(FoldError::Cancelled));
+        assert_eq!(ran.load(Ordering::SeqCst), 0, "no batch may start");
     }
 
     #[test]

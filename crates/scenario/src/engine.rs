@@ -60,6 +60,7 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
+use lru_channel::lockstep::LockstepMode;
 use lru_channel::trials::{derive_seed, run_trials_fold_ctrl};
 pub use lru_channel::trials::{CancelToken, FoldError, RunCtrl};
 
@@ -145,16 +146,27 @@ pub enum EngineError {
         /// Stringified panic payload.
         payload: String,
     },
+    /// `--lockstep=force` was demanded for a grid with a cell the
+    /// lockstep path cannot run. Raised by front ends before
+    /// execution starts ([`Engine`] itself treats `Force` like
+    /// `Auto`), so the grid is never partially run.
+    LockstepIneligible {
+        /// Index of the first ineligible grid cell.
+        cell: usize,
+        /// Why that cell cannot run in lockstep.
+        reason: crate::LockstepIneligible,
+    },
 }
 
 impl EngineError {
     /// Short machine-readable status tag (`"cancelled"`, `"timeout"`,
-    /// `"panicked"`) for batch summaries.
+    /// `"panicked"`, `"ineligible"`) for batch summaries.
     pub fn status(&self) -> &'static str {
         match self {
             EngineError::Cancelled => "cancelled",
             EngineError::DeadlineExceeded { .. } => "timeout",
             EngineError::ChunkPanicked { .. } => "panicked",
+            EngineError::LockstepIneligible { .. } => "ineligible",
         }
     }
 }
@@ -174,6 +186,9 @@ impl fmt::Display for EngineError {
                 f,
                 "chunk {chunk} (cells {lo}..{hi}) panicked twice (original + retry): {payload}"
             ),
+            EngineError::LockstepIneligible { cell, reason } => {
+                write!(f, "--lockstep=force: cell {cell}: {reason}")
+            }
         }
     }
 }
@@ -500,6 +515,7 @@ pub struct Engine {
     timeout: Option<Duration>,
     workers: Option<usize>,
     fault: Option<FaultPlan>,
+    lockstep: LockstepMode,
 }
 
 impl Engine {
@@ -540,6 +556,23 @@ impl Engine {
     pub fn with_fault_plan(mut self, fault: FaultPlan) -> Engine {
         self.fault = Some(fault);
         self
+    }
+
+    /// Sets how cells use the lockstep trial path (`Auto` by
+    /// default). Results are bit-identical for every mode — `Off`
+    /// exists to bisect a suspected lockstep regression, and run
+    /// drivers treat `Force` like `Auto` (front ends reject
+    /// ineligible scenarios up front via
+    /// [`Scenario::lockstep_spec`](crate::Scenario::lockstep_spec)).
+    #[must_use]
+    pub fn with_lockstep(mut self, mode: LockstepMode) -> Engine {
+        self.lockstep = mode;
+        self
+    }
+
+    /// The engine's lockstep routing mode.
+    pub fn lockstep(&self) -> LockstepMode {
+        self.lockstep
     }
 
     /// The configured per-job timeout, if any.
@@ -791,7 +824,7 @@ impl JobRun<'_> {
             }
         };
         let trial_progress: Option<ProgressFn> = self.observer.is_some().then_some(&trial_cb);
-        match scenario.run_ctrl_with(trial_progress, self.ctrl) {
+        match scenario.run_ctrl_with_mode(trial_progress, self.ctrl, self.engine.lockstep) {
             Ok(outcome) => {
                 if let Some(cache) = &self.engine.cache {
                     // A failed store only loses the cache benefit.

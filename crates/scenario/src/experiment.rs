@@ -32,15 +32,18 @@ use exec_sim::sched::{HyperThreaded, ThreadHandle};
 use exec_sim::speculation::{build_victim, SpecMode};
 use lru_channel::analysis::Histogram;
 use lru_channel::covert::{
-    percent_ones, percent_ones_noisy, percent_ones_with_noise, CovertConfig, Variant,
+    percent_ones, percent_ones_noisy, percent_ones_with_noise, CovertConfig, Sharing, Variant,
 };
 use lru_channel::decode::{self, BitConvention};
 use lru_channel::edit_distance::error_rate;
+use lru_channel::lockstep::{self, BatchSpec, LaneSpec, LockstepMode};
 use lru_channel::multiset::run_parallel_alg1;
 use lru_channel::plru_study::{eviction_curve, InitCond, SequenceKind};
 use lru_channel::protocol::LruSender;
 use lru_channel::setup;
-use lru_channel::trials::{derive_seed, run_trials_fold_ctrl, FoldError, RunCtrl};
+use lru_channel::trials::{
+    derive_seed, run_trials_fold_ctrl, run_trials_lockstep, FoldError, RunCtrl,
+};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -178,6 +181,35 @@ impl Scenario {
         progress: Option<ProgressFn>,
         ctrl: &RunCtrl,
     ) -> Result<Value, FoldError> {
+        self.run_reduced_ctrl_mode(reducer, progress, ctrl, LockstepMode::Auto)
+    }
+
+    /// [`Scenario::run_reduced_ctrl`] with an explicit
+    /// [`LockstepMode`]. Under `Auto` (what every other entry point
+    /// uses) and `Force`, scenarios with a [`Scenario::lockstep_spec`]
+    /// run their trials in lockstep batches over the lane-major
+    /// [`cache_sim::batch::BatchCache`]; ineligible scenarios — and
+    /// every run under `Off` — take the scalar per-trial path. The
+    /// produced bytes are identical either way (pinned by
+    /// `tests/lockstep_equivalence.rs`); only the wall clock differs.
+    /// Run drivers treat `Force` like `Auto`; front ends reject
+    /// ineligible scenarios up front via [`Scenario::lockstep_spec`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Scenario::run_reduced_ctrl`].
+    pub fn run_reduced_ctrl_mode<R: Reducer>(
+        &self,
+        reducer: &R,
+        progress: Option<ProgressFn>,
+        ctrl: &RunCtrl,
+        mode: LockstepMode,
+    ) -> Result<Value, FoldError> {
+        if mode != LockstepMode::Off {
+            if let Ok(spec) = self.lockstep_spec() {
+                return self.run_reduced_lockstep(reducer, progress, ctrl, &spec);
+            }
+        }
         let experiment = self.experiment();
         let n = self.trials.max(1);
         let single = self.trials <= 1;
@@ -197,6 +229,68 @@ impl Scenario {
                     p(done.fetch_add(1, Ordering::Relaxed) + 1, n);
                 }
                 outcome
+            },
+            || reducer.init(),
+            |acc, i, outcome| reducer.fold(acc, i, outcome),
+            |acc, other| reducer.merge(acc, other),
+        )?;
+        Ok(reducer.finish(acc))
+    }
+
+    /// The lockstep fold: one [`lockstep::run_batch`] call per
+    /// scheduler chunk, all lanes of the chunk stepping together. The
+    /// chunk layout, fold order and merge order are exactly those of
+    /// the scalar driver, and each lane's `(samples, hit_threshold,
+    /// rate_bps)` is bit-identical to the scalar interpreter's, so the
+    /// reducer sees byte-identical input in byte-identical order.
+    fn run_reduced_lockstep<R: Reducer>(
+        &self,
+        reducer: &R,
+        progress: Option<ProgressFn>,
+        ctrl: &RunCtrl,
+        spec: &BatchSpec,
+    ) -> Result<Value, FoldError> {
+        let n = self.trials.max(1);
+        let single = self.trials <= 1;
+        let done = AtomicUsize::new(0);
+        let seed_of = |i: usize| {
+            if single {
+                self.seed
+            } else {
+                derive_seed(self.seed, i as u64)
+            }
+        };
+        let acc = run_trials_lockstep(
+            ctrl.workers(),
+            n,
+            ctrl,
+            |lo, hi| {
+                let lanes: Vec<LaneSpec> = (lo..hi)
+                    .map(|i| {
+                        let seed = seed_of(i);
+                        LaneSpec {
+                            message: self.message.bits(seed),
+                            seed,
+                        }
+                    })
+                    .collect();
+                let runs = lockstep::run_batch(spec, &lanes).expect("validated at build");
+                runs.into_iter()
+                    .enumerate()
+                    .map(|(k, r)| {
+                        let outcome = covert_outcome(
+                            self,
+                            seed_of(lo + k),
+                            &r.samples,
+                            r.hit_threshold,
+                            r.rate_bps,
+                        );
+                        if let Some(p) = progress {
+                            p(done.fetch_add(1, Ordering::Relaxed) + 1, n);
+                        }
+                        outcome
+                    })
+                    .collect()
             },
             || reducer.init(),
             |acc, i, outcome| reducer.fold(acc, i, outcome),
@@ -235,7 +329,23 @@ impl Scenario {
         progress: Option<ProgressFn>,
         ctrl: &RunCtrl,
     ) -> Result<Value, FoldError> {
-        let v = self.run_reduced_ctrl(&CollectMetrics, progress, ctrl)?;
+        self.run_ctrl_with_mode(progress, ctrl, LockstepMode::Auto)
+    }
+
+    /// [`Scenario::run_ctrl_with`] with an explicit [`LockstepMode`]
+    /// — the entry point the job engine uses so `lru-leak
+    /// --lockstep=…` reaches every cell. Same bytes for every mode.
+    ///
+    /// # Errors
+    ///
+    /// See [`Scenario::run_reduced_ctrl`].
+    pub fn run_ctrl_with_mode(
+        &self,
+        progress: Option<ProgressFn>,
+        ctrl: &RunCtrl,
+        mode: LockstepMode,
+    ) -> Result<Value, FoldError> {
+        let v = self.run_reduced_ctrl_mode(&CollectMetrics, progress, ctrl, mode)?;
         if self.trials <= 1 {
             // Scenario::run returns the bare metrics tree for a
             // single trial; unwrap the one-element array the
@@ -256,6 +366,77 @@ impl Scenario {
     /// default.)
     pub fn run_summary(&self) -> Value {
         Aggregate::for_scenario(self).reduce(self, None)
+    }
+
+    /// The [`BatchSpec`] this scenario would run in lockstep, or the
+    /// reason it cannot. This is the single eligibility oracle: the
+    /// run drivers consult it to route under `Auto`, and front ends
+    /// consult it to reject `--lockstep=force` with a structured
+    /// message.
+    ///
+    /// # Errors
+    ///
+    /// The first failing [`LockstepIneligible`] condition, checked in
+    /// declaration order.
+    pub fn lockstep_spec(&self) -> Result<BatchSpec, LockstepIneligible> {
+        if !matches!(self.kind, ExperimentKind::Covert) {
+            return Err(LockstepIneligible::Kind);
+        }
+        if self.sharing != Sharing::HyperThreaded {
+            return Err(LockstepIneligible::Sharing);
+        }
+        if !self.noise.is_none() {
+            return Err(LockstepIneligible::Noise);
+        }
+        let platform = self.platform.platform();
+        if platform.arch.has_way_predictor {
+            return Err(LockstepIneligible::WayPredictor);
+        }
+        debug_assert!(lockstep::eligible(&platform, self.sharing));
+        Ok(BatchSpec {
+            platform,
+            policy: self.policy,
+            params: self.params,
+            variant: self.variant,
+        })
+    }
+}
+
+/// Why a scenario cannot run on the lockstep path (see
+/// [`Scenario::lockstep_spec`]). Each variant names the first
+/// condition that failed; [`std::fmt::Display`] renders the structured
+/// message front ends show for a rejected `--lockstep=force`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockstepIneligible {
+    /// Only end-to-end covert runs ([`ExperimentKind::Covert`]) have
+    /// a batched interpreter.
+    Kind,
+    /// Time-sliced sharing interleaves scheduler quanta the batch
+    /// world does not model.
+    Sharing,
+    /// An attached noise model spawns a third thread whose program
+    /// needs machine-level allocation mid-wire.
+    Noise,
+    /// The AMD µtag way predictor keys on per-process virtual
+    /// addresses, which the batch world deliberately erases.
+    WayPredictor,
+}
+
+impl std::fmt::Display for LockstepIneligible {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let why = match self {
+            LockstepIneligible::Kind => "only covert experiments have a batched interpreter",
+            LockstepIneligible::Sharing => {
+                "requires hyper-threaded sharing (time-sliced quanta are not batched)"
+            }
+            LockstepIneligible::Noise => {
+                "noise models spawn a third thread the batch world cannot wire"
+            }
+            LockstepIneligible::WayPredictor => {
+                "the platform's way predictor keys on virtual addresses the batch world erases"
+            }
+        };
+        write!(f, "scenario is not lockstep-eligible: {why}")
     }
 }
 
@@ -281,85 +462,94 @@ impl Experiment for CovertExperiment {
     fn run(&self, seed: u64) -> Outcome {
         let s = &self.0;
         let platform = s.platform.platform();
-        let base = s.message.base_bits(seed);
         let message = s.message.bits(seed);
         let cfg = CovertConfig {
             platform,
             params: s.params,
             variant: s.variant,
             sharing: s.sharing,
-            message: message.clone(),
+            message,
             seed,
         };
         let mut machine = Machine::new(platform.arch, s.policy, seed);
         let run = cfg
             .run_on_with_noise(&mut machine, s.noise)
             .expect("validated at build");
-
-        let (conv, ratio) = convention_for(s.variant);
-        let coarse = platform.tsc.granularity > 1;
-        let (bits, avg) = if coarse {
-            // The coarse AMD counter cannot be thresholded per
-            // sample; average over one bit period (§VI-A, Fig. 7).
-            let period = ((s.params.ts / s.params.tr.max(1)) as usize).max(3);
-            let avg = decode::moving_average(&run.samples, period);
-            (decode::bits_from_moving_average(&avg, period, conv), avg)
-        } else {
-            (
-                decode::bits_by_window_ratio(
-                    &run.samples,
-                    s.params.ts,
-                    run.hit_threshold,
-                    conv,
-                    ratio,
-                ),
-                Vec::new(),
-            )
-        };
-
-        // Error metric: mean per-repetition edit distance against
-        // the base string (Fig. 4), which for one repetition is the
-        // plain edit-distance error rate.
-        let repeats = message.len() / base.len().max(1);
-        let mut total = 0.0;
-        for r in 0..repeats.max(1) {
-            let lo = r * base.len();
-            let hi = ((r + 1) * base.len()).min(bits.len());
-            if lo >= hi {
-                total += 1.0;
-                continue;
-            }
-            total += error_rate(&base, &bits[lo..hi]);
-        }
-        let err = total / repeats.max(1) as f64;
-
-        // Traces are for the trace-style artifacts (Figs. 5/7/14);
-        // sweep-style grids with long messages (Fig. 4) skip them to
-        // keep --json output compact.
-        let trace: Vec<Value> = if message.len() <= 64 {
-            run.samples
-                .iter()
-                .take(200)
-                .map(|x| Value::from(x.measured))
-                .collect()
-        } else {
-            Vec::new()
-        };
-        let mut metrics = Value::obj()
-            .with("samples", run.samples.len())
-            .with("hit_threshold", run.hit_threshold)
-            .with("rate_bps", run.rate_bps)
-            .with("error_rate", err)
-            .with("effective_bps", run.rate_bps * (1.0 - err))
-            .with("sent", bitstring(&message, 512))
-            .with("decoded", bitstring(&bits, 512))
-            .with("trace", Value::Arr(trace));
-        if coarse {
-            let avg_trace: Vec<Value> = avg.iter().take(160).map(|&v| Value::from(v)).collect();
-            metrics = metrics.with("avg_trace", Value::Arr(avg_trace));
-        }
-        Outcome { metrics }
+        covert_outcome(s, seed, &run.samples, run.hit_threshold, run.rate_bps)
     }
+}
+
+/// Decode + score + metrics of one covert trial, shared by the scalar
+/// and lockstep paths — both feed it the receiver's sample trace and
+/// the platform constants, so the produced metrics (and their JSON
+/// bytes) are identical whenever the traces are.
+fn covert_outcome(
+    s: &Scenario,
+    seed: u64,
+    samples: &[lru_channel::Sample],
+    hit_threshold: u32,
+    rate_bps: f64,
+) -> Outcome {
+    let platform = s.platform.platform();
+    let base = s.message.base_bits(seed);
+    let message = s.message.bits(seed);
+    let (conv, ratio) = convention_for(s.variant);
+    let coarse = platform.tsc.granularity > 1;
+    let (bits, avg) = if coarse {
+        // The coarse AMD counter cannot be thresholded per
+        // sample; average over one bit period (§VI-A, Fig. 7).
+        let period = ((s.params.ts / s.params.tr.max(1)) as usize).max(3);
+        let avg = decode::moving_average(samples, period);
+        (decode::bits_from_moving_average(&avg, period, conv), avg)
+    } else {
+        (
+            decode::bits_by_window_ratio(samples, s.params.ts, hit_threshold, conv, ratio),
+            Vec::new(),
+        )
+    };
+
+    // Error metric: mean per-repetition edit distance against
+    // the base string (Fig. 4), which for one repetition is the
+    // plain edit-distance error rate.
+    let repeats = message.len() / base.len().max(1);
+    let mut total = 0.0;
+    for r in 0..repeats.max(1) {
+        let lo = r * base.len();
+        let hi = ((r + 1) * base.len()).min(bits.len());
+        if lo >= hi {
+            total += 1.0;
+            continue;
+        }
+        total += error_rate(&base, &bits[lo..hi]);
+    }
+    let err = total / repeats.max(1) as f64;
+
+    // Traces are for the trace-style artifacts (Figs. 5/7/14);
+    // sweep-style grids with long messages (Fig. 4) skip them to
+    // keep --json output compact.
+    let trace: Vec<Value> = if message.len() <= 64 {
+        samples
+            .iter()
+            .take(200)
+            .map(|x| Value::from(x.measured))
+            .collect()
+    } else {
+        Vec::new()
+    };
+    let mut metrics = Value::obj()
+        .with("samples", samples.len())
+        .with("hit_threshold", hit_threshold)
+        .with("rate_bps", rate_bps)
+        .with("error_rate", err)
+        .with("effective_bps", rate_bps * (1.0 - err))
+        .with("sent", bitstring(&message, 512))
+        .with("decoded", bitstring(&bits, 512))
+        .with("trace", Value::Arr(trace));
+    if coarse {
+        let avg_trace: Vec<Value> = avg.iter().take(160).map(|&v| Value::from(v)).collect();
+        metrics = metrics.with("avg_trace", Value::Arr(avg_trace));
+    }
+    Outcome { metrics }
 }
 
 /// The time-sliced constant-bit fraction (Figs. 6/8/15).

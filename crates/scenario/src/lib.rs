@@ -100,8 +100,9 @@ pub use engine::{
     CacheStats, CancelToken, Engine, EngineError, FaultPlan, Job, JobProgress, JobStatus,
     ResultCache,
 };
-pub use experiment::{Experiment, Outcome};
+pub use experiment::{Experiment, LockstepIneligible, Outcome};
 pub use fmt::BENCH_SEED;
 pub use json::Value;
+pub use lru_channel::lockstep::LockstepMode;
 pub use registry::{Artifact, Report, RunOpts};
 pub use spec::{ExperimentKind, MessageSource, NoiseModel, PlatformId, Scenario, ScenarioError};

@@ -136,6 +136,11 @@ impl Artifact {
                         trial_range,
                         payload,
                     },
+                    // Raised by front ends before execution, never by
+                    // the engine itself.
+                    crate::engine::EngineError::LockstepIneligible { .. } => {
+                        unreachable!("the engine treats Force like Auto")
+                    }
                 })?;
         Ok(self.render_report(opts, &job.grid, &outcomes))
     }

@@ -20,6 +20,17 @@
 //! capacity while the ledger is empty, is always admissible — an
 //! oversized job runs alone rather than deadlocking).
 //!
+//! The unit is deliberately **work, not wall time**: a trial costs
+//! one unit whether the engine simulates it on the scalar path or
+//! fast-forwards it in a lockstep batch lane
+//! (`lru_channel::lockstep`). Lockstep batching makes eligible trials
+//! several times cheaper in wall-clock terms, but a request's
+//! admission price — and therefore the queue order and the fairness
+//! split — is identical before and after routing, so budgets stay
+//! comparable across eligible and ineligible jobs and across engine
+//! versions. The ledger never inspects scenarios at all; it only
+//! counts trial-units.
+//!
 //! Credits release on [`CreditGuard`] drop, so a panicking or
 //! erroring job can never leak budget.
 

@@ -118,6 +118,7 @@ struct Stats {
     failed: AtomicU64,
     computed_cells: AtomicU64,
     cached_cells: AtomicU64,
+    lockstep_cells: AtomicU64,
 }
 
 /// A point-in-time snapshot of the service counters, returned by
@@ -137,6 +138,13 @@ pub struct ServerSummary {
     pub computed_cells: u64,
     /// Grid cells served from the shared result cache.
     pub cached_cells: u64,
+    /// Lockstep-eligible grid cells across all jobs this server led.
+    /// The server runs engines in the default `auto` mode, so these
+    /// are the cells routed through the lockstep batch path whenever
+    /// they are simulated (cache hits skip simulation). Admission
+    /// cost is unaffected — see [`credit`] and
+    /// [`proto::RunRequest::cost`].
+    pub lockstep_cells: u64,
 }
 
 /// State shared by the accept loop and every connection thread.
@@ -160,6 +168,7 @@ impl Shared {
             failed: self.stats.failed.load(Ordering::Relaxed),
             computed_cells: self.stats.computed_cells.load(Ordering::Relaxed),
             cached_cells: self.stats.cached_cells.load(Ordering::Relaxed),
+            lockstep_cells: self.stats.lockstep_cells.load(Ordering::Relaxed),
         }
     }
 
@@ -177,7 +186,8 @@ impl Shared {
             .with("completed", s.completed)
             .with("failed", s.failed)
             .with("computed_cells", s.computed_cells)
-            .with("cached_cells", s.cached_cells);
+            .with("cached_cells", s.cached_cells)
+            .with("lockstep_cells", s.lockstep_cells);
         if let Some(cache) = &self.cache {
             v = v.with("cache", cache.stats().to_json());
         }
@@ -448,7 +458,12 @@ fn run_on_connection(
         .lock()
         .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(token.clone());
     let accepted = |coalesced: bool| {
-        let event = proto::accepted_event(&req.job.label, req.cost(), coalesced);
+        let event = proto::accepted_event(
+            &req.job.label,
+            req.cost(),
+            req.lockstep_cells() > 0,
+            coalesced,
+        );
         if write_line(writer, &event.to_string()).is_err() {
             token.cancel();
         }
@@ -588,12 +603,18 @@ fn execute_leader(
                 .stats
                 .cached_cells
                 .fetch_add(status.from_cache as u64, Ordering::Relaxed);
+            let lockstep_cells = req.lockstep_cells();
+            shared
+                .stats
+                .lockstep_cells
+                .fetch_add(lockstep_cells as u64, Ordering::Relaxed);
             let body = render_body(req, &outcomes);
             let wall_ms = u64::try_from(started.elapsed().as_millis()).unwrap_or(u64::MAX);
             let event = proto::result_event(
                 &req.job.label,
                 &body,
                 &status,
+                lockstep_cells,
                 shared.cache.as_ref().map(ResultCache::stats),
                 wall_ms,
             );

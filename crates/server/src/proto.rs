@@ -17,7 +17,7 @@
 //! Events:
 //!
 //! ```text
-//! {"event":"accepted","request":L,"cost":C,"coalesced":B}
+//! {"event":"accepted","request":L,"cost":C,"lockstep":B,"coalesced":B}
 //! {"event":"progress","cells_done":..,"cells":..,"trials_done":..,"trials":..}
 //! {"event":"result","request":L,"body":S,"status":{...},"cache":{...},"wall_ms":N}
 //! {"event":"error","status":T,"message":S}
@@ -73,8 +73,28 @@ pub struct RunRequest {
 
 impl RunRequest {
     /// The request's admission cost in trial-units.
+    ///
+    /// The unit is *work* (`cells × trials`), deliberately not wall
+    /// time: a trial costs one unit whether the engine simulates it on
+    /// the scalar path or fast-forwards it in a lockstep batch lane.
+    /// Lockstep batching makes eligible trials cheaper in wall-clock
+    /// terms but never changes a request's admission price, so budgets
+    /// stay comparable across eligible and ineligible jobs.
     pub fn cost(&self) -> usize {
         self.job.total_trials().max(1)
+    }
+
+    /// How many of the job's grid cells the engine routes through the
+    /// lockstep batch path when it simulates them (the server runs
+    /// engines in the default `auto` mode; cache hits skip simulation
+    /// entirely). Reported per job in the `accepted` and `result`
+    /// events.
+    pub fn lockstep_cells(&self) -> usize {
+        self.job
+            .grid
+            .iter()
+            .filter(|cell| cell.lockstep_spec().is_ok())
+            .count()
     }
 
     /// The canonical coalescing key: job label plus every grid
@@ -185,13 +205,15 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
 }
 
 /// The `accepted` event: the request was parsed and keyed; `cost` is
-/// its admission price in trial-units and `coalesced` whether it
-/// joined an already-in-flight identical request.
-pub fn accepted_event(label: &str, cost: usize, coalesced: bool) -> Value {
+/// its admission price in trial-units, `lockstep` whether any of the
+/// job's cells run on the lockstep batch path, and `coalesced`
+/// whether it joined an already-in-flight identical request.
+pub fn accepted_event(label: &str, cost: usize, lockstep: bool, coalesced: bool) -> Value {
     Value::obj()
         .with("event", "accepted")
         .with("request", label)
         .with("cost", cost)
+        .with("lockstep", lockstep)
         .with("coalesced", coalesced)
 }
 
@@ -206,12 +228,13 @@ pub fn progress_event(p: JobProgress) -> Value {
 }
 
 /// The `result` event: the verbatim CLI body plus how the job was
-/// served (cache/compute split, chunk retries, fleet-wide cache
-/// counters, wall time).
+/// served (cache/compute split, lockstep routing, chunk retries,
+/// fleet-wide cache counters, wall time).
 pub fn result_event(
     label: &str,
     body: &str,
     status: &JobStatus,
+    lockstep_cells: usize,
     cache: Option<CacheStats>,
     wall_ms: u64,
 ) -> Value {
@@ -225,6 +248,7 @@ pub fn result_event(
                 .with("cells", status.cells)
                 .with("from_cache", status.from_cache)
                 .with("computed", status.computed)
+                .with("lockstep_cells", lockstep_cells)
                 .with("retried_chunks", status.retried_chunks),
         );
     if let Some(stats) = cache {
@@ -325,6 +349,36 @@ mod tests {
     }
 
     #[test]
+    fn admission_cost_is_trial_units_unchanged_by_lockstep_routing() {
+        // Two ad-hoc requests with identical trial counts: one rides
+        // the lockstep batch path, the other (noisy) stays scalar.
+        // Admission prices them identically — the unit is work
+        // (cells × trials), not wall time, so the lockstep fast path
+        // never discounts a request.
+        let eligible = Scenario::builder().build().unwrap();
+        let mut scalar = eligible.clone();
+        scalar.noise = scenario::spec::NoiseModel::RandomEviction {
+            lines: 64,
+            gap_cycles: 500,
+        };
+        let parse = |sc: &Scenario| {
+            let line = format!(
+                "{{\"cmd\":\"adhoc\",\"scenario\":{},\"trials\":5}}",
+                sc.to_json()
+            );
+            let Request::Run(r) = parse_request(&line).unwrap() else {
+                panic!("expected a run request");
+            };
+            r
+        };
+        let (e, s) = (parse(&eligible), parse(&scalar));
+        assert_eq!(e.lockstep_cells(), 1, "the eligible cell rides lockstep");
+        assert_eq!(s.lockstep_cells(), 0, "the noisy cell stays scalar");
+        assert_eq!(e.cost(), 5);
+        assert_eq!(s.cost(), 5, "eligibility never changes the price");
+    }
+
+    #[test]
     fn events_are_single_line_json() {
         let ev = result_event(
             "fig5",
@@ -335,6 +389,7 @@ mod tests {
                 computed: 1,
                 retried_chunks: 0,
             },
+            2,
             None,
             12,
         );

@@ -160,13 +160,14 @@ fn interrupted_run_all_resumes_from_the_cache_byte_identically() {
     let cache = ResultCache::open(&dir).unwrap();
     assert!(cache.entry_count() > 0, "the partial batch left entries");
 
-    // A cached batch additionally reports its hit/miss counters; the
+    // A cached batch additionally reports its hit/miss counters, and
+    // every batch reports its (run-dependent) wall clock; the
     // artifacts themselves must stay byte-identical to the cold run,
-    // so the comparison strips exactly that one top-level key.
+    // so the comparison strips exactly those top-level keys.
     let strip_cache = |out: &str| {
         let mut v = Value::parse(out.trim()).unwrap();
         if let Value::Obj(pairs) = &mut v {
-            pairs.retain(|(k, _)| k != "cache");
+            pairs.retain(|(k, _)| k != "cache" && k != "wall_millis" && k != "timings");
         }
         format!("{}\n", v.pretty())
     };
@@ -186,7 +187,7 @@ fn interrupted_run_all_resumes_from_the_cache_byte_identically() {
     let resumed = all(&["--cache-dir", dir_s]);
     assert_eq!(
         strip_cache(&resumed),
-        reference,
+        strip_cache(&reference),
         "resumed run-all differs from cold"
     );
     let (hits, misses) = counters(&resumed);
@@ -198,7 +199,7 @@ fn interrupted_run_all_resumes_from_the_cache_byte_identically() {
     let warm = all(&["--cache-dir", dir_s]);
     assert_eq!(
         strip_cache(&warm),
-        reference,
+        strip_cache(&reference),
         "warm run-all differs from cold"
     );
     let (warm_hits, warm_misses) = counters(&warm);
@@ -376,5 +377,96 @@ fn partial_run_all_failure_exits_3_with_completed_output() {
     assert_eq!(
         completed.len(),
         registry::ids().len() - expected_failed.len()
+    );
+}
+
+// ---- axis 5: lockstep batching composes with the resilience machinery ----
+
+#[test]
+fn lockstep_cells_recover_byte_identically_from_an_injected_panic() {
+    use lru_leak::scenario::LockstepMode;
+
+    let opts = opts();
+    // Every artifact whose grid routes through the lockstep batch
+    // path under the engine's default Auto mode.
+    let eligible: Vec<&str> = registry::ids()
+        .into_iter()
+        .filter(|id| {
+            registry::get(id)
+                .unwrap()
+                .scenarios(&opts)
+                .iter()
+                .any(|s| s.lockstep_spec().is_ok())
+        })
+        .collect();
+    assert!(
+        !eligible.is_empty(),
+        "registry must have eligible artifacts"
+    );
+    for id in eligible {
+        let artifact = registry::get(id).unwrap();
+        let (reference, _) = Engine::new()
+            .with_lockstep(LockstepMode::Off)
+            .run_artifact(artifact, &opts, None, &CancelToken::new())
+            .unwrap();
+        // Cell 0 panics once mid-batch; the chunk containing it is
+        // retried deterministically — with its lockstep batches
+        // re-run — and the report must not change a byte.
+        let engine = Engine::new()
+            .with_lockstep(LockstepMode::Force)
+            .with_fault_plan(FaultPlan::seeded(7).panic_at(&[0], 1));
+        let (faulted, status) = engine
+            .run_artifact(artifact, &opts, None, &CancelToken::new())
+            .unwrap_or_else(|e| panic!("{id}: faulted lockstep run did not recover: {e}"));
+        assert_eq!(
+            faulted.text, reference.text,
+            "{id}: faulted-then-retried lockstep text differs from the scalar run"
+        );
+        assert_eq!(
+            faulted.metrics.to_string(),
+            reference.metrics.to_string(),
+            "{id}: faulted-then-retried lockstep metrics differ from the scalar run"
+        );
+        assert!(
+            status.retried_chunks >= 1,
+            "{id}: the injected fault never fired"
+        );
+    }
+}
+
+#[test]
+fn lockstep_runs_honour_cancellation_at_batch_boundaries() {
+    use lru_leak::scenario::aggregate::CollectMetrics;
+    use lru_leak::scenario::engine::{FoldError, RunCtrl};
+    use lru_leak::scenario::spec::Scenario;
+    use lru_leak::scenario::LockstepMode;
+
+    // A multi-trial eligible sweep, cancelled before it starts: the
+    // lockstep driver polls the token at every batch boundary, so
+    // nothing runs and the error is structured.
+    let scenario = Scenario::builder().trials(16).seed(9).build().unwrap();
+    assert!(scenario.lockstep_spec().is_ok());
+    let token = CancelToken::new();
+    token.cancel();
+    let ctrl = RunCtrl::with_cancel(token);
+    let err = scenario
+        .run_reduced_ctrl_mode(&CollectMetrics, None, &ctrl, LockstepMode::Force)
+        .unwrap_err();
+    assert!(matches!(err, FoldError::Cancelled), "got {err:?}");
+
+    // And through the engine: a per-job deadline fires while lockstep
+    // batches are in flight; the overrun surfaces as a timeout, same
+    // as the scalar path.
+    let artifact = registry::get("fig5").unwrap();
+    let engine = Engine::new()
+        .with_lockstep(LockstepMode::Auto)
+        .with_timeout(Duration::from_millis(5))
+        .with_fault_plan(FaultPlan::seeded(7).delay_every(1, Duration::from_millis(40)));
+    let err = engine
+        .run_artifact(artifact, &opts(), None, &CancelToken::new())
+        .unwrap_err();
+    assert!(
+        matches!(err, EngineError::DeadlineExceeded { .. }),
+        "expected DeadlineExceeded, got {err:?}"
     );
 }

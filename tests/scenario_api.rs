@@ -371,6 +371,16 @@ fn run_all_executes_every_artifact_in_one_batch() {
         assert_eq!(artifact.get("id").and_then(Value::as_str), Some(id));
         assert!(artifact.get("scenarios").is_some(), "{id} carries its grid");
     }
+    // The summary block reports the batch and per-artifact wall
+    // clocks: one timing entry per artifact, in registry order.
+    assert!(v.get("wall_millis").and_then(Value::as_u64).is_some());
+    let timings = v.get("timings").and_then(Value::as_arr).unwrap();
+    assert_eq!(timings.len(), registry::ids().len());
+    for (t, id) in timings.iter().zip(registry::ids()) {
+        assert_eq!(t.get("id").and_then(Value::as_str), Some(id));
+        assert!(t.get("millis").and_then(Value::as_u64).is_some());
+        assert_eq!(t.get("status").and_then(Value::as_str), Some("ok"));
+    }
 }
 
 #[test]

@@ -92,11 +92,30 @@ fn body_of(event: &Value) -> String {
 fn run_and_adhoc_bodies_match_the_cli_byte_for_byte() {
     let (addr, handle, join) = spawn_server(ServerConfig::default());
 
-    // Artifact request == `lru-leak run fig5 --json ...`.
-    let event = client::request(&addr, &fig5_request(), |_| {}).expect("run request");
+    // Artifact request == `lru-leak run fig5 --json ...`. The
+    // accepted event announces up front that the job rides the
+    // lockstep batch path (fig5 is covert + hyper-threaded +
+    // noiseless, so every cell is eligible under the engine's default
+    // `auto` mode).
+    let mut accepted = Vec::new();
+    let event =
+        client::request(&addr, &fig5_request(), |e| accepted.push(e.clone())).expect("run request");
+    assert_eq!(
+        accepted
+            .first()
+            .and_then(|e| e.get("lockstep"))
+            .and_then(Value::as_bool),
+        Some(true),
+        "accepted event flags lockstep jobs"
+    );
     assert_eq!(body_of(&event), fig5_cli_body());
     let status = event.get("status").expect("job status");
     assert_eq!(status.get("cells").and_then(Value::as_u64), Some(2));
+    assert_eq!(
+        status.get("lockstep_cells").and_then(Value::as_u64),
+        Some(2),
+        "both fig5 cells ran lockstep"
+    );
 
     // Adhoc request == `lru-leak adhoc <sc> --json`.
     let sc = lru_leak::scenario::Scenario::builder()
@@ -118,6 +137,11 @@ fn run_and_adhoc_bodies_match_the_cli_byte_for_byte() {
     assert_eq!(status.get("requests").and_then(Value::as_u64), Some(2));
     assert_eq!(status.get("completed").and_then(Value::as_u64), Some(2));
     assert_eq!(status.get("failed").and_then(Value::as_u64), Some(0));
+    // fig5's two cells plus the (eligible) adhoc scenario.
+    assert_eq!(
+        status.get("lockstep_cells").and_then(Value::as_u64),
+        Some(3)
+    );
 
     // A malformed request is a structured error, not a dropped
     // connection.
