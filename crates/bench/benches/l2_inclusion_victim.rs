@@ -1,0 +1,11 @@
+//! Extension: inclusion-victim probe on the dual-core hierarchy — a
+//! sender-side L2 fill back-invalidates the receiver's L1-resident line;
+//! the silent inclusion models show nothing.
+//!
+//! Thin wrapper: the experiment itself is the `l2_inclusion_victim` grid in
+//! `scenario::registry`; `lru-leak run l2_inclusion_victim` executes the
+//! same scenarios.
+
+fn main() {
+    bench_harness::run_artifact("l2_inclusion_victim");
+}

@@ -1,0 +1,11 @@
+//! Extension: cross-core LRU covert channel through the shared 2-way L2,
+//! swept over the three hierarchy inclusion models — decodable only when
+//! the L2 back-invalidates.
+//!
+//! Thin wrapper: the experiment itself is the `l2_lru_channel` grid in
+//! `scenario::registry`; `lru-leak run l2_lru_channel` executes the same
+//! scenarios.
+
+fn main() {
+    bench_harness::run_artifact("l2_lru_channel");
+}

@@ -74,6 +74,47 @@ impl Latencies {
     }
 }
 
+/// L1↔L2 inclusion policy of a hierarchy.
+///
+/// [`Inclusion::Inclusive`] is the historical behaviour: a miss
+/// installs the line at every level, and L2 evictions are *silent*
+/// (a stale L1 copy may outlive its L2 line — the usual simulator
+/// simplification). The two other modes are genuinely different
+/// backends:
+///
+/// * [`Inclusion::NonInclusive`] — demand misses fill L1 only; the
+///   L2 is populated by L1 victims (a victim-buffer organisation, as
+///   on recent AMD and some RISC-V parts).
+/// * [`Inclusion::BackInvalidate`] — inclusive, and an L2 eviction
+///   **back-invalidates** the L1 copy. This makes one party's fills
+///   reach into another party's L1 (the classic inclusion-victim
+///   cross-core channel) and deliberately violates the quantum
+///   fast-forward soundness condition: a thread's quantum can now
+///   change state outside its declared footprint, so the execution
+///   engine must demote such hierarchies to block execution (see
+///   [`CacheHierarchy::quantum_ff_safe`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Inclusion {
+    /// Fill every level on a miss; L2 evictions are silent.
+    #[default]
+    Inclusive,
+    /// Fill L1 only on a miss; the L2 holds L1 victims.
+    NonInclusive,
+    /// Inclusive, with L2 evictions invalidating the L1 copy.
+    BackInvalidate,
+}
+
+impl Inclusion {
+    /// Stable lowercase name (serialization / CLI surface).
+    pub fn name(self) -> &'static str {
+        match self {
+            Inclusion::Inclusive => "inclusive",
+            Inclusion::NonInclusive => "non-inclusive",
+            Inclusion::BackInvalidate => "back-invalidate",
+        }
+    }
+}
+
 /// The level an access was served from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum HitLevel {
@@ -112,6 +153,7 @@ pub struct CacheHierarchy {
     l2: Cache,
     llc: Option<Cache>,
     lat: Latencies,
+    inclusion: Inclusion,
     prefetcher: Option<Prefetcher>,
     way_predictor: Option<WayPredictor>,
 }
@@ -124,6 +166,7 @@ impl CacheHierarchy {
             l2,
             llc,
             lat,
+            inclusion: Inclusion::Inclusive,
             prefetcher: None,
             way_predictor: None,
         }
@@ -134,6 +177,34 @@ impl CacheHierarchy {
     pub fn with_prefetcher(mut self, p: Prefetcher) -> Self {
         self.prefetcher = Some(p);
         self
+    }
+
+    /// Selects the L1↔L2 inclusion policy.
+    #[must_use]
+    pub fn with_inclusion(mut self, inclusion: Inclusion) -> Self {
+        self.inclusion = inclusion;
+        self
+    }
+
+    /// The configured inclusion policy.
+    pub fn inclusion(&self) -> Inclusion {
+        self.inclusion
+    }
+
+    /// Whether L2 evictions reach into the L1
+    /// ([`Inclusion::BackInvalidate`]).
+    pub fn has_back_invalidation(&self) -> bool {
+        self.inclusion == Inclusion::BackInvalidate
+    }
+
+    /// The capability bit the execution engine consults next to a
+    /// program's `Footprint` declaration: `true` iff an access can
+    /// only change cache state inside the accessed line's own sets.
+    /// Back-invalidation breaks this — an L2 fill may invalidate an
+    /// unrelated L1 line — so such hierarchies must never be quantum
+    /// fast-forwarded.
+    pub fn quantum_ff_safe(&self) -> bool {
+        !self.has_back_invalidation()
     }
 
     /// Attaches the AMD µtag way predictor.
@@ -220,8 +291,30 @@ impl CacheHierarchy {
 
         counters.l1d_misses += 1;
         counters.l2_accesses += 1;
-        let l2_out = self.l2.access_in_domain(pa, domain);
-        let (level, cycles) = if l2_out.hit {
+        let l2_hit = match self.inclusion {
+            Inclusion::Inclusive | Inclusion::BackInvalidate => {
+                let l2_out = self.l2.access_in_domain(pa, domain);
+                if self.inclusion == Inclusion::BackInvalidate {
+                    if let Some(victim) = l2_out.evicted {
+                        // Inclusion enforcement: the L2 victim may
+                        // not outlive its L2 line in the L1.
+                        self.l1.flush_line(victim);
+                    }
+                }
+                l2_out.hit
+            }
+            Inclusion::NonInclusive => {
+                // Demand misses do not allocate in the L2; only L1
+                // victims do (below), so touch the L2 line when it
+                // is already resident and otherwise leave it alone.
+                if self.l2.probe(pa) {
+                    self.l2.access_in_domain(pa, domain).hit
+                } else {
+                    false
+                }
+            }
+        };
+        let (level, cycles) = if l2_hit {
             (HitLevel::L2, self.lat.l2)
         } else {
             counters.l2_misses += 1;
@@ -238,6 +331,13 @@ impl CacheHierarchy {
                 _ => (HitLevel::Mem, self.lat.mem),
             }
         };
+        if self.inclusion == Inclusion::NonInclusive {
+            if let Some(victim) = l1_out.evicted {
+                // Victim allocation: the line the miss pushed out of
+                // the L1 moves to the L2.
+                self.l2.access_in_domain(victim, domain);
+            }
+        }
 
         if let Some(wp) = self.way_predictor {
             // The miss installed the line at (l1_out.set, l1_out.way).
@@ -252,7 +352,18 @@ impl CacheHierarchy {
         for addr in prefetched {
             counters.prefetch_fills += 1;
             self.l1.prefetch_fill(addr);
-            self.l2.prefetch_fill(addr);
+            match self.inclusion {
+                Inclusion::Inclusive => {
+                    self.l2.prefetch_fill(addr);
+                }
+                Inclusion::BackInvalidate => {
+                    if let Some(victim) = self.l2.prefetch_fill(addr) {
+                        self.l1.flush_line(victim);
+                    }
+                }
+                // Non-inclusive prefetches allocate in the L1 only.
+                Inclusion::NonInclusive => {}
+            }
         }
 
         HierarchyOutcome {
@@ -307,6 +418,147 @@ impl CacheHierarchy {
         if let Some(llc) = &mut self.llc {
             llc.clear();
         }
+    }
+}
+
+/// Two cores with private L1s over one shared L2 — the cross-core
+/// setting the paper's single-L1 channel cannot express.
+///
+/// Each party runs on its own core: its loads see only its private
+/// L1, and the *only* shared state is the L2 (tags **and**
+/// replacement bits). Under [`Inclusion::BackInvalidate`] an L2
+/// eviction caused by one core invalidates the other core's L1 copy,
+/// which is what makes the inclusion-victim readout work; under
+/// [`Inclusion::NonInclusive`] the L2 holds L1 victims and the
+/// cross-core signal survives only in the L2 replacement state.
+#[derive(Debug, Clone)]
+pub struct DualCore {
+    l1: [Cache; 2],
+    l2: Cache,
+    lat: Latencies,
+    inclusion: Inclusion,
+}
+
+impl DualCore {
+    /// Builds two identical private L1s (policy `l1_policy`) over a
+    /// shared LRU L2. Seeds are derived per level so the cores'
+    /// Random-policy streams stay independent.
+    pub fn new(
+        l1_geom: crate::geometry::CacheGeometry,
+        l1_policy: crate::replacement::PolicyKind,
+        l2_geom: crate::geometry::CacheGeometry,
+        l2_policy: crate::replacement::PolicyKind,
+        lat: Latencies,
+        inclusion: Inclusion,
+        seed: u64,
+    ) -> Self {
+        Self {
+            l1: [
+                Cache::new(l1_geom, l1_policy, seed ^ 0x1111),
+                Cache::new(l1_geom, l1_policy, seed ^ 0x2222),
+            ],
+            l2: Cache::new(l2_geom, l2_policy, seed ^ 0xaaaa),
+            lat,
+            inclusion,
+        }
+    }
+
+    /// The configured inclusion policy.
+    pub fn inclusion(&self) -> Inclusion {
+        self.inclusion
+    }
+
+    /// A core's private L1.
+    pub fn l1(&self, core: usize) -> &Cache {
+        &self.l1[core]
+    }
+
+    /// Mutable access to a core's private L1, for modeling local
+    /// events that bypass the shared L2 — e.g. a sender evicting its
+    /// own copy so a later reload is forced to touch the L2's
+    /// replacement state (the cross-core LRU channel's encode step).
+    pub fn l1_mut(&mut self, core: usize) -> &mut Cache {
+        &mut self.l1[core]
+    }
+
+    /// The shared L2.
+    pub fn l2(&self) -> &Cache {
+        &self.l2
+    }
+
+    /// A demand load issued by `core` (0 or 1). Returns where the
+    /// line was served from and the cycles it cost that core.
+    pub fn access(&mut self, core: usize, pa: PhysAddr) -> HierarchyOutcome {
+        let l1_out = self.l1[core].access(pa);
+        if l1_out.hit {
+            return HierarchyOutcome {
+                level: HitLevel::L1,
+                cycles: self.lat.l1,
+                l1_evicted: None,
+                utag_mispredict: false,
+            };
+        }
+        let l2_hit = match self.inclusion {
+            Inclusion::Inclusive | Inclusion::BackInvalidate => {
+                let l2_out = self.l2.access(pa);
+                if self.inclusion == Inclusion::BackInvalidate {
+                    if let Some(victim) = l2_out.evicted {
+                        // Back-invalidation reaches *both* cores.
+                        self.l1[0].flush_line(victim);
+                        self.l1[1].flush_line(victim);
+                    }
+                }
+                l2_out.hit
+            }
+            Inclusion::NonInclusive => {
+                if self.l2.probe(pa) {
+                    self.l2.access(pa).hit
+                } else {
+                    false
+                }
+            }
+        };
+        if self.inclusion == Inclusion::NonInclusive {
+            if let Some(victim) = l1_out.evicted {
+                self.l2.access(victim);
+            }
+        }
+        let (level, cycles) = if l2_hit {
+            (HitLevel::L2, self.lat.l2)
+        } else {
+            (HitLevel::Mem, self.lat.mem)
+        };
+        HierarchyOutcome {
+            level,
+            cycles,
+            l1_evicted: l1_out.evicted,
+            utag_mispredict: false,
+        }
+    }
+
+    /// Read-only classification of where `core`'s load would hit.
+    pub fn probe_level(&self, core: usize, pa: PhysAddr) -> HitLevel {
+        if self.l1[core].probe(pa) {
+            HitLevel::L1
+        } else if self.l2.probe(pa) {
+            HitLevel::L2
+        } else {
+            HitLevel::Mem
+        }
+    }
+
+    /// `clflush` semantics: coherent across both cores and the L2.
+    pub fn flush(&mut self, pa: PhysAddr) {
+        self.l1[0].flush_line(pa);
+        self.l1[1].flush_line(pa);
+        self.l2.flush_line(pa);
+    }
+
+    /// Empties every cache.
+    pub fn clear(&mut self) {
+        self.l1[0].clear();
+        self.l1[1].clear();
+        self.l2.clear();
     }
 }
 
@@ -452,5 +704,135 @@ mod tests {
         let lat = Latencies::gem5_fig9();
         assert_eq!(lat.llc, None);
         assert_eq!(lat.of(HitLevel::Llc), lat.mem);
+    }
+
+    /// A tiny L2 (one set, 2 ways) over the paper L1 so L2 pressure
+    /// is easy to generate.
+    fn tiny_l2_hierarchy(inclusion: Inclusion) -> CacheHierarchy {
+        let l1 = Cache::new(CacheGeometry::l1d_paper(), PolicyKind::TreePlru, 1);
+        let l2 = Cache::new(CacheGeometry::new(64, 1, 2).unwrap(), PolicyKind::Lru, 2);
+        CacheHierarchy::new(l1, l2, None, Latencies::gem5_fig9()).with_inclusion(inclusion)
+    }
+
+    #[test]
+    fn back_invalidation_evicts_the_l1_copy() {
+        let mut h = tiny_l2_hierarchy(Inclusion::BackInvalidate);
+        let mut c = PerfCounters::new();
+        // Three distinct L1 sets, so the L1 never self-evicts; the
+        // 2-way L2's second fill after `x` pushes `x` out.
+        let x = PhysAddr::new(0);
+        h.access(VirtAddr::new(0), x, &mut c, Domain::PRIMARY);
+        assert_eq!(h.probe_level(x), HitLevel::L1);
+        h.access(
+            VirtAddr::new(0x40),
+            PhysAddr::new(0x40),
+            &mut c,
+            Domain::PRIMARY,
+        );
+        h.access(
+            VirtAddr::new(0x80),
+            PhysAddr::new(0x80),
+            &mut c,
+            Domain::PRIMARY,
+        );
+        assert_eq!(
+            h.probe_level(x),
+            HitLevel::Mem,
+            "LRU L2 evicted x; back-invalidation must remove it from L1 too"
+        );
+        // The silent-inclusive baseline keeps the stale L1 copy.
+        let mut h = tiny_l2_hierarchy(Inclusion::Inclusive);
+        h.access(VirtAddr::new(0), x, &mut c, Domain::PRIMARY);
+        h.access(
+            VirtAddr::new(0x40),
+            PhysAddr::new(0x40),
+            &mut c,
+            Domain::PRIMARY,
+        );
+        h.access(
+            VirtAddr::new(0x80),
+            PhysAddr::new(0x80),
+            &mut c,
+            Domain::PRIMARY,
+        );
+        assert_eq!(h.probe_level(x), HitLevel::L1);
+    }
+
+    #[test]
+    fn non_inclusive_l2_holds_l1_victims_only() {
+        let mut h = tiny_l2_hierarchy(Inclusion::NonInclusive);
+        let mut c = PerfCounters::new();
+        let stride = h.l1().geometry().set_stride();
+        let first = PhysAddr::new(0);
+        // A demand miss fills L1 but not L2.
+        h.access(VirtAddr::new(0), first, &mut c, Domain::PRIMARY);
+        assert!(h.l1().probe(first));
+        assert!(!h.l2().probe(first));
+        // Overflow the 8-way L1 set: the victim moves into the L2.
+        for i in 1..9u64 {
+            h.access(
+                VirtAddr::new(i * stride),
+                PhysAddr::new(i * stride),
+                &mut c,
+                Domain::PRIMARY,
+            );
+        }
+        assert!(!h.l1().probe(first), "line 0 must be the Tree-PLRU victim");
+        assert_eq!(h.probe_level(first), HitLevel::L2);
+    }
+
+    #[test]
+    fn ff_capability_bit_tracks_inclusion() {
+        assert!(tiny_l2_hierarchy(Inclusion::Inclusive).quantum_ff_safe());
+        assert!(tiny_l2_hierarchy(Inclusion::NonInclusive).quantum_ff_safe());
+        let h = tiny_l2_hierarchy(Inclusion::BackInvalidate);
+        assert!(h.has_back_invalidation());
+        assert!(!h.quantum_ff_safe());
+    }
+
+    #[test]
+    fn dual_core_inclusion_victim_crosses_cores() {
+        let l1_geom = CacheGeometry::l1d_paper();
+        let l2_geom = CacheGeometry::new(64, 1, 2).unwrap();
+        let mut d = DualCore::new(
+            l1_geom,
+            PolicyKind::TreePlru,
+            l2_geom,
+            PolicyKind::Lru,
+            Latencies::gem5_fig9(),
+            Inclusion::BackInvalidate,
+            7,
+        );
+        let x = PhysAddr::new(0);
+        d.access(0, x);
+        assert_eq!(d.probe_level(0, x), HitLevel::L1);
+        // Core 1 cycles the 2-way shared L2: x is evicted there and
+        // back-invalidated out of core 0's private L1.
+        d.access(1, PhysAddr::new(0x40));
+        d.access(1, PhysAddr::new(0x80));
+        assert_eq!(
+            d.probe_level(0, x),
+            HitLevel::Mem,
+            "core 1's L2 pressure must reach core 0's L1"
+        );
+    }
+
+    #[test]
+    fn dual_core_l1s_are_private() {
+        let mut d = DualCore::new(
+            CacheGeometry::l1d_paper(),
+            PolicyKind::TreePlru,
+            CacheGeometry::new(64, 512, 8).unwrap(),
+            PolicyKind::Lru,
+            Latencies::sandy_bridge(),
+            Inclusion::Inclusive,
+            7,
+        );
+        let pa = PhysAddr::new(0x1000);
+        d.access(0, pa);
+        assert_eq!(d.probe_level(0, pa), HitLevel::L1);
+        // The other core sees it only at the shared level.
+        assert_eq!(d.probe_level(1, pa), HitLevel::L2);
+        assert_eq!(d.access(1, pa).level, HitLevel::L2);
     }
 }

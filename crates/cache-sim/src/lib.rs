@@ -23,6 +23,11 @@
 //! * [`plcache`] — Partition-Locked cache semantics (paper Fig. 10),
 //!   in both the *original* (LRU state still updated on locked lines —
 //!   vulnerable) and *fixed* (LRU state frozen for locked lines) forms.
+//! * [`backend`] — the [`backend::Backend`] trait putting every cache
+//!   model (flat SoA, AoS oracle, PL cache, two-level hierarchies)
+//!   behind one lookup/touch/fill/evict surface, with a
+//!   `quantum_ff_safe` capability bit the execution engine consults;
+//!   the backend-conformance harness is generic over it.
 //! * [`hierarchy`] — an L1D/L2/(LLC) hierarchy with cycle latencies
 //!   (paper Table II), optional next-line [`prefetcher`] (Appendix C
 //!   noise source) and the AMD linear-address µtag
@@ -67,6 +72,7 @@
 #![warn(missing_docs)]
 
 pub mod addr;
+pub mod backend;
 pub mod batch;
 pub mod cache;
 pub mod counters;
@@ -84,11 +90,12 @@ pub mod stream;
 pub mod way_predictor;
 
 pub use addr::{PhysAddr, VirtAddr};
+pub use backend::{Backend, HierarchyBackend};
 pub use batch::BatchCache;
 pub use cache::{AccessOutcome, Cache, SetView};
 pub use counters::{MissRates, PerfCounters};
 pub use geometry::CacheGeometry;
-pub use hierarchy::{CacheHierarchy, HierarchyOutcome, HitLevel, Latencies};
+pub use hierarchy::{CacheHierarchy, DualCore, HierarchyOutcome, HitLevel, Inclusion, Latencies};
 pub use plcache::{PlCache, PlDesign, PlRequest};
 pub use profiles::MicroArch;
 pub use reference::RefCache;

@@ -80,6 +80,7 @@ pub struct PlOutcome {
 pub struct PlCache {
     geom: CacheGeometry,
     store: SoaStore,
+    kind: PolicyKind,
     design: PlDesign,
     stats: CacheStats,
 }
@@ -95,6 +96,7 @@ impl PlCache {
         Self {
             geom,
             store: SoaStore::new(kind, geom.num_sets() as usize, geom.ways(), seed),
+            kind,
             design,
             stats: CacheStats::default(),
         }
@@ -103,6 +105,11 @@ impl PlCache {
     /// Which design variant this cache simulates.
     pub fn design(&self) -> PlDesign {
         self.design
+    }
+
+    /// The replacement policy in use.
+    pub fn policy_kind(&self) -> PolicyKind {
+        self.kind
     }
 
     /// The cache geometry.
@@ -204,6 +211,57 @@ impl PlCache {
             uncached: false,
             evicted: evicted.map(|m| PhysAddr::new(self.geom.line_addr(m.tag, set_idx))),
         }
+    }
+
+    /// The way holding `pa`'s line, if present (no state change).
+    pub fn way_of(&self, pa: PhysAddr) -> Option<usize> {
+        let (set_idx, tag) = self.locate(pa);
+        self.store.find_way(set_idx, tag)
+    }
+
+    /// Installs the line for `pa` without counting a demand access
+    /// (prefetch fill), mirroring [`crate::cache::Cache::prefetch_fill`].
+    /// A locked victim turns the fill into a no-op (uncached), and a
+    /// line already present is left untouched.
+    pub fn prefetch_fill(&mut self, pa: PhysAddr) -> Option<PhysAddr> {
+        let (set_idx, tag) = self.locate(pa);
+        if self.store.find_way(set_idx, tag).is_some() {
+            return None;
+        }
+        let ways = self.store.ways();
+        let way = self
+            .store
+            .choose_fill_way(set_idx, WayMask::all(ways), Domain::PRIMARY);
+        if self.store.is_locked(set_idx, way) {
+            return None;
+        }
+        self.stats.fills += 1;
+        let evicted = self.store.install(set_idx, way, LineMeta::new(tag));
+        if evicted.is_some() {
+            self.stats.evictions += 1;
+        }
+        self.store.record_fill(set_idx, way, Domain::PRIMARY);
+        evicted.map(|m| PhysAddr::new(self.geom.line_addr(m.tag, set_idx)))
+    }
+
+    /// Invalidates the line containing `pa` (its lock bit goes with
+    /// it). Returns whether a line was removed.
+    pub fn flush_line(&mut self, pa: PhysAddr) -> bool {
+        let (set_idx, tag) = self.locate(pa);
+        match self.store.find_way(set_idx, tag) {
+            Some(way) => {
+                self.store.invalidate(set_idx, way);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Empties the cache and resets all replacement/lock state and
+    /// stats.
+    pub fn clear(&mut self) {
+        self.store.clear();
+        self.stats = CacheStats::default();
     }
 
     /// Read-only view of a set (inspection).

@@ -8,6 +8,7 @@
 //!              [--timeout-secs T] [--cache-dir DIR] [--lockstep MODE] [--progress]
 //! lru-leak show <artifact> [--trials N] [--seed S]
 //! lru-leak adhoc <scenario-json | @file.json> [--trials N] [--threads K] [--json] [--summary]
+//!              [--lockstep MODE]
 //! lru-leak serve [--addr A] [--threads K] [--cache-dir DIR] [--max-inflight-trials N]
 //! lru-leak submit <artifact | scenario-json | @file.json> [--addr A] [--trials N] [--seed S]
 //!              [--threads K] [--timeout-secs T] [--progress]
@@ -72,6 +73,7 @@
 use std::fmt::Write;
 use std::time::{Duration, Instant};
 
+use lru_channel::trials::{FoldError, RunCtrl};
 use lru_leak_server::{client as service_client, Server, ServerConfig, DEFAULT_ADDR};
 use scenario::registry::{self, RunOpts};
 use scenario::spec::Scenario;
@@ -130,6 +132,7 @@ USAGE:
                  [--timeout-secs T] [--cache-dir DIR] [--lockstep MODE] [--progress]
     lru-leak show <artifact> [--trials N] [--seed S]
     lru-leak adhoc <scenario-json | @file.json> [--trials N] [--threads K] [--json] [--summary]
+                 [--lockstep MODE]
     lru-leak serve [--addr A] [--threads K] [--cache-dir DIR] [--max-inflight-trials N]
                  [--progress]
     lru-leak submit <artifact | scenario-json | @file.json> [--addr A] [--trials N] [--seed S]
@@ -173,13 +176,14 @@ OPTIONS:
                   (cooperative — observed at chunk boundaries). run-all
                   reports the timeout and continues with the next artifact
     --lockstep MODE
-                  run/run-all: off | auto | force (also spelled
+                  run/run-all/adhoc: off | auto | force (also spelled
                   --lockstep=MODE). auto (the default) batches eligible
                   covert trials through the lane-major lockstep
                   interpreter and falls back to the scalar path
                   otherwise; off forces the scalar path; force demands
-                  batching and fails up front with the ineligibility
-                  reason. Output bytes are identical in every mode —
+                  batching and fails up front with the structured
+                  ineligibility reason (naming e.g. the hierarchy
+                  backend). Output bytes are identical in every mode —
                   only the wall clock differs
     --cache-dir DIR
                   run/run-all/serve: content-addressed result cache. Each
@@ -870,10 +874,15 @@ fn run_cli_inner(
                     "CSV/Vega export covers registry artifacts (run/run-all); adhoc emits JSON",
                 ));
             }
-            if flags.timeout_secs.is_some() || flags.cache_dir.is_some() || flags.lockstep.is_some()
-            {
+            if flags.timeout_secs.is_some() || flags.cache_dir.is_some() {
                 return Err(CliError::usage(
-                    "--timeout-secs/--cache-dir/--lockstep apply to run and run-all",
+                    "--timeout-secs/--cache-dir apply to run and run-all",
+                ));
+            }
+            if flags.summary && flags.lockstep.is_some() {
+                return Err(CliError::usage(
+                    "--summary streams through the default aggregate; combine --lockstep \
+                     with the per-trial adhoc path",
                 ));
             }
             apply_threads(&flags);
@@ -884,6 +893,16 @@ fn run_cli_inner(
             if let Some(seed) = flags.seed {
                 sc.seed = seed;
             }
+            // The force contract, same as run/run-all: fail fast
+            // with the structured reason (which names e.g. the
+            // hierarchy backend) instead of a generic error or a
+            // silent scalar fallback.
+            if flags.lockstep == Some(LockstepMode::Force) {
+                if let Err(reason) = sc.lockstep_spec() {
+                    return Err(CliError::run(format!("--lockstep=force: {reason}")));
+                }
+            }
+            let mode = flags.lockstep.unwrap_or(LockstepMode::Auto);
             let cb =
                 |done: usize, total: usize| emit_progress(sink, "adhoc", "trials", done, total);
             let progress: Option<scenario::ProgressFn> =
@@ -894,13 +913,17 @@ fn run_cli_inner(
                 // channel-capacity estimate): O(workers × chunk)
                 // memory even for million-trial sweeps.
                 scenario::Aggregate::for_scenario(&sc).reduce(&sc, progress)
-            } else if sc.trials > 1 {
-                // Identical output to sc.run(), with the progress
-                // callback threaded through.
-                sc.run_reduced_with(&scenario::CollectMetrics, progress)
             } else {
-                // A single trial has no progress to report.
-                sc.run()
+                // Identical bytes to sc.run() in every mode, with
+                // the progress callback and lockstep routing
+                // threaded through.
+                match sc.run_ctrl_with_mode(progress, &RunCtrl::new(), mode) {
+                    Ok(v) => v,
+                    Err(FoldError::Cancelled) => {
+                        unreachable!("default RunCtrl never cancels")
+                    }
+                    Err(FoldError::ChunkPanicked { payload, .. }) => std::panic::panic_any(payload),
+                }
             };
             let result = Value::obj()
                 .with("scenario", sc.to_json())
@@ -1278,6 +1301,52 @@ mod tests {
         assert!(err.message.contains("unknown lockstep mode"));
         let err = run_cli(&args(&["show", "fig5", "--lockstep=auto"])).unwrap_err();
         assert_eq!(err.code, 2);
+    }
+
+    #[test]
+    fn adhoc_force_on_hierarchy_scenario_names_the_backend() {
+        // A covert scenario made lockstep-ineligible *only* by the
+        // hierarchy axis: force must fail fast with the structured
+        // reason naming the backend, not a generic error.
+        let spec = Scenario::builder()
+            .message(scenario::MessageSource::Alternating { bits: 8 })
+            .hierarchy(scenario::HierarchyId::BackInvalidate)
+            .seed(3)
+            .build()
+            .unwrap()
+            .to_json()
+            .to_string();
+        let spec = spec.as_str();
+        let err = run_cli(&args(&["adhoc", spec, "--lockstep=force"])).unwrap_err();
+        assert_eq!(err.code, 1, "{}", err.message);
+        assert!(
+            err.message.contains("not lockstep-eligible"),
+            "{}",
+            err.message
+        );
+        assert!(
+            err.message.contains("back-invalidate"),
+            "the reason must name the backend: {}",
+            err.message
+        );
+        // The same scenario runs fine under auto/off, with identical
+        // bytes (the hierarchy swap demotes to the scalar path).
+        let auto = run_cli(&args(&["adhoc", spec, "--json"])).unwrap();
+        let off = run_cli(&args(&["adhoc", spec, "--lockstep=off", "--json"])).unwrap();
+        assert_eq!(auto, off);
+        // And an eligible covert scenario still force-batches through
+        // adhoc byte-identically.
+        let eligible = Scenario::builder()
+            .message(scenario::MessageSource::Alternating { bits: 8 })
+            .seed(3)
+            .build()
+            .unwrap()
+            .to_json()
+            .to_string();
+        let eligible = eligible.as_str();
+        let forced = run_cli(&args(&["adhoc", eligible, "--lockstep=force", "--json"])).unwrap();
+        let scalar = run_cli(&args(&["adhoc", eligible, "--lockstep=off", "--json"])).unwrap();
+        assert_eq!(forced, scalar);
     }
 
     #[test]

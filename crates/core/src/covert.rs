@@ -1,5 +1,6 @@
 //! End-to-end covert-channel runs (paper §V, §VI).
 
+use cache_sim::hierarchy::Inclusion;
 use cache_sim::replacement::PolicyKind;
 use exec_sim::machine::{Machine, Pid};
 use exec_sim::measure::LatencyProbe;
@@ -196,12 +197,14 @@ impl CovertConfig {
 /// so the clean path performs *exactly* the pre-noise allocation and
 /// access sequence), run, and tally the fraction of observations
 /// read as `1`.
+#[allow(clippy::too_many_arguments)]
 fn percent_ones_run(
     platform: Platform,
     params: ChannelParams,
     variant: Variant,
     bit: bool,
     n_samples: usize,
+    inclusion: Inclusion,
     seed: u64,
     third_party: impl FnOnce(&mut Machine) -> Option<(Pid, Box<dyn Program>)>,
 ) -> Result<f64, ParamError> {
@@ -214,6 +217,12 @@ fn percent_ones_run(
         seed,
     };
     let mut machine = Machine::new(platform.arch, PolicyKind::TreePlru, seed);
+    // Swap the inclusion model only when asked, so the default path
+    // stays byte-identical to the pre-hierarchy-axis behaviour.
+    if inclusion != Inclusion::Inclusive {
+        let swapped = machine.hierarchy().clone().with_inclusion(inclusion);
+        *machine.hierarchy_mut() = swapped;
+    }
     let geom = machine.hierarchy().l1().geometry();
     params.validate(geom.ways(), geom.num_sets() as usize)?;
 
@@ -286,7 +295,48 @@ pub fn percent_ones(
     n_samples: usize,
     seed: u64,
 ) -> Result<f64, ParamError> {
-    percent_ones_run(platform, params, variant, bit, n_samples, seed, |_| None)
+    percent_ones_run(
+        platform,
+        params,
+        variant,
+        bit,
+        n_samples,
+        Inclusion::Inclusive,
+        seed,
+        |_| None,
+    )
+}
+
+/// [`percent_ones`] with the L1↔L2 inclusion model swapped before
+/// the run (the scenario layer's hierarchy axis). Passing
+/// [`Inclusion::Inclusive`] is byte-identical to [`percent_ones`];
+/// a back-invalidating hierarchy additionally demotes every thread
+/// to block execution because the quantum fast-forward soundness
+/// condition no longer holds.
+///
+/// # Errors
+///
+/// Returns [`ParamError`] if the parameters do not fit the
+/// platform's L1 geometry.
+pub fn percent_ones_with_hierarchy(
+    platform: Platform,
+    params: ChannelParams,
+    variant: Variant,
+    bit: bool,
+    n_samples: usize,
+    inclusion: Inclusion,
+    seed: u64,
+) -> Result<f64, ParamError> {
+    percent_ones_run(
+        platform,
+        params,
+        variant,
+        bit,
+        n_samples,
+        inclusion,
+        seed,
+        |_| None,
+    )
 }
 
 /// One point of a time-sliced percent-of-ones grid (Figs. 6, 8, 15).
@@ -347,12 +397,21 @@ pub fn percent_ones_noisy(
     if noise.is_none() {
         return percent_ones(platform, params, variant, bit, n_samples, seed);
     }
-    percent_ones_run(platform, params, variant, bit, n_samples, seed, |machine| {
-        let (noise_pid, prog) = noise
-            .spawn(machine, params.tr.max(1), seed)
-            .expect("non-none noise model spawns");
-        Some((noise_pid, Box::new(prog) as Box<dyn Program>))
-    })
+    percent_ones_run(
+        platform,
+        params,
+        variant,
+        bit,
+        n_samples,
+        Inclusion::Inclusive,
+        seed,
+        |machine| {
+            let (noise_pid, prog) = noise
+                .spawn(machine, params.tr.max(1), seed)
+                .expect("non-none noise model spawns");
+            Some((noise_pid, Box::new(prog) as Box<dyn Program>))
+        },
+    )
 }
 
 /// [`percent_ones`] with a third, benign process time-slicing the
@@ -372,12 +431,21 @@ pub fn percent_ones_with_noise(
 ) -> Result<f64, ParamError> {
     use exec_sim::noise::RandomTouches;
 
-    percent_ones_run(platform, params, variant, bit, n_samples, seed, |machine| {
-        let noise_pid = machine.create_process();
-        let noise_buf = machine.alloc_pages(noise_pid, 4);
-        let touches = RandomTouches::new(noise_buf, 4 * 64, 64, 60_000, seed ^ 0x0153);
-        Some((noise_pid, Box::new(touches) as Box<dyn Program>))
-    })
+    percent_ones_run(
+        platform,
+        params,
+        variant,
+        bit,
+        n_samples,
+        Inclusion::Inclusive,
+        seed,
+        |machine| {
+            let noise_pid = machine.create_process();
+            let noise_buf = machine.alloc_pages(noise_pid, 4);
+            let touches = RandomTouches::new(noise_buf, 4 * 64, 64, 60_000, seed ^ 0x0153);
+            Some((noise_pid, Box::new(touches) as Box<dyn Program>))
+        },
+    )
 }
 
 #[cfg(test)]

@@ -232,7 +232,8 @@ struct FfSlot {
     eligible: bool,
     /// The analytic grant. Once granted it stays granted: the
     /// footprint sets are touched by no other party, the hierarchy
-    /// has no back-invalidation and no prefetcher, and the per-set
+    /// reports `quantum_ff_safe()` (back-invalidating hierarchies are
+    /// demoted to block execution), has no prefetcher, and the per-set
     /// fit means the thread can never evict its own lines — so
     /// residency, once observed, is permanent.
     granted: bool,
@@ -241,8 +242,10 @@ struct FfSlot {
 /// Expands footprints, intersects them, and marks which threads may
 /// be fast-forwarded. The conditions (checked here once per run):
 ///
-/// * the L1 has at most 64 sets, no prefetcher is attached, and the
-///   replacement policy's touch is idempotent;
+/// * the L1 has at most 64 sets, no prefetcher is attached, the
+///   hierarchy reports `quantum_ff_safe()` (no back-invalidation —
+///   the capability bit consulted next to `Program::footprint`), and
+///   the replacement policy's touch is idempotent;
 /// * the thread carries no probe (a probe reads cache state, so its
 ///   owner must simulate for real);
 /// * the thread's footprint is declared, every line translates, and
@@ -260,6 +263,7 @@ fn build_ff_slots(machine: &Machine, threads: &[ThreadHandle<'_>]) -> Vec<FfSlot
     let engine_ok = geom.num_sets() <= 64
         && geom.line_size() >= 64
         && !h.has_prefetcher()
+        && h.quantum_ff_safe()
         && h.l1().policy_kind().touch_is_idempotent();
     let mut slots: Vec<FfSlot> = threads
         .iter()
@@ -1178,5 +1182,90 @@ mod tests {
             let slots = build_ff_slots(&m, &threads);
             assert!(!slots[0].eligible);
         }
+    }
+
+    #[test]
+    fn back_invalidating_hierarchy_demotes_every_thread() {
+        use crate::noise::RandomTouches;
+        use cache_sim::hierarchy::Inclusion;
+        // The same single-thread setup that is eligible on the
+        // default hierarchy loses eligibility as soon as the backend
+        // stops being quantum-ff-safe — the capability bit consulted
+        // next to `Program::footprint`.
+        let run_with = |inclusion: Inclusion| {
+            let mut m = machine();
+            let swapped = m.hierarchy().clone().with_inclusion(inclusion);
+            *m.hierarchy_mut() = swapped;
+            let a = m.create_process();
+            let buf = m.alloc_pages(a, 1);
+            let mut prog = RandomTouches::new(buf, 8, 64, 500, 1);
+            let threads = [ThreadHandle::new(a, &mut prog)];
+            build_ff_slots(&m, &threads)[0].eligible
+        };
+        assert!(run_with(Inclusion::Inclusive));
+        assert!(run_with(Inclusion::NonInclusive));
+        assert!(
+            !run_with(Inclusion::BackInvalidate),
+            "back-invalidation must bar the fast-forward grant"
+        );
+    }
+
+    use cache_sim::addr::VirtAddr;
+
+    /// A program whose only job is to declare a footprint.
+    struct DeclaredFootprint {
+        ranges: Vec<(VirtAddr, u64)>,
+    }
+    impl Program for DeclaredFootprint {
+        fn next_op(&mut self, _now: u64) -> Op {
+            Op::Done
+        }
+        fn footprint(&self) -> Footprint {
+            Footprint::Lines(self.ranges.clone())
+        }
+    }
+
+    #[test]
+    fn known_but_oversized_footprint_is_demoted() {
+        let mut m = machine();
+        let a = m.create_process();
+        let va = m.alloc_pages(a, 1);
+        // Declared, translatable in principle — but past the
+        // expansion budget. Must fall back to interpretation, not
+        // truncate the expansion.
+        let mut prog = DeclaredFootprint {
+            ranges: vec![(va, MAX_FF_LINES + 1)],
+        };
+        let threads = [ThreadHandle::new(a, &mut prog)];
+        let slots = build_ff_slots(&m, &threads);
+        assert!(!slots[0].eligible);
+        assert!(slots[0].mask.is_none(), "oversized footprint never expands");
+        // An empty (zero-line) declared footprint is likewise inert.
+        let mut prog = DeclaredFootprint { ranges: vec![] };
+        let threads = [ThreadHandle::new(a, &mut prog)];
+        assert!(!build_ff_slots(&m, &threads)[0].eligible);
+    }
+
+    #[test]
+    fn footprint_spanning_the_set_wraparound_stays_exact() {
+        let mut m = machine();
+        let a = m.create_process();
+        let va = m.alloc_pages(a, 2);
+        let geom = m.hierarchy().l1().geometry();
+        assert_eq!(geom.num_sets(), 64);
+        // Four lines starting at set 62: the range wraps through the
+        // last set back to set 0, which must set all four mask bits
+        // (a modulo bug here would alias sets and over- or
+        // under-count the per-set fit).
+        let mut prog = DeclaredFootprint {
+            ranges: vec![(va.add(62 * 64), 4)],
+        };
+        let threads = [ThreadHandle::new(a, &mut prog)];
+        let slots = build_ff_slots(&m, &threads);
+        assert!(slots[0].eligible);
+        let mask = slots[0].mask.expect("footprint expands");
+        let expected = (1u64 << 62) | (1u64 << 63) | 0b11;
+        assert_eq!(mask, expected);
+        assert_eq!(slots[0].pas.len(), 4);
     }
 }

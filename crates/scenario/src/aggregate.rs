@@ -334,6 +334,10 @@ impl Aggregate {
                 Aggregate::Stats(&["hit_mean", "miss_mean", "overlap"])
             }
             ExperimentKind::MultiSet { .. } => Aggregate::Stats(&["accuracy", "rate_bps"]),
+            ExperimentKind::L2Channel { .. } => Aggregate::Stats(&["error_rate"]),
+            ExperimentKind::InclusionVictim { .. } => {
+                Aggregate::Stats(&["signal_rate", "reload_cycles_mean"])
+            }
             // Defense outcomes differ per DefenseId but every leak
             // metric is a top-level scalar; stats over the union
             // stay constant-memory (absent keys count 0).

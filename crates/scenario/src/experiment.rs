@@ -15,7 +15,9 @@ use attacks::miss_rates::{self, MissRateRow, SenderScenario, SpectreChannel};
 use attacks::prime_probe::PrimeProbeReceiver;
 use attacks::primitive::{FlushReloadPrimitive, LruAlg1Primitive, LruAlg2Primitive};
 use attacks::spectre::{decode_symbols, encode_symbols, SpectreAttack};
-use cache_sim::hierarchy::HitLevel;
+use cache_sim::addr::PhysAddr;
+use cache_sim::geometry::CacheGeometry;
+use cache_sim::hierarchy::{DualCore, HitLevel};
 use cache_sim::plcache::PlDesign;
 use cache_sim::prefetcher::Prefetcher;
 use cache_sim::profiles::MicroArch;
@@ -32,7 +34,8 @@ use exec_sim::sched::{HyperThreaded, ThreadHandle};
 use exec_sim::speculation::{build_victim, SpecMode};
 use lru_channel::analysis::Histogram;
 use lru_channel::covert::{
-    percent_ones, percent_ones_noisy, percent_ones_with_noise, CovertConfig, Sharing, Variant,
+    percent_ones, percent_ones_noisy, percent_ones_with_hierarchy, percent_ones_with_noise,
+    CovertConfig, Sharing, Variant,
 };
 use lru_channel::decode::{self, BitConvention};
 use lru_channel::edit_distance::error_rate;
@@ -52,7 +55,8 @@ use workloads::spec_like::Benchmark;
 use crate::aggregate::{Aggregate, CollectMetrics, ProgressFn, Reducer};
 use crate::json::Value;
 use crate::spec::{
-    ChannelId, DefenseId, ExperimentKind, InitId, MessageSource, Scenario, SequenceId, WorkloadId,
+    ChannelId, DefenseId, ExperimentKind, HierarchyId, InitId, MessageSource, Scenario, SequenceId,
+    WorkloadId,
 };
 
 /// What running an experiment once produced.
@@ -96,6 +100,10 @@ impl Scenario {
             }
             ExperimentKind::PolicyPerf { .. } => Box::new(PolicyPerfExperiment(self.clone())),
             ExperimentKind::MultiSet { .. } => Box::new(MultiSetExperiment(self.clone())),
+            ExperimentKind::L2Channel { .. } => Box::new(L2ChannelExperiment(self.clone())),
+            ExperimentKind::InclusionVictim { .. } => {
+                Box::new(InclusionVictimExperiment(self.clone()))
+            }
         }
     }
 
@@ -388,6 +396,9 @@ impl Scenario {
         if !self.noise.is_none() {
             return Err(LockstepIneligible::Noise);
         }
+        if self.hierarchy != HierarchyId::Inclusive {
+            return Err(LockstepIneligible::Hierarchy(self.hierarchy));
+        }
         let platform = self.platform.platform();
         if platform.arch.has_way_predictor {
             return Err(LockstepIneligible::WayPredictor);
@@ -417,6 +428,12 @@ pub enum LockstepIneligible {
     /// An attached noise model spawns a third thread whose program
     /// needs machine-level allocation mid-wire.
     Noise,
+    /// A non-default hierarchy backend is selected. The batch world
+    /// interprets the single default L1; swapped inclusion models
+    /// (and in particular back-invalidation, which also forfeits the
+    /// quantum fast-forward capability bit) have no batched
+    /// interpreter. Carries the backend so the rejection can name it.
+    Hierarchy(HierarchyId),
     /// The AMD µtag way predictor keys on per-process virtual
     /// addresses, which the batch world deliberately erases.
     WayPredictor,
@@ -425,15 +442,22 @@ pub enum LockstepIneligible {
 impl std::fmt::Display for LockstepIneligible {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let why = match self {
-            LockstepIneligible::Kind => "only covert experiments have a batched interpreter",
+            LockstepIneligible::Kind => {
+                "only covert experiments have a batched interpreter".to_string()
+            }
             LockstepIneligible::Sharing => {
-                "requires hyper-threaded sharing (time-sliced quanta are not batched)"
+                "requires hyper-threaded sharing (time-sliced quanta are not batched)".to_string()
             }
             LockstepIneligible::Noise => {
-                "noise models spawn a third thread the batch world cannot wire"
+                "noise models spawn a third thread the batch world cannot wire".to_string()
             }
+            LockstepIneligible::Hierarchy(h) => format!(
+                "the {} hierarchy backend has no batched interpreter",
+                h.name()
+            ),
             LockstepIneligible::WayPredictor => {
                 "the platform's way predictor keys on virtual addresses the batch world erases"
+                    .to_string()
             }
         };
         write!(f, "scenario is not lockstep-eligible: {why}")
@@ -472,6 +496,16 @@ impl Experiment for CovertExperiment {
             seed,
         };
         let mut machine = Machine::new(platform.arch, s.policy, seed);
+        // Swap the inclusion model only when the hierarchy axis is
+        // non-default, so the default path builds the machine exactly
+        // as before and stays byte-identical.
+        if s.hierarchy != HierarchyId::Inclusive {
+            let swapped = machine
+                .hierarchy()
+                .clone()
+                .with_inclusion(s.hierarchy.inclusion());
+            *machine.hierarchy_mut() = swapped;
+        }
         let run = cfg
             .run_on_with_noise(&mut machine, s.noise)
             .expect("validated at build");
@@ -569,6 +603,18 @@ impl Experiment for PercentOnesExperiment {
             percent_ones_with_noise(platform, s.params, s.variant, bit, samples, seed)
         } else if !s.noise.is_none() {
             percent_ones_noisy(platform, s.params, s.variant, bit, samples, s.noise, seed)
+        } else if s.hierarchy != HierarchyId::Inclusive {
+            // Mutually exclusive with the two arms above by the
+            // quiet-machine validation in `Scenario::build`.
+            percent_ones_with_hierarchy(
+                platform,
+                s.params,
+                s.variant,
+                bit,
+                samples,
+                s.hierarchy.inclusion(),
+                seed,
+            )
         } else {
             percent_ones(platform, s.params, s.variant, bit, samples, seed)
         }
@@ -578,6 +624,139 @@ impl Experiment for PercentOnesExperiment {
                 .with("bit", bit)
                 .with("samples", samples)
                 .with("fraction", fraction),
+        }
+    }
+}
+
+/// The shared L2 model the two cross-core experiments run on: a
+/// 2-way LRU L2 behind the platform's private L1 geometry. Two ways
+/// keep the replacement state trivially steerable (one touch decides
+/// the victim), which is what makes the LRU readout protocol exact.
+fn cross_core_l2() -> CacheGeometry {
+    CacheGeometry::new(64, 512, 2).expect("static L2 geometry is valid")
+}
+
+/// The cross-core LRU channel through the shared L2 (`l2-channel`):
+/// two cores with private L1s over one shared 2-way LRU L2. Per bit,
+/// the sender parks a line in the target L2 set and the receiver
+/// parks its own; the sender encodes a `1` by re-touching its line
+/// (after a modeled self-eviction from its private L1 — an L2 *hit*
+/// that flips the set's LRU order), so the receiver's subsequent
+/// fill evicts the receiver's parked line instead of the sender's.
+/// Only a back-invalidating hierarchy propagates that L2 eviction
+/// into the receiver's private L1 where the reload can time it, so
+/// the artifact grid contrasts hierarchy backends: error_rate ~0
+/// under `back-invalidate`, and the sent fraction of ones under the
+/// silent `inclusive` / `non-inclusive` backends (the receiver then
+/// always reads 0).
+pub struct L2ChannelExperiment(pub Scenario);
+
+impl Experiment for L2ChannelExperiment {
+    fn run(&self, seed: u64) -> Outcome {
+        let s = &self.0;
+        let ExperimentKind::L2Channel { samples } = s.kind else {
+            unreachable!("kind checked at build");
+        };
+        let platform = s.platform.platform();
+        let l2_geom = cross_core_l2();
+        let mut cores = DualCore::new(
+            platform.arch.l1d,
+            s.policy,
+            l2_geom,
+            PolicyKind::Lru,
+            platform.arch.latencies,
+            s.hierarchy.inclusion(),
+            seed,
+        );
+        let message = s.message.bits(seed);
+        let sent: Vec<bool> = (0..samples).map(|i| message[i % message.len()]).collect();
+        // Lines k=0,1,2 of L2 set `t` sit `set_stride` apart: same L2
+        // set, distinct tags, and all in L1 set `t % 64` (the 8-way
+        // L1 holds the receiver's two without evictions).
+        let stride = l2_geom.set_stride();
+        let mut decoded = Vec::with_capacity(samples);
+        for (i, &bit) in sent.iter().enumerate() {
+            let set = (i as u64) % l2_geom.num_sets();
+            let sender_line = PhysAddr::new(set * 64);
+            let parked = PhysAddr::new(set * 64 + stride);
+            let filler = PhysAddr::new(set * 64 + 2 * stride);
+            cores.clear();
+            cores.access(1, sender_line); // sender installs its line
+            cores.access(0, parked); // L2 LRU order: sender_line, then parked
+            if bit {
+                // Encode 1: self-evict from the private L1, reload —
+                // the L2 hit promotes sender_line and demotes the
+                // receiver's parked line to LRU victim.
+                cores.l1_mut(1).flush_line(sender_line);
+                cores.access(1, sender_line);
+            }
+            cores.access(0, filler); // the fill evicts the set's LRU line
+            let reload = cores.access(0, parked);
+            decoded.push(reload.level != HitLevel::L1);
+        }
+        let errors = sent.iter().zip(&decoded).filter(|(a, b)| a != b).count();
+        Outcome {
+            metrics: Value::obj()
+                .with("samples", samples)
+                .with("hierarchy", s.hierarchy.name())
+                .with("error_rate", errors as f64 / samples.max(1) as f64)
+                .with("sent", bitstring(&sent, 512))
+                .with("decoded", bitstring(&decoded, 512)),
+        }
+    }
+}
+
+/// The inclusion-victim probe (`inclusion-victim`): the receiver
+/// parks one line, the sender fills the line's 2-way shared-L2 set
+/// from the other core, and the receiver reloads. Back-invalidation
+/// turns the sender's L2 eviction into a flush of the receiver's
+/// private L1 copy — the classic inclusion-victim interference — so
+/// `signal_rate` (the fraction of trials whose reload missed L1) is
+/// 1 under `back-invalidate` and 0 under the silent backends.
+pub struct InclusionVictimExperiment(pub Scenario);
+
+impl Experiment for InclusionVictimExperiment {
+    fn run(&self, seed: u64) -> Outcome {
+        let s = &self.0;
+        let ExperimentKind::InclusionVictim { trials } = s.kind else {
+            unreachable!("kind checked at build");
+        };
+        let platform = s.platform.platform();
+        let l2_geom = cross_core_l2();
+        let mut cores = DualCore::new(
+            platform.arch.l1d,
+            s.policy,
+            l2_geom,
+            PolicyKind::Lru,
+            platform.arch.latencies,
+            s.hierarchy.inclusion(),
+            seed,
+        );
+        let stride = l2_geom.set_stride();
+        let mut signals = 0usize;
+        let mut reload_cycles = 0u64;
+        for t in 0..trials {
+            let set = (t as u64) % l2_geom.num_sets();
+            let victim = PhysAddr::new(set * 64);
+            cores.clear();
+            cores.access(0, victim); // receiver parks its line
+            cores.access(1, PhysAddr::new(set * 64 + stride));
+            cores.access(1, PhysAddr::new(set * 64 + 2 * stride));
+            let reload = cores.access(0, victim);
+            if reload.level != HitLevel::L1 {
+                signals += 1;
+            }
+            reload_cycles += u64::from(reload.cycles);
+        }
+        Outcome {
+            metrics: Value::obj()
+                .with("trials", trials)
+                .with("hierarchy", s.hierarchy.name())
+                .with("signal_rate", signals as f64 / trials.max(1) as f64)
+                .with(
+                    "reload_cycles_mean",
+                    reload_cycles as f64 / trials.max(1) as f64,
+                ),
         }
     }
 }
@@ -1340,6 +1519,81 @@ mod tests {
             .as_f64()
             .unwrap();
         assert!(p1 > p0 + 0.1, "got p0={p0:.2}, p1={p1:.2}");
+    }
+
+    #[test]
+    fn l2_channel_reads_bits_only_through_back_invalidation() {
+        let run = |h| {
+            let s = Scenario::builder()
+                .kind(ExperimentKind::L2Channel { samples: 64 })
+                .message(MessageSource::Alternating { bits: 16 })
+                .hierarchy(h)
+                .seed(7)
+                .build()
+                .unwrap();
+            let m = s.run_once(7).metrics;
+            m.get("error_rate").unwrap().as_f64().unwrap()
+        };
+        // Back-invalidation propagates the L2 eviction into the
+        // receiver's L1, so the LRU readout is exact; the silent
+        // backends leave the receiver blind (it always decodes 0,
+        // and an alternating message is half ones).
+        assert_eq!(run(HierarchyId::BackInvalidate), 0.0);
+        assert_eq!(run(HierarchyId::Inclusive), 0.5);
+        assert_eq!(run(HierarchyId::NonInclusive), 0.5);
+    }
+
+    #[test]
+    fn inclusion_victim_signal_is_exclusive_to_back_invalidation() {
+        let run = |h| {
+            let s = Scenario::builder()
+                .kind(ExperimentKind::InclusionVictim { trials: 32 })
+                .hierarchy(h)
+                .seed(3)
+                .build()
+                .unwrap();
+            let m = s.run_once(3).metrics;
+            m.get("signal_rate").unwrap().as_f64().unwrap()
+        };
+        assert_eq!(run(HierarchyId::BackInvalidate), 1.0);
+        assert_eq!(run(HierarchyId::Inclusive), 0.0);
+        assert_eq!(run(HierarchyId::NonInclusive), 0.0);
+    }
+
+    #[test]
+    fn non_default_hierarchy_is_lockstep_ineligible_and_names_the_backend() {
+        for h in [HierarchyId::NonInclusive, HierarchyId::BackInvalidate] {
+            let s = Scenario::builder().hierarchy(h).build().unwrap();
+            let err = s.lockstep_spec().unwrap_err();
+            assert_eq!(err, LockstepIneligible::Hierarchy(h));
+            let msg = err.to_string();
+            assert!(
+                msg.contains(h.name()),
+                "rejection must name the backend, got: {msg}"
+            );
+        }
+        // The default hierarchy keeps the headline scenario eligible.
+        let s = Scenario::builder().build().unwrap();
+        assert!(s.lockstep_spec().is_ok());
+    }
+
+    #[test]
+    fn covert_error_rate_survives_a_hierarchy_swap() {
+        // The covert channel leaks through L1 replacement state, so
+        // swapping the inclusion model must not break it — this pins
+        // the machine-swap threading (and, for back-invalidate, the
+        // engine demotion) end to end.
+        for h in HierarchyId::ALL {
+            let s = Scenario::builder()
+                .message(MessageSource::Alternating { bits: 16 })
+                .hierarchy(h)
+                .seed(1)
+                .build()
+                .unwrap();
+            let m = s.run_once(1).metrics;
+            let err = m.get("error_rate").unwrap().as_f64().unwrap();
+            assert!(err < 0.2, "{} hierarchy broke the channel: {err}", h.name());
+        }
     }
 
     #[test]

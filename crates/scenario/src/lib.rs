@@ -105,4 +105,6 @@ pub use fmt::BENCH_SEED;
 pub use json::Value;
 pub use lru_channel::lockstep::LockstepMode;
 pub use registry::{Artifact, Report, RunOpts};
-pub use spec::{ExperimentKind, MessageSource, NoiseModel, PlatformId, Scenario, ScenarioError};
+pub use spec::{
+    ExperimentKind, HierarchyId, MessageSource, NoiseModel, PlatformId, Scenario, ScenarioError,
+};

@@ -19,8 +19,8 @@ use crate::aggregate::ProgressFn;
 use crate::fmt::{geomean, header, kbps, pct, pct1, row, sparkline, BENCH_SEED};
 use crate::json::Value;
 use crate::spec::{
-    ChannelId, DefenseId, ExperimentKind, InitId, MessageSource, NoiseModel, PlatformId, Scenario,
-    SequenceId, WorkloadId,
+    ChannelId, DefenseId, ExperimentKind, HierarchyId, InitId, MessageSource, NoiseModel,
+    PlatformId, Scenario, SequenceId, WorkloadId,
 };
 
 /// Knobs the CLI and the bench targets pass down to a grid.
@@ -394,6 +394,22 @@ pub static ARTIFACTS: &[Artifact] = &[
         what: "dense time-sliced percent-of-ones grid at Tr=1e8 under a noise x intensity ladder: off-channel co-runners leave the gap intact, on-channel pollution closes it",
         grid: ablation_noise_grid_grid,
         render: ablation_noise_grid_render,
+    },
+    Artifact {
+        id: "l2_lru_channel",
+        bench: "l2_lru_channel",
+        paper_ref: "Extension of §IV (cross-core, shared L2)",
+        what: "cross-core LRU covert channel through a shared 2-way L2, per hierarchy backend: only back-invalidation makes the L2 replacement state receiver-visible",
+        grid: l2_lru_channel_grid,
+        render: l2_lru_channel_render,
+    },
+    Artifact {
+        id: "l2_inclusion_victim",
+        bench: "l2_inclusion_victim",
+        paper_ref: "Extension of §IV (inclusion victims)",
+        what: "inclusion-victim probe on the dual-core hierarchy: back-invalidation turns a sender-side L2 fill into a receiver-visible L1 flush; silent backends show nothing",
+        grid: l2_inclusion_victim_grid,
+        render: l2_inclusion_victim_render,
     },
 ];
 
@@ -1974,6 +1990,91 @@ fn ablation_prefetcher_render(_o: &RunOpts, grid: &[Scenario], outs: &[Value]) -
         "\nshape check: prefetcher + 1 round degrades; the Appendix-C mitigation restores accuracy\n",
     );
     (buf, Value::Arr(outs.to_vec()))
+}
+
+// ---- Cross-core L2 artifacts: the hierarchy-backend contrasts ----
+
+fn l2_lru_channel_grid(opts: &RunOpts) -> Vec<Scenario> {
+    HierarchyId::ALL
+        .into_iter()
+        .map(|h| {
+            must(
+                Scenario::builder()
+                    .kind(ExperimentKind::L2Channel {
+                        samples: opts.count(64),
+                    })
+                    .message(MessageSource::Alternating { bits: 16 })
+                    .hierarchy(h)
+                    .seed(opts.seed)
+                    .build(),
+            )
+        })
+        .collect()
+}
+
+fn l2_lru_channel_render(_o: &RunOpts, grid: &[Scenario], outs: &[Value]) -> (String, Value) {
+    let mut buf = String::new();
+    row(&mut buf, "hierarchy", &["error rate", "decoded"]);
+    let mut summary = Vec::new();
+    for (sc, out) in grid.iter().zip(outs) {
+        let err = f(out, "error_rate");
+        let decoded = s(out, "decoded");
+        let glimpse: String = decoded.chars().take(16).collect();
+        row(&mut buf, sc.hierarchy.name(), &[pct1(err), glimpse]);
+        summary.push(
+            Value::obj()
+                .with("hierarchy", sc.hierarchy.name())
+                .with("error_rate", err),
+        );
+    }
+    buf.push_str(
+        "\nshape check: the silent backends read all-zeros (error = fraction of ones sent);\n\
+         back-invalidation makes the L2 LRU state receiver-visible and the error collapses\n",
+    );
+    (buf, Value::Arr(summary))
+}
+
+fn l2_inclusion_victim_grid(opts: &RunOpts) -> Vec<Scenario> {
+    HierarchyId::ALL
+        .into_iter()
+        .map(|h| {
+            must(
+                Scenario::builder()
+                    .kind(ExperimentKind::InclusionVictim {
+                        trials: opts.count(64),
+                    })
+                    .hierarchy(h)
+                    .seed(opts.seed)
+                    .build(),
+            )
+        })
+        .collect()
+}
+
+fn l2_inclusion_victim_render(_o: &RunOpts, grid: &[Scenario], outs: &[Value]) -> (String, Value) {
+    let mut buf = String::new();
+    row(&mut buf, "hierarchy", &["signal rate", "reload cycles"]);
+    let mut summary = Vec::new();
+    for (sc, out) in grid.iter().zip(outs) {
+        let signal = f(out, "signal_rate");
+        let cycles = f(out, "reload_cycles_mean");
+        row(
+            &mut buf,
+            sc.hierarchy.name(),
+            &[pct1(signal), format!("{cycles:.1}")],
+        );
+        summary.push(
+            Value::obj()
+                .with("hierarchy", sc.hierarchy.name())
+                .with("signal_rate", signal)
+                .with("reload_cycles_mean", cycles),
+        );
+    }
+    buf.push_str(
+        "\nshape check: inclusion victims exist only under back-invalidation — 100% of\n\
+         reloads miss L1 there, 0% under the silent inclusive/non-inclusive backends\n",
+    );
+    (buf, Value::Arr(summary))
 }
 
 #[cfg(test)]

@@ -456,6 +456,60 @@ fn unknown_noise(name: &str) -> ScenarioError {
     ))
 }
 
+/// The hierarchy backend of the scenario (the `hierarchy` axis):
+/// which L1↔L2 inclusion model the simulated machine runs.
+///
+/// [`HierarchyId::Inclusive`] is the historical single-machine model
+/// and the default; it is *omitted* by [`Scenario::to_json`] so
+/// pre-hierarchy scenario encodings are unchanged byte for byte.
+/// The two other backends open the cross-core channels and — for
+/// [`HierarchyId::BackInvalidate`] — revoke the quantum fast-forward
+/// capability bit, demoting execution to the block interpreter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum HierarchyId {
+    /// Inclusive fills, silent L2 evictions (the default backend).
+    #[default]
+    Inclusive,
+    /// Non-inclusive (victim-cache) L2: demand misses fill L1 only.
+    NonInclusive,
+    /// Inclusive with L2 evictions back-invalidating L1 copies.
+    BackInvalidate,
+}
+
+impl HierarchyId {
+    /// All hierarchy backends, in serialization order.
+    pub const ALL: [HierarchyId; 3] = [
+        HierarchyId::Inclusive,
+        HierarchyId::NonInclusive,
+        HierarchyId::BackInvalidate,
+    ];
+
+    /// Stable serialization name.
+    pub fn name(self) -> &'static str {
+        self.inclusion().name()
+    }
+
+    /// Parses a serialization name.
+    pub fn parse(name: &str) -> Option<HierarchyId> {
+        Self::ALL.into_iter().find(|h| h.name() == name)
+    }
+
+    /// The cache-sim inclusion policy this backend selects.
+    pub fn inclusion(self) -> cache_sim::hierarchy::Inclusion {
+        match self {
+            HierarchyId::Inclusive => cache_sim::hierarchy::Inclusion::Inclusive,
+            HierarchyId::NonInclusive => cache_sim::hierarchy::Inclusion::NonInclusive,
+            HierarchyId::BackInvalidate => cache_sim::hierarchy::Inclusion::BackInvalidate,
+        }
+    }
+
+    /// Whether the backend keeps the quantum fast-forward engine
+    /// sound (mirrors `CacheHierarchy::quantum_ff_safe`).
+    pub fn quantum_ff_safe(self) -> bool {
+        self != HierarchyId::BackInvalidate
+    }
+}
+
 /// The disclosure/comparison channel of an attack-flavored
 /// experiment.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -617,6 +671,22 @@ pub enum ExperimentKind {
         /// Frames to send (ignored when the message is text).
         frames: usize,
     },
+    /// Cross-core LRU readout through the *shared L2* of a dual-core
+    /// machine: the sender's L2 touches steer the shared replacement
+    /// state, the receiver decodes from which of its own lines the
+    /// L2 evicts. Runs on the scenario's `hierarchy` backend.
+    L2Channel {
+        /// Bits transmitted and decoded per trial.
+        samples: usize,
+    },
+    /// The inclusion-victim cross-core channel: the receiver parks a
+    /// line in its private L1, the sender pressures the shared L2,
+    /// and only a back-invalidating hierarchy lets the eviction reach
+    /// into the receiver's L1 (the signal).
+    InclusionVictim {
+        /// Park/pressure/reload rounds per trial.
+        trials: usize,
+    },
 }
 
 impl ExperimentKind {
@@ -638,6 +708,8 @@ impl ExperimentKind {
             ExperimentKind::ProbeHistogram { .. } => "probe-histogram",
             ExperimentKind::PolicyPerf { .. } => "policy-perf",
             ExperimentKind::MultiSet { .. } => "multi-set",
+            ExperimentKind::L2Channel { .. } => "l2-channel",
+            ExperimentKind::InclusionVictim { .. } => "inclusion-victim",
         }
     }
 
@@ -702,6 +774,8 @@ impl ExperimentKind {
             ExperimentKind::MultiSet { sets, frames } => {
                 Value::obj().with("sets", *sets).with("frames", *frames)
             }
+            ExperimentKind::L2Channel { samples } => Value::obj().with("samples", *samples),
+            ExperimentKind::InclusionVictim { trials } => Value::obj().with("trials", *trials),
         };
         Value::obj().with(self.tag(), body)
     }
@@ -807,6 +881,12 @@ impl ExperimentKind {
                 sets: usize_field("sets")?,
                 frames: usize_field("frames")?,
             }),
+            "l2-channel" => Ok(ExperimentKind::L2Channel {
+                samples: usize_field("samples")?,
+            }),
+            "inclusion-victim" => Ok(ExperimentKind::InclusionVictim {
+                trials: usize_field("trials")?,
+            }),
             other => Err(ScenarioError::parse(format!("unknown kind {other:?}"))),
         }
     }
@@ -873,6 +953,10 @@ pub struct Scenario {
     /// ([`NoiseModel::None`] by default — omitted from JSON so
     /// pre-noise encodings are stable).
     pub noise: NoiseModel,
+    /// The hierarchy backend the simulated machine runs
+    /// ([`HierarchyId::Inclusive`] by default — omitted from JSON so
+    /// pre-hierarchy encodings are stable).
+    pub hierarchy: HierarchyId,
     /// Channel parameters (`d`, target set, `Ts`, `Tr`).
     pub params: ChannelParams,
     /// Message source.
@@ -900,6 +984,7 @@ impl Scenario {
                 defense: DefenseId::None,
                 workload: WorkloadId::Idle,
                 noise: NoiseModel::None,
+                hierarchy: HierarchyId::Inclusive,
                 params: ChannelParams::paper_alg1_default(),
                 message: MessageSource::Alternating { bits: 20 },
                 kind: ExperimentKind::Covert,
@@ -926,6 +1011,9 @@ impl Scenario {
         if !self.noise.is_none() {
             v = v.with("noise", noise_to_json(&self.noise));
         }
+        if self.hierarchy != HierarchyId::Inclusive {
+            v = v.with("hierarchy", self.hierarchy.name());
+        }
         v.with(
             "params",
             Value::obj()
@@ -941,24 +1029,35 @@ impl Scenario {
     }
 
     /// [`Scenario::to_json`] with *every* axis spelled out, including
-    /// a default `noise` axis as the explicit string `"none"`. This
-    /// is what `lru-leak show` prints, so a grid listing never hides
-    /// an axis behind its default.
+    /// a default `noise` axis as the explicit string `"none"` and a
+    /// default `hierarchy` axis as `"inclusive"`. This is what
+    /// `lru-leak show` prints, so a grid listing never hides an axis
+    /// behind its default.
     pub fn to_json_full(&self) -> Value {
-        let v = self.to_json();
-        if self.noise.is_none() {
-            let Value::Obj(mut pairs) = v else {
-                unreachable!("to_json builds an object")
-            };
-            let at = pairs
+        let Value::Obj(mut pairs) = self.to_json() else {
+            unreachable!("to_json builds an object")
+        };
+        let before_params = |pairs: &[(String, Value)]| {
+            pairs
                 .iter()
                 .position(|(k, _)| k == "params")
-                .unwrap_or(pairs.len());
+                .unwrap_or(pairs.len())
+        };
+        if self.noise.is_none() {
+            let at = before_params(&pairs);
             pairs.insert(at, ("noise".to_string(), noise_to_json(&self.noise)));
-            Value::Obj(pairs)
-        } else {
-            v
         }
+        if self.hierarchy == HierarchyId::Inclusive {
+            let at = before_params(&pairs);
+            pairs.insert(
+                at,
+                (
+                    "hierarchy".to_string(),
+                    Value::Str(self.hierarchy.name().into()),
+                ),
+            );
+        }
+        Value::Obj(pairs)
     }
 
     /// Deserializes and re-validates a scenario.
@@ -991,6 +1090,14 @@ impl Scenario {
         let noise = match v.get("noise") {
             Some(n) => noise_from_json(n)?,
             None => NoiseModel::None,
+        };
+        let hierarchy = match v.get("hierarchy") {
+            Some(h) => h.as_str().and_then(HierarchyId::parse).ok_or_else(|| {
+                ScenarioError::parse(
+                    "unknown hierarchy — expected inclusive, non-inclusive or back-invalidate",
+                )
+            })?,
+            None => HierarchyId::Inclusive,
         };
         let p = v
             .get("params")
@@ -1028,6 +1135,7 @@ impl Scenario {
                 defense,
                 workload,
                 noise,
+                hierarchy,
                 params,
                 message,
                 kind,
@@ -1104,6 +1212,13 @@ impl ScenarioBuilder {
     #[must_use]
     pub fn noise(mut self, noise: NoiseModel) -> Self {
         self.inner.noise = noise;
+        self
+    }
+
+    /// Sets the hierarchy-backend axis.
+    #[must_use]
+    pub fn hierarchy(mut self, hierarchy: HierarchyId) -> Self {
+        self.inner.hierarchy = hierarchy;
         self
     }
 
@@ -1305,7 +1420,43 @@ impl ScenarioBuilder {
                     "covert needs a non-empty message",
                 ));
             }
+            ExperimentKind::L2Channel { samples } if *samples == 0 => {
+                return Err(ScenarioError::incompatible("l2-channel needs samples >= 1"));
+            }
+            ExperimentKind::InclusionVictim { trials } if *trials == 0 => {
+                return Err(ScenarioError::incompatible(
+                    "inclusion-victim needs trials >= 1",
+                ));
+            }
             _ => {}
+        }
+        if s.hierarchy != HierarchyId::Inclusive
+            && !matches!(
+                s.kind,
+                ExperimentKind::Covert
+                    | ExperimentKind::PercentOnes { .. }
+                    | ExperimentKind::L2Channel { .. }
+                    | ExperimentKind::InclusionVictim { .. }
+            )
+        {
+            return Err(ScenarioError::incompatible(format!(
+                "the {} hierarchy backend is threaded through covert, percent-ones \
+                 and the cross-core L2 kinds only",
+                s.hierarchy.name()
+            )));
+        }
+        // The hierarchy axis studies the inclusion model in
+        // isolation; the noise plumbing builds its machine before
+        // the swap point, so combining them would silently run the
+        // default hierarchy. Reject instead.
+        if s.hierarchy != HierarchyId::Inclusive
+            && (!s.noise.is_none() || s.workload == WorkloadId::BenignNoise)
+        {
+            return Err(ScenarioError::incompatible(format!(
+                "the {} hierarchy backend runs on a quiet machine only — \
+                 drop the noise model / benign-noise workload",
+                s.hierarchy.name()
+            )));
         }
         if s.workload == WorkloadId::BenignNoise
             && !matches!(s.kind, ExperimentKind::PercentOnes { .. })
@@ -1516,6 +1667,14 @@ mod tests {
                 ExperimentKind::MultiSet { sets: 8, frames: 6 },
                 MessageSource::Text("hi".into()),
             ),
+            (
+                ExperimentKind::L2Channel { samples: 32 },
+                MessageSource::Alternating { bits: 1 },
+            ),
+            (
+                ExperimentKind::InclusionVictim { trials: 16 },
+                MessageSource::Alternating { bits: 1 },
+            ),
         ];
         for (kind, message) in kinds {
             let s = Scenario::builder()
@@ -1581,6 +1740,60 @@ mod tests {
         );
         let explicit = MessageSource::Bits(vec![true, false, true]);
         assert_eq!(explicit.bits(0), vec![true, false, true]);
+    }
+
+    #[test]
+    fn hierarchy_axis_default_is_byte_invisible() {
+        let s = Scenario::builder().build().unwrap();
+        let text = s.to_json().to_string();
+        assert!(
+            !text.contains("hierarchy"),
+            "default hierarchy must be omitted for byte-stable encodings"
+        );
+        let full = s.to_json_full().to_string();
+        assert!(full.contains("\"hierarchy\""));
+        assert!(full.contains("\"inclusive\""));
+        // A missing field parses as the default.
+        assert_eq!(
+            Scenario::from_json_str(&text).unwrap().hierarchy,
+            HierarchyId::Inclusive
+        );
+    }
+
+    #[test]
+    fn hierarchy_axis_round_trips() {
+        for h in HierarchyId::ALL {
+            let s = Scenario::builder().hierarchy(h).build().unwrap();
+            let back = Scenario::from_json_str(&s.to_json().to_string()).unwrap();
+            assert_eq!(back, s, "round trip of {h:?}");
+            assert_eq!(HierarchyId::parse(h.name()), Some(h));
+        }
+        // The full form is also parseable (explicit default).
+        let s = Scenario::builder().build().unwrap();
+        assert_eq!(
+            Scenario::from_json_str(&s.to_json_full().to_string()).unwrap(),
+            s
+        );
+    }
+
+    #[test]
+    fn hierarchy_axis_is_gated_by_kind() {
+        let err = Scenario::builder()
+            .hierarchy(HierarchyId::BackInvalidate)
+            .kind(ExperimentKind::LatencyCheck)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ScenarioError::Incompatible(_)));
+        assert!(err.to_string().contains("back-invalidate"));
+        // The threaded kinds accept every backend.
+        for h in HierarchyId::ALL {
+            assert!(Scenario::builder().hierarchy(h).build().is_ok());
+            assert!(Scenario::builder()
+                .hierarchy(h)
+                .kind(ExperimentKind::L2Channel { samples: 8 })
+                .build()
+                .is_ok());
+        }
     }
 
     #[test]

@@ -136,11 +136,24 @@ fn lockstep_eligibility_reasons_are_structured() {
         LockstepIneligible::Noise
     );
 
+    let mut hierarchy = base.clone();
+    hierarchy.hierarchy = lru_leak::scenario::HierarchyId::BackInvalidate;
+    let reason = hierarchy.lockstep_spec().unwrap_err();
+    assert_eq!(
+        reason,
+        LockstepIneligible::Hierarchy(lru_leak::scenario::HierarchyId::BackInvalidate)
+    );
+    assert!(
+        reason.to_string().contains("back-invalidate"),
+        "the hierarchy reason must name the backend: {reason}"
+    );
+
     // Every reason renders a structured, human-readable message.
     for reason in [
         LockstepIneligible::Kind,
         LockstepIneligible::Sharing,
         LockstepIneligible::Noise,
+        LockstepIneligible::Hierarchy(lru_leak::scenario::HierarchyId::NonInclusive),
         LockstepIneligible::WayPredictor,
     ] {
         let msg = reason.to_string();

@@ -10,7 +10,7 @@ use lru_leak::scenario::{ScenarioError, Value};
 /// Every paper-artifact bench target in `crates/bench/benches/`
 /// (`micro` and `bench_perf_smoke` measure the library itself, not a
 /// paper artifact, and are deliberately absent).
-const BENCH_TARGETS: [&str; 24] = [
+const BENCH_TARGETS: [&str; 26] = [
     "fig3_pointer_chase",
     "fig4_error_rates",
     "fig5_traces",
@@ -35,6 +35,8 @@ const BENCH_TARGETS: [&str; 24] = [
     "ablation_noise_ber",
     "ablation_noise_capacity",
     "ablation_noise_grid",
+    "l2_lru_channel",
+    "l2_inclusion_victim",
 ];
 
 #[test]
