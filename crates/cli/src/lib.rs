@@ -10,8 +10,9 @@
 //! lru-leak adhoc <scenario-json | @file.json> [--trials N] [--threads K] [--json] [--summary]
 //!              [--lockstep MODE]
 //! lru-leak serve [--addr A] [--threads K] [--cache-dir DIR] [--max-inflight-trials N]
+//!              [--max-queued N] [--recover]
 //! lru-leak submit <artifact | scenario-json | @file.json> [--addr A] [--trials N] [--seed S]
-//!              [--threads K] [--timeout-secs T] [--progress]
+//!              [--threads K] [--timeout-secs T] [--retries N] [--backoff-ms B] [--progress]
 //! lru-leak status [--addr A]        lru-leak shutdown [--addr A]
 //! ```
 //!
@@ -59,7 +60,14 @@
 //! executed through one shared result cache — so N concurrent
 //! identical `submit`s cost one simulation and print bytes identical
 //! to `run <id> --json`. `submit`/`status`/`shutdown` are the
-//! matching clients.
+//! matching clients. The service is crash-safe: with `--cache-dir`
+//! every accepted job is write-ahead-logged to a durable journal, and
+//! `serve --recover` replays accepted-but-not-done work in original
+//! admission order after a crash; `submit --retries N` re-submits
+//! idempotently over bad networks (torn frames are detected by a
+//! response checksum) with `--backoff-ms`-based seeded-jitter
+//! exponential backoff; overload is shed with a structured
+//! `overloaded` rejection instead of unbounded queueing.
 //!
 //! The core is [`run_cli`], which returns the output instead of
 //! printing — the binary is three lines, and the test suite drives
@@ -134,9 +142,9 @@ USAGE:
     lru-leak adhoc <scenario-json | @file.json> [--trials N] [--threads K] [--json] [--summary]
                  [--lockstep MODE]
     lru-leak serve [--addr A] [--threads K] [--cache-dir DIR] [--max-inflight-trials N]
-                 [--progress]
+                 [--max-queued N] [--recover] [--progress]
     lru-leak submit <artifact | scenario-json | @file.json> [--addr A] [--trials N] [--seed S]
-                 [--threads K] [--timeout-secs T] [--progress]
+                 [--threads K] [--timeout-secs T] [--retries N] [--backoff-ms B] [--progress]
     lru-leak status [--addr A]
     lru-leak shutdown [--addr A]
     lru-leak help
@@ -199,6 +207,32 @@ OPTIONS:
     --max-inflight-trials N
                   serve only: global admission budget in trial-units
                   (cells x trials); over-budget requests queue FIFO
+    --max-queued N
+                  serve only: admission wait-queue bound (default 64).
+                  A request that would park behind more than N earlier
+                  waiters is shed with a structured \"overloaded\"
+                  error event carrying retry_after_ms (HTTP: 503 +
+                  Retry-After) instead of queueing unboundedly; 0
+                  means never park — admit immediately or shed
+    --recover     serve only (needs --cache-dir): replay the durable
+                  job journal on startup. Jobs accepted-but-not-done
+                  before a crash re-enqueue through the credit ledger
+                  in original admission order; already-done jobs are
+                  verified against (and served from) the result cache.
+                  Recovered responses are byte-identical to
+                  uninterrupted ones
+    --retries N   submit only: re-submit up to N times on transport
+                  failures (refused/reset connections, torn or
+                  checksum-failed response frames) and on structured
+                  \"overloaded\" rejections, which honor the server's
+                  retry_after_ms hint. Resubmission is idempotent:
+                  single-flight coalescing plus the journal's
+                  content-hash dedupe re-attach a retry to the same
+                  job instead of recomputing it
+    --backoff-ms B
+                  submit only: base backoff between retries (default
+                  250). Attempt k sleeps B*2^k plus a deterministic
+                  request-seeded jitter in [0, B)
 
 EXIT CODES:
     0   success
@@ -229,6 +263,10 @@ struct Flags {
     cache_dir: Option<String>,
     addr: Option<String>,
     max_inflight_trials: Option<usize>,
+    max_queued: Option<usize>,
+    recover: bool,
+    retries: Option<u32>,
+    backoff_ms: Option<u64>,
 }
 
 fn parse_flags(args: &[String]) -> Result<Flags, CliError> {
@@ -287,6 +325,29 @@ fn parse_flags(args: &[String]) -> Result<Flags, CliError> {
                     return Err(CliError::usage("--max-inflight-trials must be >= 1"));
                 }
                 flags.max_inflight_trials = Some(n);
+            }
+            "--max-queued" => {
+                let v = value_of("--max-queued")?;
+                flags.max_queued = Some(v.parse().map_err(|_| {
+                    CliError::usage(format!(
+                        "--max-queued needs a non-negative integer, got {v:?}"
+                    ))
+                })?);
+            }
+            "--recover" => flags.recover = true,
+            "--retries" => {
+                let v = value_of("--retries")?;
+                flags.retries = Some(v.parse().map_err(|_| {
+                    CliError::usage(format!("--retries needs a non-negative integer, got {v:?}"))
+                })?);
+            }
+            "--backoff-ms" => {
+                let v = value_of("--backoff-ms")?;
+                flags.backoff_ms = Some(v.parse().map_err(|_| {
+                    CliError::usage(format!(
+                        "--backoff-ms needs a non-negative integer, got {v:?}"
+                    ))
+                })?);
             }
             "--progress" => flags.progress = true,
             "--summary" => flags.summary = true,
@@ -353,6 +414,10 @@ fn require_only_addr(flags: &Flags, command: &str) -> Result<(), CliError> {
         || flags.timeout_secs.is_some()
         || flags.cache_dir.is_some()
         || flags.max_inflight_trials.is_some()
+        || flags.max_queued.is_some()
+        || flags.recover
+        || flags.retries.is_some()
+        || flags.backoff_ms.is_some()
     {
         return Err(CliError::usage(format!("{command} takes only --addr")));
     }
@@ -430,10 +495,16 @@ fn relay_event(sink: ProgressSink, event: &Value) {
 
 /// Rejects the service-only options for local commands.
 fn reject_service_flags(flags: &Flags, command: &str) -> Result<(), CliError> {
-    if flags.addr.is_some() || flags.max_inflight_trials.is_some() {
+    if flags.addr.is_some()
+        || flags.max_inflight_trials.is_some()
+        || flags.max_queued.is_some()
+        || flags.recover
+        || flags.retries.is_some()
+        || flags.backoff_ms.is_some()
+    {
         return Err(CliError::usage(format!(
-            "--addr/--max-inflight-trials apply to the service commands \
-             (serve/submit/status/shutdown), not {command}"
+            "--addr/--max-inflight-trials/--max-queued/--recover/--retries/--backoff-ms \
+             apply to the service commands (serve/submit/status/shutdown), not {command}"
         )));
     }
     Ok(())
@@ -959,10 +1030,17 @@ fn run_cli_inner(
                 || flags.csv_dir.is_some()
                 || flags.summary
                 || flags.timeout_secs.is_some()
+                || flags.retries.is_some()
+                || flags.backoff_ms.is_some()
             {
                 return Err(CliError::usage(
-                    "serve takes --addr, --threads, --cache-dir and --max-inflight-trials; \
-                     per-request options travel with submit",
+                    "serve takes --addr, --threads, --cache-dir, --max-inflight-trials, \
+                     --max-queued and --recover; per-request options travel with submit",
+                ));
+            }
+            if flags.recover && flags.cache_dir.is_none() {
+                return Err(CliError::usage(
+                    "--recover needs --cache-dir: the job journal lives in the cache directory",
                 ));
             }
             let config = ServerConfig {
@@ -970,6 +1048,8 @@ fn run_cli_inner(
                 threads: flags.threads,
                 cache_dir: flags.cache_dir.as_ref().map(std::path::PathBuf::from),
                 max_inflight_trials: flags.max_inflight_trials.unwrap_or(0),
+                max_queued: flags.max_queued,
+                recover: flags.recover,
                 ..ServerConfig::default()
             };
             let server = Server::bind(config).map_err(|e| CliError::run(format!("serve: {e}")))?;
@@ -984,14 +1064,18 @@ fn run_cli_inner(
                 .run()
                 .map_err(|e| CliError::run(format!("serve: {e}")))?;
             Ok(format!(
-                "serve: {} requests ({} coalesced), {} completed, {} failed, \
-                 {} cells computed, {} cells cached\n",
+                "serve: {} requests ({} coalesced, {} shed), {} completed, {} failed, \
+                 {} cells computed, {} cells cached, {} jobs recovered \
+                 ({} served from the journal's done records)\n",
                 summary.requests,
                 summary.coalesced,
+                summary.shed,
                 summary.completed,
                 summary.failed,
                 summary.computed_cells,
-                summary.cached_cells
+                summary.cached_cells,
+                summary.recovered_pending,
+                summary.recovered_done
             ))
         }
         "submit" => {
@@ -1010,15 +1094,28 @@ fn run_cli_inner(
                 || flags.cache_dir.is_some()
                 || flags.lockstep.is_some()
                 || flags.max_inflight_trials.is_some()
+                || flags.max_queued.is_some()
+                || flags.recover
             {
                 return Err(CliError::usage(
-                    "submit takes --addr, --trials, --seed, --threads, --timeout-secs \
-                     and --progress; rendering and cache options live on the server",
+                    "submit takes --addr, --trials, --seed, --threads, --timeout-secs, \
+                     --retries, --backoff-ms and --progress; rendering and cache options \
+                     live on the server",
                 ));
             }
             let request = build_submit_request(target, &flags)?;
             let addr = service_addr(&flags);
-            let event = service_client::request(&addr, &request, |event| {
+            // Resubmission is idempotent (single-flight coalescing +
+            // journal dedupe by content hash), so every transport
+            // failure — including a torn or checksum-failed response
+            // frame — and every structured `overloaded` shed is safe
+            // to retry.
+            let policy = service_client::RetryPolicy::new(
+                flags.retries.unwrap_or(0),
+                std::time::Duration::from_millis(flags.backoff_ms.unwrap_or(250)),
+            )
+            .seeded_by_request(&request);
+            let event = service_client::request_with_retry(&addr, &request, &policy, |event| {
                 if flags.progress {
                     relay_event(sink, event);
                 }
@@ -1119,6 +1216,76 @@ mod tests {
                 .code,
             2
         );
+    }
+
+    #[test]
+    fn crash_safety_flags_parse_and_are_scoped_to_their_commands() {
+        // --recover without --cache-dir is a usage error before any
+        // socket is bound.
+        assert_eq!(run_cli(&args(&["serve", "--recover"])).unwrap_err().code, 2);
+        // serve rejects the client's retry knobs; submit rejects the
+        // server's admission knobs.
+        assert_eq!(
+            run_cli(&args(&["serve", "--retries", "3"]))
+                .unwrap_err()
+                .code,
+            2
+        );
+        assert_eq!(
+            run_cli(&args(&["serve", "--backoff-ms", "10"]))
+                .unwrap_err()
+                .code,
+            2
+        );
+        assert_eq!(
+            run_cli(&args(&["submit", "fig5", "--max-queued", "4"]))
+                .unwrap_err()
+                .code,
+            2
+        );
+        assert_eq!(
+            run_cli(&args(&["submit", "fig5", "--recover"]))
+                .unwrap_err()
+                .code,
+            2
+        );
+        // Local commands take none of the service knobs.
+        assert_eq!(
+            run_cli(&args(&["run", "fig5", "--retries", "1"]))
+                .unwrap_err()
+                .code,
+            2
+        );
+        assert_eq!(
+            run_cli(&args(&["status", "--max-queued", "1"]))
+                .unwrap_err()
+                .code,
+            2
+        );
+        // Malformed values are usage errors, not panics.
+        assert_eq!(
+            run_cli(&args(&["serve", "--max-queued", "many"]))
+                .unwrap_err()
+                .code,
+            2
+        );
+        assert_eq!(
+            run_cli(&args(&["submit", "fig5", "--retries", "some"]))
+                .unwrap_err()
+                .code,
+            2
+        );
+        assert_eq!(
+            run_cli(&args(&["submit", "fig5", "--backoff-ms", "soon"]))
+                .unwrap_err()
+                .code,
+            2
+        );
+        // And help documents every crash-safety flag.
+        let help = run_cli(&args(&["help"])).unwrap();
+        for flag in ["--recover", "--retries", "--backoff-ms", "--max-queued"] {
+            assert!(help.contains(flag), "help missing {flag}");
+        }
     }
 
     #[test]

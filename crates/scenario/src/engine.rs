@@ -199,10 +199,14 @@ impl std::error::Error for EngineError {}
 /// the process; the process ID covers concurrent processes.
 static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
 
-/// FNV-1a 64-bit over the canonical key bytes — the content address.
-/// Collisions are harmless: every entry stores its full key and a
+/// FNV-1a 64-bit over arbitrary bytes — the content address every
+/// durability layer in the workspace shares: [`ResultCache`] entry
+/// names, the server's job-journal keys, and the wire protocol's
+/// response checksums all hash with this one function, so "the same
+/// content" means the same 64-bit address everywhere. Collisions are
+/// harmless for the cache: every entry stores its full key and a
 /// lookup verifies it, so a colliding entry reads as a miss.
-fn fnv1a64(bytes: &[u8]) -> u64 {
+pub fn content_hash64(bytes: &[u8]) -> u64 {
     let mut h = 0xcbf2_9ce4_8422_2325u64;
     for &b in bytes {
         h ^= u64::from(b);
@@ -308,9 +312,33 @@ impl ResultCache {
         scenario.to_json_full().to_string()
     }
 
+    /// The 64-bit content address of a scenario — the hash its entry
+    /// file name is derived from. The server's job journal keys its
+    /// records with this same number, so "the journal and the cache
+    /// agree about a cell" is an equality check, not a convention.
+    pub fn key_hash(scenario: &Scenario) -> u64 {
+        content_hash64(Self::key(scenario).as_bytes())
+    }
+
     /// The entry file name a scenario hashes to.
     pub fn entry_name(scenario: &Scenario) -> String {
-        format!("{:016x}.json", fnv1a64(Self::key(scenario).as_bytes()))
+        format!("{:016x}.json", Self::key_hash(scenario))
+    }
+
+    /// Whether a *verified* entry for `scenario` is on disk, without
+    /// touching the hit/miss counters — the peek journal recovery
+    /// uses to decide whether a `done` record can be trusted or must
+    /// degrade to recompute. Any unreadable, unparsable, stale or
+    /// key-mismatched entry reads as absent, exactly like
+    /// [`ResultCache::lookup`].
+    pub fn contains(&self, scenario: &Scenario) -> bool {
+        let Ok(text) = fs::read_to_string(self.entry_path(scenario)) else {
+            return false;
+        };
+        Value::parse(&text).ok().is_some_and(|entry| {
+            entry.get("version").and_then(Value::as_u64) == Some(CACHE_FORMAT_VERSION)
+                && entry.get("key").and_then(Value::as_str) == Some(Self::key(scenario).as_str())
+        })
     }
 
     fn entry_path(&self, scenario: &Scenario) -> PathBuf {
@@ -362,7 +390,7 @@ impl ResultCache {
         let path = self.entry_path(scenario);
         let tmp = self.dir.join(format!(
             ".{:016x}.{}-{}.tmp",
-            fnv1a64(Self::key(scenario).as_bytes()),
+            content_hash64(Self::key(scenario).as_bytes()),
             std::process::id(),
             TMP_SEQ.fetch_add(1, Ordering::Relaxed),
         ));

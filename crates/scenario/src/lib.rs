@@ -97,8 +97,8 @@ pub use aggregate::{
     Aggregate, CapacityStats, CollectMetrics, KeyHistogram, ProgressFn, Reducer, ScalarStats,
 };
 pub use engine::{
-    CacheStats, CancelToken, Engine, EngineError, FaultPlan, Job, JobProgress, JobStatus,
-    ResultCache,
+    content_hash64, CacheStats, CancelToken, Engine, EngineError, FaultPlan, Job, JobProgress,
+    JobStatus, ResultCache,
 };
 pub use experiment::{Experiment, LockstepIneligible, Outcome};
 pub use fmt::BENCH_SEED;

@@ -1,0 +1,297 @@
+//! A seed-deterministic in-process TCP chaos proxy — test-only, like
+//! [`scenario::engine::FaultPlan`].
+//!
+//! Network-fault tests are only worth having if they are
+//! reproducible. The proxy sits between a client and the real server
+//! on a loopback port and misbehaves *by plan*, not by luck:
+//!
+//! * **drop** — sever a chosen connection before any response byte;
+//! * **truncate** — cut the server→client stream mid-frame after an
+//!   exact byte count, leaving a torn NDJSON line;
+//! * **split** — re-chunk forwarded bytes into tiny seed-derived
+//!   writes (1–9 bytes), so frames arrive across many TCP segments
+//!   and readers that assume one-read-per-line break loudly;
+//! * **delay** — seed-derived sleeps (bounded by a cap) between
+//!   forwarded chunks.
+//!
+//! Faults are keyed by **connection index** (arrival order) and every
+//! random choice derives from `derive_seed(plan_seed, conn_index)`,
+//! so a test that retries through the proxy sees byte-identical fault
+//! schedules on every run, independent of thread scheduling. Split
+//! and delay apply to both directions (request framing is exercised
+//! too); truncation targets the response path, where a torn `result`
+//! frame must fail the client's CRC/newline checks and be retried.
+
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use lru_channel::trials::derive_seed;
+
+/// How long pump threads and the accept loop block before re-checking
+/// the shutdown flag.
+const POLL_SLICE: Duration = Duration::from_millis(20);
+
+/// A deterministic fault schedule for [`ChaosProxy`]. Built like
+/// [`scenario::engine::FaultPlan`]: seed it, then chain the faults
+/// the test wants.
+#[derive(Debug, Clone, Default)]
+pub struct ChaosPlan {
+    seed: u64,
+    split: bool,
+    delay_cap_ms: u64,
+    drop_conns: Vec<usize>,
+    truncate: Vec<(usize, usize)>,
+}
+
+impl ChaosPlan {
+    /// A plan whose random choices all derive from `seed`.
+    pub fn seeded(seed: u64) -> ChaosPlan {
+        ChaosPlan {
+            seed,
+            ..ChaosPlan::default()
+        }
+    }
+
+    /// Re-chunk forwarded bytes into 1–9 byte writes (both
+    /// directions), exercising split-frame handling in every reader.
+    pub fn split_writes(mut self) -> ChaosPlan {
+        self.split = true;
+        self
+    }
+
+    /// Sleep a seed-derived duration in `0..cap` before each
+    /// forwarded chunk.
+    pub fn delay_up_to(mut self, cap: Duration) -> ChaosPlan {
+        self.delay_cap_ms = cap.as_millis() as u64;
+        self
+    }
+
+    /// Sever connection `conn` (0-based arrival order) before any
+    /// response byte reaches the client.
+    pub fn drop_conn(mut self, conn: usize) -> ChaosPlan {
+        self.drop_conns.push(conn);
+        self
+    }
+
+    /// Cut connection `conn`'s server→client stream after exactly
+    /// `bytes` forwarded bytes — a mid-frame truncation when `bytes`
+    /// lands inside an event line.
+    pub fn truncate_at(mut self, conn: usize, bytes: usize) -> ChaosPlan {
+        self.truncate.push((conn, bytes));
+        self
+    }
+
+    fn truncate_for(&self, conn: usize) -> Option<usize> {
+        self.truncate
+            .iter()
+            .find(|(c, _)| *c == conn)
+            .map(|(_, n)| *n)
+    }
+}
+
+/// A tiny deterministic byte-stream RNG: every draw re-mixes the
+/// state through [`derive_seed`], so schedules depend only on the
+/// plan seed and the connection index.
+#[derive(Debug)]
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = derive_seed(self.0, 0x9e37_79b9);
+        self.0
+    }
+}
+
+/// The running proxy; dropping (or [`ChaosProxy::stop`]) shuts the
+/// listener down.
+#[derive(Debug)]
+pub struct ChaosProxy {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    conns: Arc<AtomicUsize>,
+    accept: Option<thread::JoinHandle<()>>,
+}
+
+impl ChaosProxy {
+    /// Starts a proxy on an ephemeral loopback port forwarding to
+    /// `upstream`, applying `plan`'s faults per connection.
+    pub fn start(upstream: &str, plan: ChaosPlan) -> io::Result<ChaosProxy> {
+        let upstream: SocketAddr = upstream
+            .parse()
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, format!("{e}")))?;
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let conns = Arc::new(AtomicUsize::new(0));
+        let accept = {
+            let shutdown = Arc::clone(&shutdown);
+            let conns = Arc::clone(&conns);
+            thread::spawn(move || {
+                while !shutdown.load(Ordering::SeqCst) {
+                    match listener.accept() {
+                        Ok((client, _)) => {
+                            let conn = conns.fetch_add(1, Ordering::SeqCst);
+                            let plan = plan.clone();
+                            let stop = Arc::clone(&shutdown);
+                            thread::spawn(move || serve_conn(client, upstream, conn, plan, stop));
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                            thread::sleep(POLL_SLICE);
+                        }
+                        Err(_) => break,
+                    }
+                }
+            })
+        };
+        Ok(ChaosProxy {
+            addr,
+            shutdown,
+            conns,
+            accept: Some(accept),
+        })
+    }
+
+    /// The proxy's listen address, e.g. `127.0.0.1:49231`.
+    pub fn addr(&self) -> String {
+        self.addr.to_string()
+    }
+
+    /// Connections accepted so far.
+    pub fn connections(&self) -> usize {
+        self.conns.load(Ordering::SeqCst)
+    }
+
+    /// Stops accepting and joins the accept loop. Live pump threads
+    /// wind down as their streams close.
+    pub fn stop(mut self) {
+        self.wind_down();
+    }
+
+    fn wind_down(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+    }
+}
+
+impl Drop for ChaosProxy {
+    fn drop(&mut self) {
+        self.wind_down();
+    }
+}
+
+fn serve_conn(
+    client: TcpStream,
+    upstream: SocketAddr,
+    conn: usize,
+    plan: ChaosPlan,
+    stop: Arc<AtomicBool>,
+) {
+    if plan.drop_conns.contains(&conn) {
+        // Severed before any response byte: the client sees EOF (or a
+        // reset) and, with retries on, comes back as a new connection.
+        let _ = client.shutdown(Shutdown::Both);
+        return;
+    }
+    let Ok(server) = TcpStream::connect(upstream) else {
+        let _ = client.shutdown(Shutdown::Both);
+        return;
+    };
+    let (Ok(c2), Ok(s2)) = (client.try_clone(), server.try_clone()) else {
+        return;
+    };
+    let seed = derive_seed(plan.seed, conn as u64);
+    let response_cut = plan.truncate_for(conn);
+    // Client → server: requests ride split/delay faults too, so the
+    // server's reader sees frames across many segments.
+    let up_plan = plan.clone();
+    let up_stop = Arc::clone(&stop);
+    let up = thread::spawn(move || {
+        pump(
+            client,
+            server,
+            Rng(derive_seed(seed, 1)),
+            &up_plan,
+            None,
+            up_stop,
+        );
+    });
+    // Server → client: the response path, where truncation applies.
+    pump(s2, c2, Rng(derive_seed(seed, 2)), &plan, response_cut, stop);
+    let _ = up.join();
+}
+
+/// Copies `from` → `to` applying the plan's faults; returns when
+/// either side closes, the truncation budget is spent, or shutdown.
+fn pump(
+    from: TcpStream,
+    to: TcpStream,
+    mut rng: Rng,
+    plan: &ChaosPlan,
+    mut cut_after: Option<usize>,
+    stop: Arc<AtomicBool>,
+) {
+    let mut from = from;
+    let _ = from.set_read_timeout(Some(POLL_SLICE));
+    let mut to = to;
+    let mut buf = [0u8; 4096];
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let n = match from.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => n,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(_) => break,
+        };
+        let chunk = &buf[..n];
+        if let Some(budget) = cut_after.as_mut() {
+            if chunk.len() >= *budget {
+                // Forward exactly the budget, then tear the stream.
+                let (keep, _) = chunk.split_at(*budget);
+                let _ = forward(&mut to, keep, &mut rng, plan);
+                break;
+            }
+            *budget -= chunk.len();
+        }
+        if forward(&mut to, chunk, &mut rng, plan).is_err() {
+            break;
+        }
+    }
+    let _ = from.shutdown(Shutdown::Both);
+    let _ = to.shutdown(Shutdown::Both);
+}
+
+fn forward(
+    to: &mut TcpStream,
+    mut bytes: &[u8],
+    rng: &mut Rng,
+    plan: &ChaosPlan,
+) -> io::Result<()> {
+    while !bytes.is_empty() {
+        if plan.delay_cap_ms > 0 {
+            thread::sleep(Duration::from_millis(rng.next() % plan.delay_cap_ms));
+        }
+        let take = if plan.split {
+            (1 + (rng.next() % 9) as usize).min(bytes.len())
+        } else {
+            bytes.len()
+        };
+        let (now, rest) = bytes.split_at(take);
+        to.write_all(now)?;
+        to.flush()?;
+        bytes = rest;
+    }
+    Ok(())
+}

@@ -4,11 +4,77 @@
 //! event lines back, return the first *final* event (`result`,
 //! `error`, `status` or `shutdown`); `accepted` and `progress`
 //! events are handed to the callback as they arrive.
+//!
+//! The reader is **strict about frames**: an event is only an event
+//! once its terminating newline has arrived, and a `result` event
+//! must pass its trailing [`proto::body_crc`] checksum. A connection
+//! that dies mid-line therefore surfaces as a typed I/O error —
+//! never as a silently truncated body — which is exactly what
+//! [`request_with_retry`] needs to re-submit safely: single-flight
+//! coalescing plus the server's journal dedupe by content hash make
+//! resubmission idempotent, so a retry after a lost `result` line
+//! re-attaches to (or re-reads from cache) the same job instead of
+//! recomputing it.
 
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::TcpStream;
+use std::time::Duration;
 
+use lru_channel::trials::derive_seed;
+use scenario::engine::content_hash64;
 use scenario::Value;
+
+use crate::proto;
+
+/// Retry discipline for [`request_with_retry`]: up to `retries`
+/// re-submissions with seeded-jitter exponential backoff.
+///
+/// Attempt `k` (0-based) sleeps `backoff · 2^k` plus a jitter drawn
+/// from `derive_seed(seed, k)` in `[0, backoff)` — deterministic for
+/// a fixed seed, so tests can assert exact schedules, while distinct
+/// requests (the default seed hashes the request bytes) still spread
+/// their retries out. A structured `overloaded` rejection overrides
+/// the schedule with the server's `retry_after_ms` hint.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Re-submissions after the first attempt (0 = fail fast).
+    pub retries: u32,
+    /// The base backoff; doubles every attempt.
+    pub backoff: Duration,
+    /// Jitter seed; [`RetryPolicy::seeded_by_request`] derives it
+    /// from the request content.
+    pub seed: u64,
+}
+
+impl RetryPolicy {
+    /// A policy with `retries` attempts over base `backoff`.
+    pub fn new(retries: u32, backoff: Duration) -> RetryPolicy {
+        RetryPolicy {
+            retries,
+            backoff,
+            seed: 0,
+        }
+    }
+
+    /// Seeds the jitter from the request bytes, so concurrent
+    /// distinct submits de-synchronize their retry storms while
+    /// staying reproducible.
+    pub fn seeded_by_request(mut self, request: &Value) -> RetryPolicy {
+        self.seed = content_hash64(request.to_string().as_bytes());
+        self
+    }
+
+    /// The sleep before re-submission attempt `attempt` (0-based).
+    pub fn delay(&self, attempt: u32) -> Duration {
+        let base = self.backoff.saturating_mul(1u32 << attempt.min(16));
+        let jitter_ms = if self.backoff.as_millis() == 0 {
+            0
+        } else {
+            derive_seed(self.seed, attempt as u64) % self.backoff.as_millis() as u64
+        };
+        base + Duration::from_millis(jitter_ms)
+    }
+}
 
 /// Sends `request` to the server at `addr` and returns the final
 /// event. Intermediate `accepted`/`progress` events invoke
@@ -16,34 +82,119 @@ use scenario::Value;
 ///
 /// # Errors
 ///
-/// Connection and I/O failures, an unparsable event line, or the
-/// server closing the connection before a final event.
+/// Connection and I/O failures, an unparsable event line, a frame
+/// without its terminating newline (the connection died mid-event),
+/// a `result` event whose body fails its checksum, or the server
+/// closing the connection before a final event.
 pub fn request(addr: &str, request: &Value, mut on_event: impl FnMut(&Value)) -> io::Result<Value> {
     let mut stream = TcpStream::connect(addr)?;
     stream.write_all(request.to_string().as_bytes())?;
     stream.write_all(b"\n")?;
     stream.flush()?;
-    let reader = BufReader::new(stream);
-    for line in reader.lines() {
-        let line = line?;
-        if line.trim().is_empty() {
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection before a final event",
+            ));
+        }
+        // `read_line` returns a final unterminated fragment as if it
+        // were a line; only a frame with its newline is complete.
+        let Some(frame) = line.strip_suffix('\n') else {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "connection died mid-frame ({} bytes of an unterminated event line)",
+                    line.len()
+                ),
+            ));
+        };
+        if frame.trim().is_empty() {
             continue;
         }
-        let event = Value::parse(&line).map_err(|e| {
+        let event = Value::parse(frame).map_err(|e| {
             io::Error::new(
                 io::ErrorKind::InvalidData,
-                format!("unparsable event line {line:?}: {e}"),
+                format!("unparsable event line {frame:?}: {e}"),
             )
         })?;
         match event.get("event").and_then(Value::as_str) {
             Some("accepted" | "progress") => on_event(&event),
+            Some("result") => {
+                verify_result_crc(&event)?;
+                return Ok(event);
+            }
             _ => return Ok(event),
         }
     }
+}
+
+/// Checks a `result` event's trailing checksum: hex
+/// [`content_hash64`] of the body must match the `crc` field (events
+/// from servers that predate the field pass unchecked).
+fn verify_result_crc(event: &Value) -> io::Result<()> {
+    let (Some(body), Some(crc)) = (
+        event.get("body").and_then(Value::as_str),
+        event.get("crc").and_then(Value::as_str),
+    ) else {
+        return Ok(());
+    };
+    if proto::body_crc(body) == crc {
+        return Ok(());
+    }
     Err(io::Error::new(
-        io::ErrorKind::UnexpectedEof,
-        "server closed the connection before a final event",
+        io::ErrorKind::InvalidData,
+        "result body failed its checksum (corrupt or truncated frame)",
     ))
+}
+
+/// [`request`], re-submitted up to `policy.retries` times.
+///
+/// Every transport-layer failure is retryable — refused/reset
+/// connections, mid-frame EOF, corrupt frames, checksum mismatches —
+/// because resubmission is idempotent by design (single-flight
+/// coalescing + journal dedupe + result cache). A structured
+/// `overloaded` error event is also retried, honoring the server's
+/// `retry_after_ms` hint instead of the policy's own schedule. Any
+/// other final event (including `error` events like `bad_request` or
+/// `timeout`) returns immediately: those are answers, not failures.
+///
+/// # Errors
+///
+/// The last attempt's error, once the budget is spent.
+pub fn request_with_retry(
+    addr: &str,
+    req: &Value,
+    policy: &RetryPolicy,
+    mut on_event: impl FnMut(&Value),
+) -> io::Result<Value> {
+    let mut attempt = 0u32;
+    loop {
+        match request(addr, req, &mut on_event) {
+            Ok(event) => {
+                let overloaded = event.get("event").and_then(Value::as_str) == Some("error")
+                    && event.get("status").and_then(Value::as_str) == Some("overloaded");
+                if !overloaded || attempt >= policy.retries {
+                    return Ok(event);
+                }
+                let hinted = event
+                    .get("retry_after_ms")
+                    .and_then(Value::as_u64)
+                    .map(Duration::from_millis);
+                std::thread::sleep(hinted.unwrap_or_else(|| policy.delay(attempt)));
+            }
+            Err(e) => {
+                if attempt >= policy.retries {
+                    return Err(e);
+                }
+                std::thread::sleep(policy.delay(attempt));
+            }
+        }
+        attempt += 1;
+    }
 }
 
 /// Fetches the service counters (`{"cmd":"status"}`).
@@ -63,4 +214,46 @@ pub fn status(addr: &str) -> io::Result<Value> {
 /// See [`request`].
 pub fn shutdown(addr: &str) -> io::Result<Value> {
     request(addr, &Value::obj().with("cmd", "shutdown"), |_| {})
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_exponentially_with_deterministic_jitter() {
+        let policy = RetryPolicy::new(3, Duration::from_millis(100));
+        let (d0, d1, d2) = (policy.delay(0), policy.delay(1), policy.delay(2));
+        assert!(d0 >= Duration::from_millis(100) && d0 < Duration::from_millis(200));
+        assert!(d1 >= Duration::from_millis(200) && d1 < Duration::from_millis(300));
+        assert!(d2 >= Duration::from_millis(400) && d2 < Duration::from_millis(500));
+        // Deterministic: the same policy yields the same schedule.
+        assert_eq!(policy.delay(1), policy.delay(1));
+        // Distinct request seeds spread the jitter.
+        let a = RetryPolicy::new(3, Duration::from_millis(100))
+            .seeded_by_request(&Value::obj().with("cmd", "run").with("artifact", "fig5"));
+        let b = RetryPolicy::new(3, Duration::from_millis(100))
+            .seeded_by_request(&Value::obj().with("cmd", "run").with("artifact", "fig6"));
+        assert_ne!(a.seed, b.seed);
+    }
+
+    #[test]
+    fn result_crc_verification_rejects_tampered_bodies() {
+        let good = Value::obj()
+            .with("event", "result")
+            .with("body", "hello\n")
+            .with("crc", proto::body_crc("hello\n"));
+        assert!(verify_result_crc(&good).is_ok());
+        let bad = Value::obj()
+            .with("event", "result")
+            .with("body", "hell")
+            .with("crc", proto::body_crc("hello\n"));
+        assert_eq!(
+            verify_result_crc(&bad).unwrap_err().kind(),
+            io::ErrorKind::InvalidData
+        );
+        // Pre-crc servers: nothing to verify.
+        let legacy = Value::obj().with("event", "result").with("body", "hello\n");
+        assert!(verify_result_crc(&legacy).is_ok());
+    }
 }

@@ -20,6 +20,15 @@
 //! capacity while the ledger is empty, is always admissible — an
 //! oversized job runs alone rather than deadlocking).
 //!
+//! The queue is **bounded**: a request that cannot run immediately
+//! while `max_queued` earlier waiters are already parked is not
+//! parked at all — it is shed with [`Admission::Overloaded`], which the
+//! server turns into a structured `overloaded` error event (and the
+//! HTTP shim into `503` + `Retry-After`). Shedding at the door keeps
+//! the wait queue — and therefore worst-case queueing latency —
+//! bounded no matter how hard clients burst; a well-behaved client
+//! backs off and retries ([`crate::client::RetryPolicy`]).
+//!
 //! The unit is deliberately **work, not wall time**: a trial costs
 //! one unit whether the engine simulates it on the scalar path or
 //! fast-forwards it in a lockstep batch lane
@@ -60,25 +69,74 @@ struct State {
     next_ticket: u64,
 }
 
+/// The result of asking the ledger for admission.
+#[derive(Debug)]
+pub enum Admission {
+    /// Admitted; the guard releases the credits on drop.
+    Admitted(CreditGuard),
+    /// Shed at the door: the request was not admissible immediately
+    /// and the wait queue already held `max_queued` earlier tickets.
+    /// Nothing was enqueued; the caller should reject with a
+    /// structured `overloaded` error and let the client back off.
+    Overloaded {
+        /// Waiters parked when the request was shed.
+        queued: usize,
+        /// The queue bound in force.
+        max_queued: usize,
+    },
+    /// The cancellation token fired before admission; the ticket was
+    /// removed from the queue so later arrivals are not blocked.
+    Cancelled,
+}
+
+impl Admission {
+    /// Unwraps the guard, panicking on shed/cancelled — test helper.
+    pub fn unwrap(self) -> CreditGuard {
+        match self {
+            Admission::Admitted(g) => g,
+            other => panic!("admission denied: {other:?}"),
+        }
+    }
+
+    /// The guard, if admitted.
+    pub fn admitted(self) -> Option<CreditGuard> {
+        match self {
+            Admission::Admitted(g) => Some(g),
+            _ => None,
+        }
+    }
+}
+
 /// The admission ledger: global + per-connection trial-unit budgets
 /// with a deterministic FIFO wait queue. See the module docs.
 #[derive(Debug)]
 pub struct Ledger {
     capacity: usize,
     per_conn: usize,
+    max_queued: usize,
     state: Mutex<State>,
     cv: Condvar,
 }
 
 impl Ledger {
     /// A ledger admitting up to `capacity` in-flight trial-units
-    /// globally and `per_conn` per connection. Both are clamped to at
-    /// least 1; a request larger than its budget still runs — alone —
-    /// when that budget is otherwise idle.
+    /// globally and `per_conn` per connection, with an unbounded wait
+    /// queue. Both budgets are clamped to at least 1; a request larger
+    /// than its budget still runs — alone — when that budget is
+    /// otherwise idle.
     pub fn new(capacity: usize, per_conn: usize) -> Ledger {
+        Ledger::bounded(capacity, per_conn, usize::MAX)
+    }
+
+    /// Like [`Ledger::new`], but sheds any request that is not
+    /// admissible immediately once `max_queued` earlier waiters are
+    /// parked ([`Admission::Overloaded`]). `usize::MAX` means
+    /// unbounded; `0` means "never park: admit immediately or shed".
+    pub fn bounded(capacity: usize, per_conn: usize, max_queued: usize) -> Ledger {
         Ledger {
             capacity: capacity.max(1),
             per_conn: per_conn.max(1),
+            max_queued,
             state: Mutex::new(State::default()),
             cv: Condvar::new(),
         }
@@ -104,6 +162,25 @@ impl Ledger {
         self.lock().queue.len()
     }
 
+    /// The wait-queue bound (`usize::MAX` = unbounded).
+    pub fn max_queued(&self) -> usize {
+        self.max_queued
+    }
+
+    /// One consistent snapshot of the ledger's books:
+    /// `(inflight, per-connection holds summed, queued tickets)`.
+    ///
+    /// The accounting invariant — credits released exactly once, never
+    /// leaked, never double-freed — is exactly `inflight == held_sum`
+    /// at every instant, and both drain to zero when no guard is
+    /// alive. Tests hammer this under random cancel/complete
+    /// interleavings; see `ledger_invariant_under_hammering`.
+    pub fn audit(&self) -> (usize, usize, usize) {
+        let state = self.lock();
+        let held: usize = state.by_conn.values().sum();
+        (state.inflight, held, state.queue.len())
+    }
+
     fn lock(&self) -> MutexGuard<'_, State> {
         self.state
             .lock()
@@ -127,16 +204,10 @@ impl Ledger {
     }
 
     /// Blocks until `cost` trial-units are admitted for connection
-    /// `conn`, or until `cancel` fires (checked every 25ms slice).
-    /// Returns a guard that releases the credits on drop, or `None`
-    /// when the token fired before admission — the ticket is removed
-    /// from the queue so later arrivals are not blocked.
-    pub fn acquire(
-        self: &Arc<Self>,
-        conn: u64,
-        cost: usize,
-        cancel: &CancelToken,
-    ) -> Option<CreditGuard> {
+    /// `conn`, or until `cancel` fires (checked every 25ms slice), or
+    /// sheds immediately when the request is not admissible right now
+    /// and the wait queue is already at its bound.
+    pub fn acquire(self: &Arc<Self>, conn: u64, cost: usize, cancel: &CancelToken) -> Admission {
         let cost = cost.max(1);
         let mut state = self.lock();
         let ticket = Ticket {
@@ -146,6 +217,18 @@ impl Ledger {
         };
         state.next_ticket += 1;
         state.queue.push_back(ticket);
+        // Bounded queue: if this ticket cannot run now and the queue
+        // already holds `max_queued` earlier waiters, shed it before
+        // it ever blocks. (The queue length counts those earlier
+        // tickets plus this one; the shed ticket itself never waits.)
+        if !self.my_turn(&state, &ticket) && state.queue.len() > self.max_queued {
+            let queued = state.queue.len() - 1;
+            state.queue.retain(|q| q.id != ticket.id);
+            return Admission::Overloaded {
+                queued,
+                max_queued: self.max_queued,
+            };
+        }
         loop {
             if self.my_turn(&state, &ticket) {
                 state.queue.retain(|q| q.id != ticket.id);
@@ -153,7 +236,7 @@ impl Ledger {
                 *state.by_conn.entry(conn).or_insert(0) += cost;
                 // Another queued ticket may also fit now.
                 self.cv.notify_all();
-                return Some(CreditGuard {
+                return Admission::Admitted(CreditGuard {
                     ledger: Arc::clone(self),
                     conn,
                     cost,
@@ -162,7 +245,7 @@ impl Ledger {
             if cancel.is_cancelled() {
                 state.queue.retain(|q| q.id != ticket.id);
                 self.cv.notify_all();
-                return None;
+                return Admission::Cancelled;
             }
             state = self
                 .cv
@@ -254,7 +337,7 @@ mod tests {
         let l2 = Arc::clone(&ledger);
         let blocked = thread::spawn(move || {
             let token = CancelToken::new();
-            l2.acquire(7, 5, &token).map(drop).is_some()
+            l2.acquire(7, 5, &token).admitted().map(drop).is_some()
         });
         thread::sleep(Duration::from_millis(60));
         assert_eq!(ledger.queued(), 1);
@@ -272,8 +355,100 @@ mod tests {
         let g = ledger.acquire(1, 4, &token).unwrap();
         let cancelled = CancelToken::new();
         cancelled.cancel();
-        assert!(ledger.acquire(2, 4, &cancelled).is_none());
+        assert!(matches!(
+            ledger.acquire(2, 4, &cancelled),
+            Admission::Cancelled
+        ));
         assert_eq!(ledger.queued(), 0);
         drop(g);
+    }
+
+    #[test]
+    fn bounded_queue_sheds_instead_of_parking() {
+        let ledger = Arc::new(Ledger::bounded(4, 4, 1));
+        let token = CancelToken::new();
+        let g = ledger.acquire(1, 4, &token).unwrap();
+        // One waiter fits in the queue...
+        let l2 = Arc::clone(&ledger);
+        let waiter = thread::spawn(move || {
+            let token = CancelToken::new();
+            l2.acquire(2, 4, &token).admitted().map(drop).is_some()
+        });
+        thread::sleep(Duration::from_millis(60));
+        assert_eq!(ledger.queued(), 1);
+        // ...the second is shed at the door without blocking, and the
+        // parked waiter is untouched.
+        match ledger.acquire(3, 4, &token) {
+            Admission::Overloaded { queued, max_queued } => {
+                assert_eq!(queued, 1);
+                assert_eq!(max_queued, 1);
+            }
+            other => panic!("expected shed, got {other:?}"),
+        }
+        assert_eq!(ledger.queued(), 1);
+        drop(g);
+        assert!(waiter.join().unwrap());
+        // An admissible request is never shed, whatever the bound.
+        let strict = Arc::new(Ledger::bounded(4, 4, 0));
+        drop(strict.acquire(9, 4, &token).unwrap());
+        assert_eq!(strict.audit(), (0, 0, 0));
+    }
+
+    #[test]
+    fn zero_bound_rejects_any_wait() {
+        let ledger = Arc::new(Ledger::bounded(4, 4, 0));
+        let token = CancelToken::new();
+        let g = ledger.acquire(1, 4, &token).unwrap();
+        assert!(matches!(
+            ledger.acquire(2, 1, &token),
+            Admission::Overloaded { .. }
+        ));
+        drop(g);
+        assert_eq!(ledger.audit(), (0, 0, 0));
+    }
+
+    /// Satellite: hammer random cancel/complete interleavings and
+    /// assert the books balance at every step — credits are returned
+    /// exactly once (no leak that starves admission, no double
+    /// release that over-admits), and everything drains to zero.
+    #[test]
+    fn ledger_invariant_under_hammering() {
+        let ledger = Arc::new(Ledger::bounded(8, 4, usize::MAX));
+        let mut handles = Vec::new();
+        for t in 0..8u64 {
+            let ledger = Arc::clone(&ledger);
+            handles.push(thread::spawn(move || {
+                for i in 0..150u64 {
+                    let r = lru_channel::trials::derive_seed(t * 1000 + i, i);
+                    let cost = 1 + (r % 5) as usize;
+                    let token = match r % 4 {
+                        // Cancelled before it ever queues.
+                        0 => {
+                            let c = CancelToken::new();
+                            c.cancel();
+                            c
+                        }
+                        // A deadline racing the admission wait.
+                        1 => CancelToken::with_timeout(Duration::from_millis(r % 3)),
+                        _ => CancelToken::new(),
+                    };
+                    if let Admission::Admitted(guard) = ledger.acquire(t, cost, &token) {
+                        if r.is_multiple_of(3) {
+                            thread::sleep(Duration::from_micros(200));
+                        }
+                        drop(guard);
+                    }
+                    let (inflight, held, _) = ledger.audit();
+                    assert_eq!(inflight, held, "global and per-conn books diverged");
+                    // Every cost is <= capacity, so the oversized-job
+                    // exception never fires and the cap is strict.
+                    assert!(inflight <= 8, "over-admitted: {inflight} units in flight");
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(ledger.audit(), (0, 0, 0), "ledger did not drain to zero");
     }
 }

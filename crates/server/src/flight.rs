@@ -34,11 +34,27 @@ pub enum FlightOutcome {
     Line(String),
     /// The leader failed; followers report the same cause.
     Fail {
-        /// Machine-readable status tag (`"timeout"`, `"panicked"`, …).
+        /// Machine-readable status tag (`"timeout"`, `"panicked"`,
+        /// `"overloaded"`, …).
         status: String,
         /// Human-readable cause.
         message: String,
+        /// For `"overloaded"` sheds: the server's backoff hint, which
+        /// the NDJSON path emits as `retry_after_ms` and the HTTP shim
+        /// as a `Retry-After` header.
+        retry_after_ms: Option<u64>,
     },
+}
+
+impl FlightOutcome {
+    /// A failure outcome with no retry hint (every non-shed error).
+    pub fn fail(status: impl Into<String>, message: impl Into<String>) -> FlightOutcome {
+        FlightOutcome::Fail {
+            status: status.into(),
+            message: message.into(),
+            retry_after_ms: None,
+        }
+    }
 }
 
 /// One in-progress request all duplicates rendezvous on.
@@ -183,13 +199,7 @@ mod tests {
         let Role::Follower(slot) = flights.join("k") else {
             panic!("duplicate must follow");
         };
-        flights.finish(
-            "k",
-            FlightOutcome::Fail {
-                status: "timeout".into(),
-                message: "deadline exceeded".into(),
-            },
-        );
+        flights.finish("k", FlightOutcome::fail("timeout", "deadline exceeded"));
         assert!(matches!(
             slot.wait(&CancelToken::new()),
             Some(FlightOutcome::Fail { .. })

@@ -24,6 +24,18 @@
 //!    cancels its in-flight job cooperatively, and a `shutdown`
 //!    request drains gracefully — in-flight and queued jobs complete,
 //!    new connections are refused, then the accept loop exits.
+//! 4. **Crash safety and graceful degradation**: a durable job
+//!    journal ([`journal`]) write-ahead-logs every accepted job into
+//!    `--cache-dir` so `serve --recover` replays interrupted work in
+//!    original admission order (byte-identical responses, straight
+//!    from the result cache when the work already finished); the
+//!    admission queue is bounded, shedding bursts with a structured
+//!    `overloaded` rejection (HTTP `503` + `Retry-After`); `result`
+//!    frames carry a trailing checksum so the retrying client
+//!    ([`client::RetryPolicy`]) detects torn responses; and a
+//!    slow-reader watchdog cancels jobs whose client stopped draining
+//!    events. The chaos proxy ([`chaos`]) fault-injects all of it
+//!    deterministically in tests.
 //!
 //! The protocol is hand-rolled newline-delimited JSON over
 //! `std::net::TcpListener` (no async runtime, no serde), plus a
@@ -47,9 +59,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod client;
 pub mod credit;
 pub mod flight;
+pub mod journal;
 pub mod proto;
 
 use std::io::{self, BufRead, BufReader, Read, Write};
@@ -66,8 +80,9 @@ use lru_channel::trials::CancelToken;
 use scenario::engine::JobProgressFn;
 use scenario::{Engine, JobProgress, ResultCache, Value};
 
-use credit::Ledger;
+use credit::{Admission, Ledger};
 use flight::{FlightOutcome, Flights, Role};
+use journal::Journal;
 use proto::{Request, RunRequest};
 
 /// The default listen address of `lru-leak serve`.
@@ -76,12 +91,32 @@ pub const DEFAULT_ADDR: &str = "127.0.0.1:4517";
 /// Default global admission budget in trial-units (cells × trials).
 pub const DEFAULT_MAX_INFLIGHT_TRIALS: usize = 1 << 20;
 
+/// Default bound on the admission wait queue: a request that would
+/// park behind more than this many earlier waiters is shed with a
+/// structured `overloaded` rejection instead of queueing unboundedly.
+pub const DEFAULT_MAX_QUEUED: usize = 64;
+
+/// Default slow-reader watchdog: an event write that cannot make
+/// progress for this long (the client stopped draining its socket)
+/// fails, which cancels the client's in-flight job cooperatively.
+pub const DEFAULT_WRITE_TIMEOUT: Duration = Duration::from_secs(30);
+
 /// How long the accept loop sleeps between polls.
 const ACCEPT_SLICE: Duration = Duration::from_millis(20);
 
 /// How long an idle connection handler waits for the next request
 /// before re-checking the drain flag.
 const IDLE_SLICE: Duration = Duration::from_millis(100);
+
+/// Per-connection pipeline bound: at most this many parsed-but-unread
+/// request lines buffer between the reader thread and the serving
+/// loop. A client that pipelines past it blocks in TCP backpressure
+/// instead of growing an unbounded in-memory queue.
+const PIPELINE_CAP: usize = 32;
+
+/// The synthetic connection id recovery replays run under (no real
+/// socket ever carries it — connection ids count up from zero).
+const RECOVERY_CONN: u64 = u64::MAX;
 
 /// Server construction options; `..Default::default()` fills the
 /// rest.
@@ -103,10 +138,30 @@ pub struct ServerConfig {
     /// Per-connection admission cap; defaults to half the global
     /// budget.
     pub per_conn_trials: Option<usize>,
+    /// Admission wait-queue bound; `None` means
+    /// [`DEFAULT_MAX_QUEUED`]. Requests past the bound are shed with
+    /// a structured `overloaded` rejection (HTTP: `503` +
+    /// `Retry-After`) instead of parking.
+    pub max_queued: Option<usize>,
+    /// Replay the job journal on startup (`serve --recover`):
+    /// accepted-but-not-done jobs re-enqueue through the credit
+    /// ledger in original admission order; `done` jobs verify against
+    /// the result cache. Requires `cache_dir` (the journal lives
+    /// there).
+    pub recover: bool,
+    /// Slow-reader watchdog: how long an event write may stall before
+    /// the connection is considered dead and its job cancelled.
+    /// `None` means [`DEFAULT_WRITE_TIMEOUT`].
+    pub write_timeout: Option<Duration>,
     /// Test support: sleep this long after admission, before running
     /// each job — widens the coalescing/queueing windows the
     /// integration suite pins down. Never set in production.
     pub job_delay: Option<Duration>,
+    /// Test support: emit a progress event every N trials instead of
+    /// the production ~20-per-job throttle — generates enough event
+    /// bytes to fill socket buffers and trip the slow-reader
+    /// watchdog deterministically. Never set in production.
+    pub progress_every: Option<usize>,
 }
 
 /// Counters the status event and exit summary report.
@@ -119,6 +174,9 @@ struct Stats {
     computed_cells: AtomicU64,
     cached_cells: AtomicU64,
     lockstep_cells: AtomicU64,
+    shed: AtomicU64,
+    recovered_pending: AtomicU64,
+    recovered_done: AtomicU64,
 }
 
 /// A point-in-time snapshot of the service counters, returned by
@@ -145,6 +203,16 @@ pub struct ServerSummary {
     /// cost is unaffected — see [`credit`] and
     /// [`proto::RunRequest::cost`].
     pub lockstep_cells: u64,
+    /// Requests shed with a structured `overloaded` rejection because
+    /// the admission queue was at its bound.
+    pub shed: u64,
+    /// Journal records replayed as pending jobs at startup
+    /// (`--recover`): accepted-but-not-done work re-enqueued in
+    /// original admission order.
+    pub recovered_pending: u64,
+    /// Journal `done` records whose result-cache entries all verified
+    /// at startup — served from cache with no recomputation.
+    pub recovered_done: u64,
 }
 
 /// State shared by the accept loop and every connection thread.
@@ -154,9 +222,12 @@ struct Shared {
     cache: Option<ResultCache>,
     ledger: Arc<Ledger>,
     flights: Flights,
+    journal: Option<Journal>,
     stats: Stats,
     draining: AtomicBool,
+    write_timeout: Duration,
     job_delay: Option<Duration>,
+    progress_every: Option<usize>,
 }
 
 impl Shared {
@@ -169,6 +240,9 @@ impl Shared {
             computed_cells: self.stats.computed_cells.load(Ordering::Relaxed),
             cached_cells: self.stats.cached_cells.load(Ordering::Relaxed),
             lockstep_cells: self.stats.lockstep_cells.load(Ordering::Relaxed),
+            shed: self.stats.shed.load(Ordering::Relaxed),
+            recovered_pending: self.stats.recovered_pending.load(Ordering::Relaxed),
+            recovered_done: self.stats.recovered_done.load(Ordering::Relaxed),
         }
     }
 
@@ -187,7 +261,10 @@ impl Shared {
             .with("failed", s.failed)
             .with("computed_cells", s.computed_cells)
             .with("cached_cells", s.cached_cells)
-            .with("lockstep_cells", s.lockstep_cells);
+            .with("lockstep_cells", s.lockstep_cells)
+            .with("shed", s.shed)
+            .with("recovered_pending", s.recovered_pending)
+            .with("recovered_done", s.recovered_done);
         if let Some(cache) = &self.cache {
             v = v.with("cache", cache.stats().to_json());
         }
@@ -234,14 +311,20 @@ impl ServerHandle {
 pub struct Server {
     listener: TcpListener,
     shared: Arc<Shared>,
+    recovery: Vec<journal::PendingJob>,
 }
 
 impl Server {
-    /// Binds the listen socket and opens the shared result cache.
+    /// Binds the listen socket, opens the shared result cache and —
+    /// when a cache dir is configured — the job journal beside it
+    /// (compacting it; with `recover` also reconstructing the replay
+    /// plan that [`Server::run`] executes before anything else).
     ///
     /// # Errors
     ///
-    /// Propagates bind and cache-directory failures.
+    /// Propagates bind, cache-directory and journal I/O failures, and
+    /// rejects `recover` without a `cache_dir` (the journal lives
+    /// there).
     pub fn bind(config: ServerConfig) -> io::Result<Server> {
         let addr = if config.addr.is_empty() {
             DEFAULT_ADDR
@@ -249,24 +332,54 @@ impl Server {
             &config.addr
         };
         let listener = TcpListener::bind(addr)?;
-        let cache = config.cache_dir.map(ResultCache::open).transpose()?;
+        let cache = config
+            .cache_dir
+            .clone()
+            .map(ResultCache::open)
+            .transpose()?;
         let capacity = if config.max_inflight_trials == 0 {
             DEFAULT_MAX_INFLIGHT_TRIALS
         } else {
             config.max_inflight_trials
         };
         let per_conn = config.per_conn_trials.unwrap_or(capacity / 2);
+        let max_queued = config.max_queued.unwrap_or(DEFAULT_MAX_QUEUED);
+        let (journal, recovery, recovered_done) = match (&config.cache_dir, config.recover) {
+            (Some(dir), true) => {
+                let (journal, report) = Journal::recover(dir, cache.as_ref())?;
+                (Some(journal), report.pending, report.done_verified)
+            }
+            (Some(dir), false) => (Some(Journal::open(dir)?), Vec::new(), 0),
+            (None, true) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    "--recover needs --cache-dir: the job journal lives in the cache directory",
+                ));
+            }
+            (None, false) => (None, Vec::new(), 0),
+        };
+        let stats = Stats::default();
+        stats
+            .recovered_pending
+            .store(recovery.len() as u64, Ordering::Relaxed);
+        stats
+            .recovered_done
+            .store(recovered_done as u64, Ordering::Relaxed);
         Ok(Server {
             listener,
             shared: Arc::new(Shared {
                 threads: config.threads,
                 cache,
-                ledger: Arc::new(Ledger::new(capacity, per_conn)),
+                ledger: Arc::new(Ledger::bounded(capacity, per_conn, max_queued)),
                 flights: Flights::default(),
-                stats: Stats::default(),
+                journal,
+                stats,
                 draining: AtomicBool::new(false),
+                write_timeout: config.write_timeout.unwrap_or(DEFAULT_WRITE_TIMEOUT),
                 job_delay: config.job_delay,
+                progress_every: config.progress_every,
             }),
+            recovery,
         })
     }
 
@@ -291,12 +404,26 @@ impl Server {
     /// loop stops accepting and joins every connection (in-flight and
     /// queued jobs complete first — that is the drain guarantee).
     ///
+    /// With `--recover`, a replay thread re-runs the journal's
+    /// pending jobs concurrently with live traffic, in original
+    /// admission order, through the same single-flight and admission
+    /// path as any client — so a retrying submit for a crashed job
+    /// coalesces with its own recovery instead of racing it. Replayed
+    /// jobs count as queued work for the drain guarantee.
+    ///
     /// # Errors
     ///
     /// Propagates fatal listener failures (transient accept errors
     /// are retried).
-    pub fn run(self) -> io::Result<ServerSummary> {
+    pub fn run(mut self) -> io::Result<ServerSummary> {
         self.listener.set_nonblocking(true)?;
+        let replay = {
+            let jobs = std::mem::take(&mut self.recovery);
+            (!jobs.is_empty()).then(|| {
+                let shared = Arc::clone(&self.shared);
+                thread::spawn(move || replay_recovery(&shared, jobs))
+            })
+        };
         let mut conns = Vec::new();
         let mut next_conn: u64 = 0;
         while !self.shared.draining.load(Ordering::SeqCst) {
@@ -319,10 +446,45 @@ impl Server {
             }
         }
         drop(self.listener);
+        if let Some(replay) = replay {
+            let _ = replay.join();
+        }
         for conn in conns {
             let _ = conn.join();
         }
         Ok(self.shared.summary())
+    }
+}
+
+/// Re-runs the journal's pending jobs in original admission order.
+/// Each replay goes through [`serve_request`] — single-flight join,
+/// credit admission, shared cache — exactly like a client request, so
+/// a concurrent retrying submit for the same content coalesces with
+/// it, and a job whose cells are already cached completes without
+/// recomputation. An unreplayable record (e.g. an artifact retired
+/// between versions) is marked `cancelled` so the journal compacts it
+/// away — degrade, never crash.
+fn replay_recovery(shared: &Arc<Shared>, jobs: Vec<journal::PendingJob>) {
+    for job in jobs {
+        let req = match proto::parse_request(&job.request.to_string()) {
+            Ok(Request::Run(req)) => req,
+            _ => {
+                if let Some(journal) = &shared.journal {
+                    let _ = journal.cancelled(job.seq);
+                }
+                continue;
+            }
+        };
+        let token = CancelToken::new();
+        let _ = serve_request(
+            shared,
+            RECOVERY_CONN,
+            &req,
+            &token,
+            None,
+            &|_| {},
+            Some(job.seq),
+        );
     }
 }
 
@@ -352,17 +514,25 @@ fn handle_connection(shared: &Arc<Shared>, stream: TcpStream, conn_id: u64) {
 }
 
 /// The NDJSON connection loop. A dedicated reader thread feeds
-/// request lines through a channel; when it sees EOF or a read error
-/// — the client hung up — it cancels whatever request is active, so a
-/// disconnected client's job stops at the next chunk boundary instead
-/// of running to completion for nobody.
+/// request lines through a *bounded* channel (a client pipelining
+/// past [`PIPELINE_CAP`] unserved requests blocks in TCP backpressure
+/// instead of growing an in-memory queue); when it sees EOF or a read
+/// error — the client hung up — it cancels whatever request is
+/// active, so a disconnected client's job stops at the next chunk
+/// boundary instead of running to completion for nobody.
+///
+/// The write side arms the slow-reader watchdog: an event write that
+/// cannot progress within the configured timeout fails, and a failed
+/// progress write cancels the job — a client that stopped draining
+/// its socket cannot pin worker threads indefinitely.
 fn serve_ndjson(shared: &Arc<Shared>, stream: TcpStream, conn_id: u64) {
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
+    let _ = stream.set_write_timeout(Some(shared.write_timeout));
     let writer = Mutex::new(stream);
     let active: Arc<Mutex<Option<CancelToken>>> = Arc::new(Mutex::new(None));
-    let (tx, rx) = mpsc::channel::<String>();
+    let (tx, rx) = mpsc::sync_channel::<String>(PIPELINE_CAP);
     let reader_active = Arc::clone(&active);
     let reader = thread::spawn(move || {
         let mut lines = BufReader::new(read_half);
@@ -371,6 +541,14 @@ fn serve_ndjson(shared: &Arc<Shared>, stream: TcpStream, conn_id: u64) {
             match lines.read_line(&mut line) {
                 Ok(0) | Err(_) => break,
                 Ok(_) => {
+                    // `read_line` hands back a final unterminated
+                    // fragment at EOF as if it were a line; NDJSON
+                    // frames end in `\n`, so a missing one means the
+                    // client died mid-request — drop it, don't parse
+                    // half a frame.
+                    if !line.ends_with('\n') {
+                        break;
+                    }
                     if tx.send(line).is_err() {
                         break;
                     }
@@ -469,15 +647,23 @@ fn run_on_connection(
         }
     };
     let progress = req.stream.then_some(writer);
-    let outcome = serve_request(shared, conn_id, req, &token, progress, &accepted);
+    let outcome = serve_request(shared, conn_id, req, &token, progress, &accepted, None);
     match &outcome {
         FlightOutcome::Line(line) => {
             shared.stats.completed.fetch_add(1, Ordering::Relaxed);
             let _ = write_line(writer, line);
         }
-        FlightOutcome::Fail { status, message } => {
+        FlightOutcome::Fail {
+            status,
+            message,
+            retry_after_ms,
+        } => {
             shared.stats.failed.fetch_add(1, Ordering::Relaxed);
-            let _ = write_line(writer, &proto::error_event(status, message).to_string());
+            let mut event = proto::error_event(status, message);
+            if let Some(ms) = retry_after_ms {
+                event = event.with("retry_after_ms", *ms);
+            }
+            let _ = write_line(writer, &event.to_string());
         }
     }
     *active
@@ -486,9 +672,15 @@ fn run_on_connection(
 }
 
 /// The transport-independent request path: single-flight join, then
-/// either follow the in-progress leader or lead (admission, job
-/// execution, flight publication). Returns the final outcome; the
-/// caller renders it for its transport.
+/// either follow the in-progress leader or lead (journal record,
+/// admission, job execution, flight publication). Returns the final
+/// outcome; the caller renders it for its transport.
+///
+/// `journal_seq` is `Some` only for recovery replays, whose
+/// `accepted` record already exists in the compacted journal; live
+/// requests pass `None` and the leader appends a fresh record. Only
+/// leaders journal — followers are deduplicated by content, which is
+/// what makes client resubmission idempotent.
 fn serve_request(
     shared: &Arc<Shared>,
     conn_id: u64,
@@ -496,40 +688,71 @@ fn serve_request(
     token: &CancelToken,
     progress: Option<&Mutex<TcpStream>>,
     accepted: &dyn Fn(bool),
+    journal_seq: Option<u64>,
 ) -> FlightOutcome {
     let key = req.flight_key();
     match shared.flights.join(&key) {
         Role::Follower(slot) => {
             shared.stats.coalesced.fetch_add(1, Ordering::Relaxed);
             accepted(true);
-            match slot.wait(token) {
+            let outcome = match slot.wait(token) {
                 Some(outcome) => outcome,
                 // The follower's own deadline or disconnect fired
                 // first; the leader keeps running for everyone else.
-                None => FlightOutcome::Fail {
-                    status: own_cancel_status(token).into(),
-                    message: format!(
+                None => FlightOutcome::fail(
+                    own_cancel_status(token),
+                    format!(
                         "request {:?} abandoned while coalesced on an in-flight job",
                         req.job.label
                     ),
-                },
+                ),
+            };
+            // A recovery replay that coalesced behind a live client's
+            // identical request: the client's leader did the work;
+            // settle the replayed record with its outcome.
+            if let (Some(journal), Some(seq)) = (&shared.journal, journal_seq) {
+                match &outcome {
+                    FlightOutcome::Line(_) => drop(journal.done(seq)),
+                    FlightOutcome::Fail { .. } => drop(journal.cancelled(seq)),
+                }
             }
+            outcome
         }
         Role::Leader => {
             accepted(false);
+            let seq = match journal_seq {
+                Some(seq) => Some(seq),
+                None => shared
+                    .journal
+                    .as_ref()
+                    .and_then(|j| j.accepted(req.content_key(), &req.journal_json()).ok()),
+            };
             // Publish exactly once, even if execution panics — a
             // stuck flight would wedge every future duplicate.
             let outcome = catch_unwind(AssertUnwindSafe(|| {
-                execute_leader(shared, conn_id, req, token, progress)
+                execute_leader(shared, conn_id, req, token, progress, seq)
             }))
-            .unwrap_or_else(|payload| FlightOutcome::Fail {
-                status: "panicked".into(),
-                message: format!(
-                    "request {:?} panicked outside the isolated job driver: {}",
-                    req.job.label,
-                    panic_text(&payload)
-                ),
+            .unwrap_or_else(|payload| {
+                FlightOutcome::fail(
+                    "panicked",
+                    format!(
+                        "request {:?} panicked outside the isolated job driver: {}",
+                        req.job.label,
+                        panic_text(&payload)
+                    ),
+                )
             });
+            // Settle the journal record: `done` only after the result
+            // (and its cache entries) exist; anything else must not
+            // be replayed as if it were still wanted work — a client
+            // that still wants it will resubmit, dedupe by content,
+            // and re-journal.
+            if let (Some(journal), Some(seq)) = (&shared.journal, seq) {
+                match &outcome {
+                    FlightOutcome::Line(_) => drop(journal.done(seq)),
+                    FlightOutcome::Fail { .. } => drop(journal.cancelled(seq)),
+                }
+            }
             shared.flights.finish(&key, outcome.clone());
             outcome
         }
@@ -553,23 +776,47 @@ fn own_cancel_status(token: &CancelToken) -> &'static str {
     }
 }
 
-/// Leader side: admission, optional injected delay, engine run,
-/// response rendering. The returned [`FlightOutcome`] carries the
-/// complete result line so followers can share it verbatim.
+/// Leader side: admission (where overload sheds), the `started`
+/// journal record, optional injected delay, engine run, response
+/// rendering. The returned [`FlightOutcome`] carries the complete
+/// result line so followers can share it verbatim.
 fn execute_leader(
     shared: &Arc<Shared>,
     conn_id: u64,
     req: &RunRequest,
     token: &CancelToken,
     progress: Option<&Mutex<TcpStream>>,
+    seq: Option<u64>,
 ) -> FlightOutcome {
     let started = Instant::now();
-    let Some(_credits) = shared.ledger.acquire(conn_id, req.cost(), token) else {
-        return FlightOutcome::Fail {
-            status: own_cancel_status(token).into(),
-            message: deadline_message(req, "while queued for admission credits"),
-        };
+    let _credits = match shared.ledger.acquire(conn_id, req.cost(), token) {
+        Admission::Admitted(credits) => credits,
+        Admission::Overloaded { queued, max_queued } => {
+            shared.stats.shed.fetch_add(1, Ordering::Relaxed);
+            // A deterministic hint scaled by queue depth: deeper
+            // backlog, longer back-off.
+            let retry_after_ms = ((queued as u64 + 1) * 250).min(5_000);
+            let event = proto::overloaded_event(queued, max_queued, retry_after_ms);
+            return FlightOutcome::Fail {
+                status: "overloaded".into(),
+                message: event
+                    .get("message")
+                    .and_then(Value::as_str)
+                    .unwrap_or("admission queue is full")
+                    .to_string(),
+                retry_after_ms: Some(retry_after_ms),
+            };
+        }
+        Admission::Cancelled => {
+            return FlightOutcome::fail(
+                own_cancel_status(token),
+                deadline_message(req, "while queued for admission credits"),
+            );
+        }
     };
+    if let (Some(journal), Some(seq)) = (&shared.journal, seq) {
+        let _ = journal.started(seq);
+    }
     if let Some(delay) = shared.job_delay {
         thread::sleep(delay);
     }
@@ -580,9 +827,15 @@ fn execute_leader(
     if let Some(workers) = req.threads.or(shared.threads) {
         engine = engine.with_workers(workers);
     }
-    // Throttled trial-level progress (~20 lines per job). A write
-    // failure means the client hung up — cancel cooperatively.
-    let step = (req.job.total_trials() / 20).max(1);
+    // Throttled trial-level progress (~20 lines per job; tests can
+    // densify via `progress_every` to exercise the slow-reader
+    // watchdog). A write failure — including a write that stalled
+    // past the watchdog timeout because the client stopped draining —
+    // means the client is gone: cancel cooperatively.
+    let step = shared
+        .progress_every
+        .unwrap_or_else(|| (req.job.total_trials() / 20).max(1))
+        .max(1);
     let observe = |p: JobProgress| {
         if p.trials_done == p.trials || p.trials_done.is_multiple_of(step) {
             if let Some(writer) = progress {
@@ -622,15 +875,9 @@ fn execute_leader(
         }
         Err(e) => {
             if token.timed_out() {
-                FlightOutcome::Fail {
-                    status: "timeout".into(),
-                    message: deadline_message(req, "mid-job"),
-                }
+                FlightOutcome::fail("timeout", deadline_message(req, "mid-job"))
             } else {
-                FlightOutcome::Fail {
-                    status: e.status().into(),
-                    message: format!("{}: {e}", req.job.label),
-                }
+                FlightOutcome::fail(e.status(), format!("{}: {e}", req.job.label))
             }
         }
     }
@@ -705,6 +952,7 @@ fn serve_http(shared: &Arc<Shared>, stream: TcpStream, conn_id: u64) {
         return;
     }
     let body = String::from_utf8_lossy(&body).into_owned();
+    let mut retry_after: Option<u64> = None;
     let (code, reason, payload) = match (method, path) {
         ("GET", "/status") => (200, "OK", shared.status_json().to_string()),
         ("POST", "/shutdown") => {
@@ -718,25 +966,30 @@ fn serve_http(shared: &Arc<Shared>, stream: TcpStream, conn_id: u64) {
                     Some(t) => CancelToken::new().child_with_timeout(t),
                     None => CancelToken::new(),
                 };
-                let outcome = serve_request(shared, conn_id, &req, &token, None, &|_| {});
+                let outcome = serve_request(shared, conn_id, &req, &token, None, &|_| {}, None);
                 match outcome {
                     FlightOutcome::Line(line) => {
                         shared.stats.completed.fetch_add(1, Ordering::Relaxed);
                         (200, "OK", line)
                     }
-                    FlightOutcome::Fail { status, message } => {
+                    FlightOutcome::Fail {
+                        status,
+                        message,
+                        retry_after_ms,
+                    } => {
                         shared.stats.failed.fetch_add(1, Ordering::Relaxed);
                         let (code, reason) = match status.as_str() {
                             "bad_request" => (400, "Bad Request"),
                             "timeout" => (504, "Gateway Timeout"),
-                            "cancelled" => (503, "Service Unavailable"),
+                            "cancelled" | "overloaded" => (503, "Service Unavailable"),
                             _ => (500, "Internal Server Error"),
                         };
-                        (
-                            code,
-                            reason,
-                            proto::error_event(&status, &message).to_string(),
-                        )
+                        retry_after = retry_after_ms;
+                        let mut event = proto::error_event(&status, &message);
+                        if let Some(ms) = retry_after_ms {
+                            event = event.with("retry_after_ms", ms);
+                        }
+                        (code, reason, event.to_string())
                     }
                 }
             }
@@ -770,13 +1023,24 @@ fn serve_http(shared: &Arc<Shared>, stream: TcpStream, conn_id: u64) {
             .to_string(),
         ),
     };
-    respond_http(stream, code, reason, &payload);
+    respond_http(stream, code, reason, &payload, retry_after);
 }
 
-fn respond_http(mut stream: TcpStream, code: u16, reason: &str, payload: &str) {
+fn respond_http(
+    mut stream: TcpStream,
+    code: u16,
+    reason: &str,
+    payload: &str,
+    retry_after_ms: Option<u64>,
+) {
+    // HTTP Retry-After is whole seconds; round the hint up so a
+    // compliant client never comes back early.
+    let retry_after = retry_after_ms
+        .map(|ms| format!("Retry-After: {}\r\n", ms.div_ceil(1000).max(1)))
+        .unwrap_or_default();
     let head = format!(
         "HTTP/1.1 {code} {reason}\r\nContent-Type: application/json\r\n\
-         Content-Length: {}\r\nConnection: close\r\n\r\n",
+         Content-Length: {}\r\n{retry_after}Connection: close\r\n\r\n",
         payload.len() + 1
     );
     let _ = stream.write_all(head.as_bytes());

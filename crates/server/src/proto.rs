@@ -33,7 +33,7 @@
 
 use std::time::Duration;
 
-use scenario::engine::{CacheStats, JobProgress, JobStatus, ResultCache};
+use scenario::engine::{content_hash64, CacheStats, JobProgress, JobStatus, ResultCache};
 use scenario::registry::{self, Artifact, RunOpts};
 use scenario::spec::Scenario;
 use scenario::{Job, Value};
@@ -110,6 +110,43 @@ impl RunRequest {
             key.push_str(&ResultCache::key(cell));
         }
         key
+    }
+
+    /// The request's durable identity: [`content_hash64`] of the
+    /// [`RunRequest::flight_key`] — i.e. the same canonical
+    /// `to_json_full` content hash the [`ResultCache`] addresses
+    /// entries by, lifted to the whole job. The journal keys its
+    /// records with this, which is what lets a retried submit dedupe
+    /// against a crashed run of the same request.
+    pub fn content_key(&self) -> u64 {
+        content_hash64(self.flight_key().as_bytes())
+    }
+
+    /// Re-encodes the request as the minimal canonical JSON the
+    /// journal persists — exactly the content-bearing fields, so
+    /// replaying it through [`parse_request`] reconstructs a request
+    /// with the same [`RunRequest::flight_key`] (and therefore the
+    /// same response bytes). Execution knobs (`threads`,
+    /// `timeout_secs`, `stream`) are connection-scoped and excluded:
+    /// a recovered job runs with server defaults.
+    pub fn journal_json(&self) -> Value {
+        if let Some(artifact) = self.artifact {
+            let mut v = Value::obj()
+                .with("cmd", "run")
+                .with("artifact", artifact.id);
+            if let Some(trials) = self.opts.trials {
+                v = v.with("trials", trials);
+            }
+            v.with("seed", self.opts.seed)
+        } else {
+            let sc = self
+                .scenario
+                .as_ref()
+                .expect("a run request is an artifact or a scenario");
+            Value::obj()
+                .with("cmd", "adhoc")
+                .with("scenario", sc.to_json())
+        }
     }
 }
 
@@ -227,9 +264,19 @@ pub fn progress_event(p: JobProgress) -> Value {
         .with("trials", p.trials)
 }
 
+/// The trailing checksum carried on `result` events: hex
+/// [`content_hash64`] over the body's bytes. A client verifies it
+/// before trusting a frame — a response truncated or corrupted by the
+/// network (or by the chaos proxy in tests) fails the check and is
+/// retried instead of silently accepted.
+pub fn body_crc(body: &str) -> String {
+    format!("{:016x}", content_hash64(body.as_bytes()))
+}
+
 /// The `result` event: the verbatim CLI body plus how the job was
 /// served (cache/compute split, lockstep routing, chunk retries,
-/// fleet-wide cache counters, wall time).
+/// fleet-wide cache counters, wall time). The `crc` field is
+/// [`body_crc`] of `body`, so clients can detect torn frames.
 pub fn result_event(
     label: &str,
     body: &str,
@@ -242,6 +289,7 @@ pub fn result_event(
         .with("event", "result")
         .with("request", label)
         .with("body", body)
+        .with("crc", body_crc(body))
         .with(
             "status",
             Value::obj()
@@ -258,12 +306,25 @@ pub fn result_event(
 }
 
 /// An `error` event with a machine-readable status tag
-/// (`"bad_request"`, `"timeout"`, `"cancelled"`, `"panicked"`).
+/// (`"bad_request"`, `"timeout"`, `"cancelled"`, `"panicked"`,
+/// `"overloaded"`).
 pub fn error_event(status: &str, message: &str) -> Value {
     Value::obj()
         .with("event", "error")
         .with("status", status)
         .with("message", message)
+}
+
+/// The structured shed response: an `error` event with status
+/// `"overloaded"` and a machine-readable `retry_after_ms` hint (the
+/// HTTP shim maps it to `503` + `Retry-After`). Clients running with
+/// `--retries` honor the hint instead of their own backoff schedule.
+pub fn overloaded_event(queued: usize, max_queued: usize, retry_after_ms: u64) -> Value {
+    error_event(
+        "overloaded",
+        &format!("admission queue is full ({queued} waiting, bound {max_queued}) — retry later"),
+    )
+    .with("retry_after_ms", retry_after_ms)
 }
 
 #[cfg(test)]
@@ -376,6 +437,65 @@ mod tests {
         assert_eq!(s.lockstep_cells(), 0, "the noisy cell stays scalar");
         assert_eq!(e.cost(), 5);
         assert_eq!(s.cost(), 5, "eligibility never changes the price");
+    }
+
+    #[test]
+    fn journal_json_round_trips_to_the_same_content_key() {
+        let lines = [
+            "{\"cmd\":\"run\",\"artifact\":\"fig5\"}".to_string(),
+            "{\"cmd\":\"run\",\"artifact\":\"fig5\",\"trials\":3,\"seed\":9,\
+             \"threads\":2,\"stream\":true}"
+                .to_string(),
+            {
+                let sc = Scenario::builder().seed(3).build().unwrap();
+                format!(
+                    "{{\"cmd\":\"adhoc\",\"scenario\":{},\"trials\":4}}",
+                    sc.to_json()
+                )
+            },
+        ];
+        for line in lines {
+            let Request::Run(orig) = parse_request(&line).unwrap() else {
+                panic!("expected a run request");
+            };
+            let replayed = orig.journal_json().to_string();
+            let Request::Run(back) = parse_request(&replayed).unwrap() else {
+                panic!("expected a run request after replay");
+            };
+            assert_eq!(
+                orig.content_key(),
+                back.content_key(),
+                "journal re-encoding changed the content key for {line}"
+            );
+            assert_eq!(orig.flight_key(), back.flight_key());
+        }
+    }
+
+    #[test]
+    fn result_event_carries_a_verifiable_crc() {
+        let status = JobStatus {
+            cells: 1,
+            from_cache: 0,
+            computed: 1,
+            retried_chunks: 0,
+        };
+        let ev = result_event("fig5", "the body\n", &status, 0, None, 1);
+        let crc = ev.get("crc").and_then(Value::as_str).unwrap();
+        assert_eq!(crc, body_crc("the body\n"));
+        assert_ne!(crc, body_crc("the bod"), "a truncated body fails the crc");
+    }
+
+    #[test]
+    fn overloaded_event_is_a_structured_error_with_a_hint() {
+        let ev = overloaded_event(7, 4, 500);
+        assert_eq!(ev.get("event").and_then(Value::as_str), Some("error"));
+        assert_eq!(ev.get("status").and_then(Value::as_str), Some("overloaded"));
+        assert_eq!(ev.get("retry_after_ms").and_then(Value::as_u64), Some(500));
+        assert!(ev
+            .get("message")
+            .and_then(Value::as_str)
+            .unwrap()
+            .contains("bound 4"));
     }
 
     #[test]

@@ -1,0 +1,185 @@
+//! Chaos-proxy regression suite: the NDJSON protocol under a hostile
+//! network, pinned end to end.
+//!
+//! Every test routes real client connections through
+//! [`lru_leak_server::chaos::ChaosProxy`] — a seed-deterministic
+//! in-process TCP proxy that splits writes at byte granularity,
+//! injects delays, severs connections, and truncates response streams
+//! mid-frame — and asserts the crash-safety contract:
+//!
+//! * **Split frames never corrupt.** The server's NDJSON reader and
+//!   the client both buffer until the terminating newline, so a
+//!   request or event sliced into 1–9-byte TCP segments still parses,
+//!   and the response body stays byte-identical to the CLI.
+//! * **Torn responses are detected, not trusted.** A response
+//!   truncated mid-frame surfaces as a typed I/O error (mid-frame
+//!   death or a failed [`proto::body_crc`] checksum), and the retry
+//!   succeeds with the correct bytes.
+//! * **Retries are idempotent.** A re-submitted request coalesces in
+//!   flight or hits the shared result cache — the grid is simulated
+//!   exactly once no matter how many times the network eats the
+//!   answer.
+
+use std::thread;
+use std::time::Duration;
+
+use lru_leak::scenario::Value;
+use lru_leak_cli::run_cli;
+use lru_leak_server::chaos::{ChaosPlan, ChaosProxy};
+use lru_leak_server::{client, Server, ServerConfig, ServerHandle};
+
+fn args(list: &[&str]) -> Vec<String> {
+    list.iter().map(|s| s.to_string()).collect()
+}
+
+fn spawn_server(
+    config: ServerConfig,
+) -> (
+    String,
+    ServerHandle,
+    thread::JoinHandle<std::io::Result<lru_leak_server::ServerSummary>>,
+) {
+    let server = Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        ..config
+    })
+    .expect("bind");
+    let addr = server.local_addr().expect("local_addr").to_string();
+    let handle = server.handle();
+    let join = thread::spawn(move || server.run());
+    (addr, handle, join)
+}
+
+fn tmp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("lru-leak-chaos-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn fig5_request() -> Value {
+    Value::obj()
+        .with("cmd", "run")
+        .with("artifact", "fig5")
+        .with("trials", 2u64)
+        .with("seed", 99u64)
+}
+
+fn fig5_cli_body() -> String {
+    run_cli(&args(&[
+        "run", "fig5", "--json", "--trials", "2", "--seed", "99",
+    ]))
+    .expect("cli run")
+}
+
+fn body_of(event: &Value) -> String {
+    assert_eq!(
+        event.get("event").and_then(Value::as_str),
+        Some("result"),
+        "expected a result event, got {event}"
+    );
+    event
+        .get("body")
+        .and_then(Value::as_str)
+        .expect("result body")
+        .to_string()
+}
+
+#[test]
+fn split_writes_and_delays_never_corrupt_frames() {
+    let (addr, handle, join) = spawn_server(ServerConfig::default());
+    // Both directions are sliced into 1–9-byte segments with small
+    // jittered delays: the request line reaches the server's reader in
+    // fragments, and every event line reaches the client in fragments.
+    let proxy = ChaosProxy::start(
+        &addr,
+        ChaosPlan::seeded(7)
+            .split_writes()
+            .delay_up_to(Duration::from_millis(2)),
+    )
+    .expect("proxy");
+
+    let reference = fig5_cli_body();
+    for _ in 0..3 {
+        let event = client::request(&proxy.addr(), &fig5_request(), |_| {}).expect("request");
+        assert_eq!(
+            body_of(&event),
+            reference,
+            "split frames corrupted the body"
+        );
+    }
+    assert_eq!(proxy.connections(), 3, "every request used the proxy");
+
+    proxy.stop();
+    handle.begin_shutdown();
+    let summary = join.join().unwrap().expect("server run");
+    assert_eq!(summary.completed, 3);
+    assert_eq!(summary.failed, 0);
+}
+
+#[test]
+fn a_truncated_response_is_detected_and_the_retry_succeeds() {
+    let dir = tmp_dir("truncate");
+    let (addr, handle, join) = spawn_server(ServerConfig {
+        cache_dir: Some(dir.clone()),
+        ..ServerConfig::default()
+    });
+    // Connection 0's response stream is cut after exactly 120 bytes —
+    // enough for the `accepted` event plus a prefix of the `result`
+    // frame, never its terminating newline.
+    let proxy = ChaosProxy::start(&addr, ChaosPlan::seeded(11).truncate_at(0, 120)).expect("proxy");
+
+    // A bare request sees the torn frame as a typed error, not a
+    // truncated body. Deterministic: the same seed tears the same way.
+    let err = client::request(&proxy.addr(), &fig5_request(), |_| {})
+        .expect_err("a torn response must not parse as an answer");
+    assert!(
+        matches!(
+            err.kind(),
+            std::io::ErrorKind::InvalidData | std::io::ErrorKind::UnexpectedEof
+        ),
+        "unexpected error kind: {err:?}"
+    );
+
+    // The retrying client re-submits on a fresh connection (index 1:
+    // not truncated) and gets the right bytes.
+    let policy = client::RetryPolicy::new(2, Duration::from_millis(10));
+    let event = client::request_with_retry(&proxy.addr(), &fig5_request(), &policy, |_| {})
+        .expect("retry after truncation");
+    assert_eq!(body_of(&event), fig5_cli_body());
+
+    // Idempotency: the first attempt's job completed server-side and
+    // populated the cache; the retry re-read it instead of recomputing.
+    let s = handle.summary();
+    assert_eq!(s.computed_cells, 2, "the retry recomputed the grid");
+
+    proxy.stop();
+    handle.begin_shutdown();
+    join.join().unwrap().expect("server run");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn a_dropped_connection_is_retried_transparently() {
+    let dir = tmp_dir("drop");
+    let (addr, handle, join) = spawn_server(ServerConfig {
+        cache_dir: Some(dir.clone()),
+        ..ServerConfig::default()
+    });
+    // Connection 0 is severed before a single byte crosses.
+    let proxy = ChaosProxy::start(&addr, ChaosPlan::seeded(13).drop_conn(0)).expect("proxy");
+
+    let policy =
+        client::RetryPolicy::new(3, Duration::from_millis(10)).seeded_by_request(&fig5_request());
+    let event = client::request_with_retry(&proxy.addr(), &fig5_request(), &policy, |_| {})
+        .expect("retry after drop");
+    assert_eq!(body_of(&event), fig5_cli_body());
+    assert!(
+        proxy.connections() >= 2,
+        "the drop should have forced at least one retry connection"
+    );
+
+    proxy.stop();
+    handle.begin_shutdown();
+    join.join().unwrap().expect("server run");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,317 @@
+//! Crash-safety contract, pinned end to end: the durable job journal
+//! and `--recover` replay, overload shedding, and the slow-reader
+//! watchdog.
+//!
+//! 1. **Recovery serves the same bytes.** A server restarted with
+//!    `--recover` over a journal holding a pending job recomputes it
+//!    in original admission order, while `done` jobs verify against
+//!    the result cache and are served from it — every response stays
+//!    byte-identical to `lru-leak run <id> --json`, and nothing that
+//!    already completed is recomputed.
+//! 2. **Overload is shed, not queued without bound.** Past the
+//!    admission-queue bound, a request gets a structured `overloaded`
+//!    rejection with a `retry_after_ms` hint (HTTP: `503` +
+//!    `Retry-After`), and a retrying client that honors the hint
+//!    lands the job once capacity frees up.
+//! 3. **A client that stops draining cannot pin the server.** The
+//!    write watchdog fails a stalled progress write, the job is
+//!    cancelled, and the ledger's credits come back.
+
+use std::io::{Read as _, Write as _};
+use std::net::TcpStream;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use lru_leak::scenario::Value;
+use lru_leak_cli::run_cli;
+use lru_leak_server::proto::{parse_request, Request};
+use lru_leak_server::{client, journal, Server, ServerConfig, ServerHandle};
+
+fn args(list: &[&str]) -> Vec<String> {
+    list.iter().map(|s| s.to_string()).collect()
+}
+
+fn spawn_server(
+    config: ServerConfig,
+) -> (
+    String,
+    ServerHandle,
+    thread::JoinHandle<std::io::Result<lru_leak_server::ServerSummary>>,
+) {
+    let server = Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        ..config
+    })
+    .expect("bind");
+    let addr = server.local_addr().expect("local_addr").to_string();
+    let handle = server.handle();
+    let join = thread::spawn(move || server.run());
+    (addr, handle, join)
+}
+
+fn tmp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("lru-leak-crashsafe-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn fig5_request() -> Value {
+    Value::obj()
+        .with("cmd", "run")
+        .with("artifact", "fig5")
+        .with("trials", 2u64)
+        .with("seed", 99u64)
+}
+
+fn fig5_cli_body() -> String {
+    run_cli(&args(&[
+        "run", "fig5", "--json", "--trials", "2", "--seed", "99",
+    ]))
+    .expect("cli run")
+}
+
+fn table3_request() -> Value {
+    Value::obj()
+        .with("cmd", "run")
+        .with("artifact", "table3")
+        .with("trials", 1u64)
+        .with("seed", 99u64)
+}
+
+fn table3_cli_body() -> String {
+    run_cli(&args(&[
+        "run", "table3", "--json", "--trials", "1", "--seed", "99",
+    ]))
+    .expect("cli run")
+}
+
+fn body_of(event: &Value) -> String {
+    assert_eq!(
+        event.get("event").and_then(Value::as_str),
+        Some("result"),
+        "expected a result event, got {event}"
+    );
+    event
+        .get("body")
+        .and_then(Value::as_str)
+        .expect("result body")
+        .to_string()
+}
+
+#[test]
+fn recovery_replays_pending_jobs_and_serves_done_jobs_from_cache() {
+    let dir = tmp_dir("recover");
+
+    // Life before the crash: one job completes normally, so the
+    // journal holds its accepted/started/done records and the result
+    // cache holds its cells.
+    {
+        let (addr, handle, join) = spawn_server(ServerConfig {
+            cache_dir: Some(dir.clone()),
+            ..ServerConfig::default()
+        });
+        let event = client::request(&addr, &fig5_request(), |_| {}).expect("pre-crash request");
+        assert_eq!(body_of(&event), fig5_cli_body());
+        handle.begin_shutdown();
+        join.join().unwrap().expect("server run");
+    }
+
+    // The crash: a job was accepted (journaled, fsync'd, acknowledged)
+    // but the process died before it ran. Forge exactly the record the
+    // server would have appended — this also pins the on-disk grammar
+    // from outside the journal module.
+    let Ok(Request::Run(run)) = parse_request(&table3_request().to_string()) else {
+        panic!("table3 request must parse");
+    };
+    let record = format!(
+        "{{\"rec\":\"accepted\",\"v\":{},\"seq\":9,\"key\":\"{:016x}\",\"request\":{}}}\n",
+        journal::JOURNAL_FORMAT_VERSION,
+        run.content_key(),
+        run.journal_json()
+    );
+    let mut file = std::fs::OpenOptions::new()
+        .append(true)
+        .open(dir.join(journal::JOURNAL_FILE))
+        .expect("journal file");
+    file.write_all(record.as_bytes()).expect("forge record");
+    drop(file);
+
+    // The restart: `--recover` verifies the done job against the cache
+    // and replays the pending one.
+    let (addr, handle, join) = spawn_server(ServerConfig {
+        cache_dir: Some(dir.clone()),
+        recover: true,
+        ..ServerConfig::default()
+    });
+    let s = handle.summary();
+    assert_eq!(s.recovered_done, 1, "the completed job verified in cache");
+    assert_eq!(s.recovered_pending, 1, "the accepted job replays");
+
+    // Both jobs answer with the CLI's exact bytes: the recovered one
+    // recomputed, the done one came straight from the cache.
+    let event = client::request(&addr, &table3_request(), |_| {}).expect("recovered request");
+    assert_eq!(body_of(&event), table3_cli_body());
+    let event = client::request(&addr, &fig5_request(), |_| {}).expect("cached request");
+    assert_eq!(body_of(&event), fig5_cli_body());
+
+    // Idempotency: re-asking for both computes nothing new.
+    let computed = handle.summary().computed_cells;
+    client::request(&addr, &table3_request(), |_| {}).expect("repeat");
+    client::request(&addr, &fig5_request(), |_| {}).expect("repeat");
+    let s = handle.summary();
+    assert_eq!(s.computed_cells, computed, "a repeat request recomputed");
+    assert!(
+        s.cached_cells >= 2,
+        "the pre-crash cells never hit the cache"
+    );
+
+    handle.begin_shutdown();
+    join.join().unwrap().expect("server run");
+
+    // The journal settled: nothing is pending after a clean recovery.
+    let (_journal, report) = journal::Journal::recover(&dir, None).expect("re-open");
+    assert!(
+        report.pending.is_empty(),
+        "recovery left pending records behind: {:?}",
+        report.pending
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn recover_without_a_cache_dir_is_a_config_error() {
+    let err = Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        recover: true,
+        ..ServerConfig::default()
+    })
+    .expect_err("--recover without --cache-dir must be rejected");
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+}
+
+#[test]
+fn overload_is_shed_with_a_structured_rejection_and_a_retry_lands() {
+    // Capacity 1 trial-unit and a zero-length admission queue: while
+    // one job runs, any non-coalescing request must be shed.
+    let (addr, handle, join) = spawn_server(ServerConfig {
+        max_inflight_trials: 1,
+        max_queued: Some(0),
+        job_delay: Some(Duration::from_millis(900)),
+        ..ServerConfig::default()
+    });
+
+    let leader = {
+        let addr = addr.clone();
+        thread::spawn(move || client::request(&addr, &fig5_request(), |_| {}).expect("leader"))
+    };
+    thread::sleep(Duration::from_millis(200));
+
+    // NDJSON path: a structured `overloaded` error with a retry hint.
+    let event = client::request(&addr, &table3_request(), |_| {}).expect("shed request");
+    assert_eq!(event.get("event").and_then(Value::as_str), Some("error"));
+    assert_eq!(
+        event.get("status").and_then(Value::as_str),
+        Some("overloaded")
+    );
+    let hint = event
+        .get("retry_after_ms")
+        .and_then(Value::as_u64)
+        .expect("overloaded rejections carry retry_after_ms");
+    assert!(hint > 0, "the hint must be an actual backoff");
+    assert_eq!(handle.summary().shed, 1);
+
+    // HTTP shim: the same rejection as 503 + Retry-After.
+    {
+        let body = table3_request().to_string();
+        let mut stream = TcpStream::connect(&addr).expect("http connect");
+        write!(
+            stream,
+            "POST /run HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n{}",
+            body.len(),
+            body
+        )
+        .expect("http send");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("http recv");
+        assert!(
+            response.starts_with("HTTP/1.1 503 "),
+            "expected a 503, got: {response}"
+        );
+        assert!(
+            response.contains("Retry-After:"),
+            "503 must carry Retry-After: {response}"
+        );
+        assert!(response.contains("\"status\":\"overloaded\""));
+    }
+
+    // A retrying client honors the hint and lands the job once the
+    // leader's credits come back.
+    let policy = client::RetryPolicy::new(8, Duration::from_millis(50));
+    let event = client::request_with_retry(&addr, &table3_request(), &policy, |_| {})
+        .expect("retry until admitted");
+    assert_eq!(body_of(&event), table3_cli_body());
+    assert_eq!(body_of(&leader.join().unwrap()), fig5_cli_body());
+
+    let s = handle.summary();
+    assert!(
+        s.shed >= 2,
+        "the retry loop should have been shed at least once"
+    );
+    handle.begin_shutdown();
+    join.join().unwrap().expect("server run");
+}
+
+#[test]
+fn a_client_that_stops_draining_trips_the_watchdog() {
+    // Dense progress (an event per trial) against a short write
+    // timeout: a reader that never drains fills the socket buffers in
+    // well under a second of simulation, the stalled write fails, and
+    // the watchdog cancels the job.
+    let (addr, handle, join) = spawn_server(ServerConfig {
+        write_timeout: Some(Duration::from_millis(250)),
+        progress_every: Some(1),
+        ..ServerConfig::default()
+    });
+
+    // Time-sliced sharing keeps the job off the lockstep batch path,
+    // so the observer really fires once per trial — the event volume
+    // is what pins the watchdog, dozens of megabytes against a socket
+    // nobody reads.
+    let scenario = lru_leak::scenario::Scenario::builder()
+        .sharing(lru_leak::lru_channel::covert::Sharing::TimeSliced)
+        .message(lru_leak::scenario::MessageSource::Alternating { bits: 8 })
+        .trials(150_000)
+        .seed(1)
+        .build()
+        .expect("scenario");
+    let request = Value::obj()
+        .with("cmd", "adhoc")
+        .with("scenario", scenario.to_json())
+        .with("stream", true);
+    let mut stream = TcpStream::connect(&addr).expect("connect");
+    stream
+        .write_all(format!("{request}\n").as_bytes())
+        .expect("send");
+    stream.flush().expect("flush");
+    // ... and never read a byte.
+
+    let t0 = Instant::now();
+    while handle.summary().failed == 0 {
+        assert!(
+            t0.elapsed() < Duration::from_secs(120),
+            "the watchdog never fired: {:?}",
+            handle.summary()
+        );
+        thread::sleep(Duration::from_millis(25));
+    }
+    assert_eq!(handle.summary().completed, 0);
+
+    // The stalled job's credits are back: a well-behaved client is
+    // served immediately.
+    let event = client::request(&addr, &fig5_request(), |_| {}).expect("post-watchdog request");
+    assert_eq!(body_of(&event), fig5_cli_body());
+
+    drop(stream);
+    handle.begin_shutdown();
+    join.join().unwrap().expect("server run");
+}
